@@ -1,0 +1,18 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one table or figure of RR-5500 and prints
+the paper-style rows/series (captured by pytest unless ``-s`` is given;
+``pytest benchmarks/ --benchmark-only -s`` shows them).  Shape
+assertions — who wins, by roughly what factor, where crossovers fall —
+run inside the benches so a regression in the reproduction fails the
+suite, not just shifts numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def emit(text: str) -> None:
+    """Print a rendered table/figure under the bench output."""
+    print("\n" + text + "\n")

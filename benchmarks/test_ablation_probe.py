@@ -1,0 +1,65 @@
+"""Ablation: the fast-network probe (paper section 5, 'Fast Networks').
+
+Compares AdOC with the probe (default) against a variant whose probe is
+neutralised (threshold = infinity, so the pipeline always starts) on
+the Gbit LAN, where the probe is what saves AdOC, and on Renater, where
+the probe costs a 256 KB uncompressed prefix.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core import DEFAULT_CONFIG
+from repro.simulator import profile_by_name, simulate_adoc_message, simulate_posix_message
+from repro.transport import GBIT, RENATER
+
+from conftest import emit
+
+MB = 1024 * 1024
+NO_PROBE = dataclasses.replace(DEFAULT_CONFIG, fast_network_bps=float("inf"))
+
+
+def test_probe_on_gbit(benchmark):
+    data = profile_by_name("binary")
+
+    def run():
+        with_probe = simulate_adoc_message(32 * MB, data, GBIT, seed=1)
+        without = simulate_adoc_message(32 * MB, data, GBIT, config=NO_PROBE, seed=1)
+        raw = simulate_posix_message(32 * MB, GBIT, seed=1)
+        return with_probe, without, raw
+
+    with_probe, without, raw = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "Ablation: fast-network probe, 32 MB binary on Gbit\n"
+        f"POSIX:        {raw.elapsed_s:.4f}s\n"
+        f"probe ON:     {with_probe.elapsed_s:.4f}s (fast path: {with_probe.fast_path})\n"
+        f"probe forced  {without.elapsed_s:.4f}s (pipeline ran)"
+    )
+    assert with_probe.fast_path
+    assert not without.fast_path
+    # On Gbit, compressing is a loss: the probe saves real time.
+    assert with_probe.elapsed_s < without.elapsed_s
+    # And tracks raw POSIX within microseconds.
+    assert with_probe.elapsed_s - raw.elapsed_s < 100e-6
+
+
+def test_probe_cost_on_wan(benchmark):
+    """The probe's price: 256 KB goes uncompressed.  On a slow WAN that
+    is a measurable but small constant (the paper accepts it)."""
+    data = profile_by_name("ascii")
+
+    def run():
+        with_probe = simulate_adoc_message(16 * MB, data, RENATER, seed=2)
+        without = simulate_adoc_message(16 * MB, data, RENATER, config=NO_PROBE, seed=2)
+        return with_probe, without
+
+    with_probe, without = benchmark.pedantic(run, rounds=1, iterations=1)
+    cost = with_probe.elapsed_s - without.elapsed_s
+    emit(
+        f"probe cost on Renater, 16 MB ascii: {cost * 1e3:+.0f} ms "
+        f"({with_probe.elapsed_s:.2f}s vs {without.elapsed_s:.2f}s)"
+    )
+    # Bounded by roughly the uncompressed probe transmission time.
+    probe_time = 256 * 1024 / (RENATER.bandwidth_bps / 8)
+    assert cost < probe_time * 1.5

@@ -1,0 +1,41 @@
+"""Figure 3: application bandwidth vs message size on a 100 Mbit LAN.
+
+Paper claims asserted: AdOC == POSIX below 512 KB; at 32 MB AdOC is
+~1.85-2.36x faster (binary..ascii — we accept a band around it);
+incompressible data never significantly degrades.
+"""
+
+from __future__ import annotations
+
+from repro.bench import render_bandwidth_figure, run_bandwidth_figure
+
+from conftest import emit
+
+MB = 1024 * 1024
+
+
+def _by(points):
+    return {(p.size, p.method): p for p in points}
+
+
+def test_fig3(benchmark):
+    points = benchmark.pedantic(run_bandwidth_figure, args=(3,), rounds=1, iterations=1)
+    emit(render_bandwidth_figure(points, "Figure 3: Bandwidth on a Fast Ethernet LAN"))
+    by = _by(points)
+
+    # Below 512 KB: AdOC tracks POSIX for every data class (within 2%
+    # plus the fixed ~18 us framing overhead, invisible at these sizes).
+    for size in (1024, 64 * 1024, 256 * 1024):
+        posix = by[(size, "posix")].bandwidth_bps
+        for m in ("ascii", "binary", "incompressible"):
+            assert by[(size, m)].bandwidth_bps >= posix * 0.8
+
+    # At 32 MB: ascii and binary win by the paper's rough factors.
+    posix = by[(32 * MB, "posix")].elapsed_s
+    ascii_x = posix / by[(32 * MB, "ascii")].elapsed_s
+    binary_x = posix / by[(32 * MB, "binary")].elapsed_s
+    inc_x = posix / by[(32 * MB, "incompressible")].elapsed_s
+    assert 1.6 < ascii_x < 3.5, f"ascii speedup {ascii_x:.2f}"
+    assert 1.2 < binary_x < 2.4, f"binary speedup {binary_x:.2f}"
+    assert inc_x > 0.95, f"incompressible must not degrade ({inc_x:.2f})"
+    assert ascii_x > binary_x, "easier data must win more"

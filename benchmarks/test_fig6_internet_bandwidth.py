@@ -1,0 +1,34 @@
+"""Figure 6: bandwidth on the Internet path (Tennessee-France), best-of.
+
+Paper claims asserted: AdOC/ascii ~5.5-6x faster at 32 MB despite the
+slower receiving host; no degradation for incompressible data.
+"""
+
+from __future__ import annotations
+
+from repro.bench import render_bandwidth_figure, run_bandwidth_figure
+
+from conftest import emit
+
+MB = 1024 * 1024
+
+
+def test_fig6(benchmark):
+    points = benchmark.pedantic(run_bandwidth_figure, args=(6,), rounds=1, iterations=1)
+    emit(
+        render_bandwidth_figure(
+            points, "Figure 6: Bandwidth on Internet (Tennessee-France)"
+        )
+    )
+    by = {(p.size, p.method): p for p in points}
+
+    posix = by[(32 * MB, "posix")].elapsed_s
+    ascii_x = posix / by[(32 * MB, "ascii")].elapsed_s
+    inc_x = posix / by[(32 * MB, "incompressible")].elapsed_s
+    assert 4.5 < ascii_x < 7.0, f"ascii speedup {ascii_x:.2f} (paper: 5.5-6)"
+    assert inc_x > 0.9, f"incompressible must not degrade ({inc_x:.2f})"
+
+    # The latency floor dominates tiny messages identically for both.
+    tiny_posix = by[(16, "posix")].elapsed_s
+    tiny_adoc = by[(16, "ascii")].elapsed_s
+    assert abs(tiny_adoc - tiny_posix) < 1e-3

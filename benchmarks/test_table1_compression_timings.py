@@ -1,0 +1,52 @@
+"""Table 1: compression timings on the bench files.
+
+Measures lzf (from-scratch implementation) and gzip 1-9 on the
+``oilpann.hb`` and ``bin.tar`` stand-ins, live on this host, and checks
+the paper's shape: c.time grows with level, d.time is roughly constant,
+ratio saturates after gzip 6, lzf is fastest with the lowest ratio.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import render_table1, run_table1
+from repro.data import synthetic_hb_bytes, synthetic_tar_bytes
+
+from conftest import emit
+
+
+@pytest.fixture(scope="module")
+def bench_files():
+    # ~1 MB HB file, ~0.8 MB tarball: long enough to time, short enough
+    # for the pure-Python LZF encoder.
+    return (
+        synthetic_hb_bytes(n=5000, band=7, seed=11),
+        synthetic_tar_bytes(n_members=4, member_size=200_000, seed=7),
+    )
+
+
+def test_table1(benchmark, bench_files):
+    hb, tar = bench_files
+    rows = benchmark.pedantic(run_table1, args=(hb, tar), rounds=1, iterations=1)
+    emit(render_table1(rows))
+
+    for fname in ("oilpann.hb", "bin.tar"):
+        frows = [r for r in rows if r.file == fname]
+        lzf = next(r for r in frows if r.algo == "lzf")
+        gz = [r for r in frows if r.algo.startswith("gzip")]
+        # Ratio saturates after gzip 6 (paper: "does not increase
+        # significantly").
+        assert gz[8].ratio / gz[5].ratio < 1.15
+        # Compression gets slower toward gzip 9.
+        assert gz[8].compress_s > gz[0].compress_s
+        # Decompression roughly constant across gzip levels (< 3x).
+        d = [r.decompress_s for r in gz]
+        assert max(d) / min(d) < 3.0
+        # lzf: lowest ratio of all rows.
+        assert lzf.ratio == min(r.ratio for r in frows)
+    # ASCII compresses better than binary at every gzip level.
+    for lvl in range(1, 10):
+        hb_r = next(r for r in rows if r.file == "oilpann.hb" and r.algo == f"gzip {lvl}")
+        tar_r = next(r for r in rows if r.file == "bin.tar" and r.algo == f"gzip {lvl}")
+        assert hb_r.ratio > tar_r.ratio

@@ -1,0 +1,12 @@
+"""Setuptools shim for environments without the ``wheel`` package.
+
+``python setup.py develop`` installs the package (and the ``adoc``
+console script) where ``pip install -e .`` cannot build its editable
+wheel offline; all other metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup(
+    entry_points={"console_scripts": ["adoc = repro.cli:main"]},
+)

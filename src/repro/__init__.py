@@ -1,0 +1,93 @@
+"""AdOC — Adaptive Online Compression library for data transfer.
+
+A full reproduction of Emmanuel Jeannot, *"Improving Middleware
+Performance with AdOC: an Adaptive Online Compression Library for Data
+Transfer"* (INRIA RR-5500 / IPPS 2005), as a production-quality Python
+library:
+
+* :mod:`repro.core` — the AdOC algorithm and its seven-function API;
+* :mod:`repro.compress` — the codecs (LZF from scratch, zlib);
+* :mod:`repro.transport` — endpoints, pipes, sockets, and shaped links
+  reproducing the paper's four networks;
+* :mod:`repro.simulator` — a discrete-event model of the pipeline for
+  deterministic, timing-faithful reproduction of the paper's figures;
+* :mod:`repro.data` — the paper's workload generators;
+* :mod:`repro.middleware` — a NetSolve-like GridRPC middleware with a
+  pluggable (plain vs AdOC) communicator;
+* :mod:`repro.bench` — the experiment harness regenerating every table
+  and figure.
+
+Quickstart::
+
+    from repro import AdocSocket, pipe_pair
+
+    a, b = pipe_pair()
+    tx, rx = AdocSocket(a), AdocSocket(b)
+    tx.write(b"payload " * 100_000)
+    data = rx.read_exact(800_000)
+"""
+
+from .compress import (
+    ADOC_MAX_LEVEL,
+    ADOC_MIN_LEVEL,
+    codec_for_level,
+    level_name,
+)
+from .core import (
+    AdocConfig,
+    AdocSocket,
+    DEFAULT_CONFIG,
+    adoc_attach,
+    adoc_close,
+    adoc_read,
+    adoc_receive_file,
+    adoc_send_file,
+    adoc_send_file_levels,
+    adoc_write,
+    adoc_write_levels,
+    update_level,
+)
+from .transport import (
+    ALL_PROFILES,
+    GBIT,
+    INTERNET,
+    LAN100,
+    RENATER,
+    NetworkProfile,
+    pipe_pair,
+    shaped_pair,
+    socketpair_endpoints,
+    tcp_pair,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdocSocket",
+    "AdocConfig",
+    "DEFAULT_CONFIG",
+    "adoc_attach",
+    "adoc_write",
+    "adoc_write_levels",
+    "adoc_read",
+    "adoc_send_file",
+    "adoc_send_file_levels",
+    "adoc_receive_file",
+    "adoc_close",
+    "update_level",
+    "codec_for_level",
+    "level_name",
+    "ADOC_MIN_LEVEL",
+    "ADOC_MAX_LEVEL",
+    "pipe_pair",
+    "shaped_pair",
+    "socketpair_endpoints",
+    "tcp_pair",
+    "NetworkProfile",
+    "LAN100",
+    "GBIT",
+    "RENATER",
+    "INTERNET",
+    "ALL_PROFILES",
+    "__version__",
+]

@@ -1,0 +1,42 @@
+"""Experiment harness: regenerates every table and figure of RR-5500."""
+
+from .experiments import (
+    FIGURE_SIZES,
+    PAPER_CLAIMS,
+    NetsolveCell,
+    Table1Row,
+    run_bandwidth_figure,
+    run_netsolve_figure,
+    run_table1,
+    run_table2,
+)
+from .report import (
+    format_bytes,
+    render_bandwidth_figure,
+    render_netsolve_figure,
+    render_table,
+    render_table1,
+    render_table2,
+)
+from .timing import Timing, live_echo_transfer, live_pingpong, repeat_timing
+
+__all__ = [
+    "run_table1",
+    "run_table2",
+    "run_bandwidth_figure",
+    "run_netsolve_figure",
+    "Table1Row",
+    "NetsolveCell",
+    "FIGURE_SIZES",
+    "PAPER_CLAIMS",
+    "render_table",
+    "render_table1",
+    "render_table2",
+    "render_bandwidth_figure",
+    "render_netsolve_figure",
+    "format_bytes",
+    "Timing",
+    "repeat_timing",
+    "live_echo_transfer",
+    "live_pingpong",
+]

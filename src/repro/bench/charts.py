@@ -1,0 +1,112 @@
+"""ASCII charts: terminal renderings of the paper's figures.
+
+The original figures are gnuplot plots; ``adoc bench figN --plot``
+renders the same series as terminal line charts so the crossovers are
+visible without leaving the shell.  Also provides sparklines for the
+adaptation traces.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+
+from ..simulator.runner import SweepPoint
+
+__all__ = ["ascii_chart", "sparkline", "bandwidth_chart"]
+
+_MARKS = "*o+x#@%&"
+_SPARK = " .:-=+*#%@"
+
+
+def sparkline(values: list[float], width: int | None = None) -> str:
+    """One-line chart: value magnitude as character density."""
+    if not values:
+        return ""
+    if width is not None and len(values) > width:
+        # Downsample by averaging buckets.
+        bucket = len(values) / width
+        values = [
+            sum(values[int(i * bucket) : max(int((i + 1) * bucket), int(i * bucket) + 1)])
+            / max(len(values[int(i * bucket) : max(int((i + 1) * bucket), int(i * bucket) + 1)]), 1)
+            for i in range(width)
+        ]
+    lo, hi = min(values), max(values)
+    span = hi - lo or 1.0
+    steps = len(_SPARK) - 1
+    return "".join(_SPARK[round((v - lo) / span * steps)] for v in values)
+
+
+def ascii_chart(
+    series: dict[str, list[tuple[float, float]]],
+    width: int = 72,
+    height: int = 20,
+    logx: bool = False,
+    logy: bool = False,
+    title: str = "",
+) -> str:
+    """Multi-series scatter/line chart in a character grid.
+
+    Each series gets a mark from ``* o + x ...``; overlapping points
+    show the later series' mark.  Axis labels show the data ranges.
+    """
+    points: list[tuple[float, float, str]] = []
+    legend: list[str] = []
+    for idx, (name, pts) in enumerate(series.items()):
+        mark = _MARKS[idx % len(_MARKS)]
+        legend.append(f"{mark} {name}")
+        for x, y in pts:
+            points.append((x, y, mark))
+    if not points:
+        return title + "\n(no data)"
+
+    def tx(x: float) -> float:
+        return math.log10(x) if logx else x
+
+    def ty(y: float) -> float:
+        return math.log10(y) if logy else y
+
+    xs = [tx(p[0]) for p in points if not logx or p[0] > 0]
+    ys = [ty(p[1]) for p in points if not logy or p[1] > 0]
+    if not xs or not ys:
+        return title + "\n(no plottable data)"
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = x_hi - x_lo or 1.0
+    y_span = y_hi - y_lo or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y, mark in points:
+        if (logx and x <= 0) or (logy and y <= 0):
+            continue
+        col = round((tx(x) - x_lo) / x_span * (width - 1))
+        row = height - 1 - round((ty(y) - y_lo) / y_span * (height - 1))
+        grid[row][col] = mark
+
+    raw_y_hi = 10**y_hi if logy else y_hi
+    raw_y_lo = 10**y_lo if logy else y_lo
+    raw_x_hi = 10**x_hi if logx else x_hi
+    raw_x_lo = 10**x_lo if logx else x_lo
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{raw_y_hi:>10.4g} ┐")
+    for row in grid:
+        lines.append(" " * 11 + "│" + "".join(row))
+    lines.append(f"{raw_y_lo:>10.4g} ┘" + "-" * width)
+    lines.append(
+        " " * 12 + f"{raw_x_lo:<.4g}" + " " * max(width - 24, 1) + f"{raw_x_hi:>.4g}"
+    )
+    lines.append(" " * 12 + "   ".join(legend))
+    return "\n".join(lines)
+
+
+def bandwidth_chart(points: list[SweepPoint], title: str) -> str:
+    """Render a Figures-3-7 sweep as a log-log terminal chart."""
+    series: dict[str, list[tuple[float, float]]] = defaultdict(list)
+    for p in points:
+        series[p.method].append((float(p.size), p.bandwidth_bps / 1e6))
+    return ascii_chart(
+        dict(series), logx=True, logy=True, title=title + "  (Mbit/s vs bytes, log-log)"
+    )

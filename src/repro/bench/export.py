@@ -1,0 +1,77 @@
+"""CSV export of experiment results (for external plotting).
+
+The paper's figures are gnuplot drawings; regenerating them graphically
+is out of scope here, but every experiment's data can be exported to
+CSV with one call, in tidy (long) format, ready for any plotting tool::
+
+    from repro.bench import run_bandwidth_figure
+    from repro.bench.export import bandwidth_to_csv
+
+    csv_text = bandwidth_to_csv(run_bandwidth_figure(5))
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+
+from ..simulator.runner import SweepPoint
+from .experiments import NetsolveCell, Table1Row
+
+__all__ = [
+    "bandwidth_to_csv",
+    "table1_to_csv",
+    "netsolve_to_csv",
+    "latency_to_csv",
+]
+
+
+def _render(header: list[str], rows: list[list]) -> str:
+    buf = io.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow(header)
+    writer.writerows(rows)
+    return buf.getvalue()
+
+
+def bandwidth_to_csv(points: list[SweepPoint]) -> str:
+    """Figures 3-7: one row per (size, method) point."""
+    return _render(
+        ["size_bytes", "method", "bandwidth_mbit_s", "elapsed_s", "wire_bytes"],
+        [
+            [p.size, p.method, f"{p.bandwidth_bps / 1e6:.4f}", f"{p.elapsed_s:.6f}", p.wire_bytes]
+            for p in points
+        ],
+    )
+
+
+def table1_to_csv(rows: list[Table1Row]) -> str:
+    """Table 1: one row per (algo, file)."""
+    return _render(
+        ["algo", "file", "compress_s", "ratio", "decompress_s"],
+        [
+            [r.algo, r.file, f"{r.compress_s:.6f}", f"{r.ratio:.4f}", f"{r.decompress_s:.6f}"]
+            for r in rows
+        ],
+    )
+
+
+def netsolve_to_csv(cells: list[NetsolveCell]) -> str:
+    """Figures 8-9: one row per dgemm request configuration."""
+    return _render(
+        ["n", "kind", "adoc", "total_s", "transfer_s", "compute_s"],
+        [
+            [c.n, c.kind, int(c.adoc), f"{c.total_s:.4f}", f"{c.transfer_s:.4f}", f"{c.compute_s:.4f}"]
+            for c in cells
+        ],
+    )
+
+
+def latency_to_csv(table: dict[str, dict[str, float]]) -> str:
+    """Table 2: one row per (network, mode)."""
+    rows = [
+        [net, mode, f"{seconds * 1e3:.4f}"]
+        for net, modes in table.items()
+        for mode, seconds in modes.items()
+    ]
+    return _render(["network", "mode", "latency_ms"], rows)

@@ -1,0 +1,138 @@
+"""Paper-style rendering of the experiment results.
+
+Prints the same rows/series the paper reports, as aligned ASCII — the
+benchmark harness tees these into the bench logs, and EXPERIMENTS.md
+quotes them.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from .experiments import NetsolveCell, Table1Row
+from ..simulator.runner import SweepPoint
+
+__all__ = [
+    "render_table",
+    "render_table1",
+    "render_bandwidth_figure",
+    "render_table2",
+    "render_netsolve_figure",
+    "format_bytes",
+]
+
+
+def format_bytes(n: int) -> str:
+    """Human-compact byte count (1 KB = 1024 B, as the paper's axes)."""
+    if n < 1024:
+        return f"{n} B"
+    if n < 1024**2:
+        return f"{n / 1024:.0f} KB"
+    return f"{n / 1024**2:.0f} MB"
+
+
+def render_table(headers: list[str], rows: list[list[str]], title: str = "") -> str:
+    """Aligned fixed-width table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_table1(rows: list[Table1Row]) -> str:
+    """Table 1 layout: one row per algo, both files side by side."""
+    by_algo: dict[str, dict[str, Table1Row]] = defaultdict(dict)
+    order: list[str] = []
+    for r in rows:
+        if r.algo not in by_algo:
+            order.append(r.algo)
+        by_algo[r.algo][r.file] = r
+    out_rows = []
+    for algo in order:
+        hb = by_algo[algo].get("oilpann.hb")
+        tar = by_algo[algo].get("bin.tar")
+        out_rows.append(
+            [
+                algo,
+                f"{hb.compress_s:.3f}" if hb else "-",
+                f"{hb.ratio:.2f}" if hb else "-",
+                f"{hb.decompress_s:.3f}" if hb else "-",
+                f"{tar.compress_s:.3f}" if tar else "-",
+                f"{tar.ratio:.2f}" if tar else "-",
+                f"{tar.decompress_s:.3f}" if tar else "-",
+            ]
+        )
+    return render_table(
+        ["algo", "hb c.time", "hb ratio", "hb d.time", "tar c.time", "tar ratio", "tar d.time"],
+        out_rows,
+        title="Table 1: Compression Timings on Bench Files (seconds, this host)",
+    )
+
+
+def render_bandwidth_figure(points: list[SweepPoint], title: str) -> str:
+    """Figures 3-7 layout: one row per size, one column per method."""
+    methods: list[str] = []
+    by_size: dict[int, dict[str, SweepPoint]] = defaultdict(dict)
+    for p in points:
+        if p.method not in methods:
+            methods.append(p.method)
+        by_size[p.size][p.method] = p
+    rows = []
+    for size in sorted(by_size):
+        row = [format_bytes(size)]
+        for m in methods:
+            pt = by_size[size].get(m)
+            row.append(f"{pt.bandwidth_bps / 1e6:.2f}" if pt else "-")
+        rows.append(row)
+    return render_table(
+        ["size"] + [f"{m} (Mbit/s)" for m in methods], rows, title=title
+    )
+
+
+def render_table2(latency: dict[str, dict[str, float]]) -> str:
+    rows = [
+        [
+            net,
+            f"{modes['posix'] * 1e3:.3f}",
+            f"{modes['adoc'] * 1e3:.3f}",
+            f"{modes['forced'] * 1e3:.3f}",
+        ]
+        for net, modes in latency.items()
+    ]
+    return render_table(
+        ["network", "POSIX r/w (ms)", "AdOC (ms)", "AdOC forced (ms)"],
+        rows,
+        title="Table 2: Latency of AdOC vs. POSIX read/write",
+    )
+
+
+def render_netsolve_figure(cells: list[NetsolveCell], title: str) -> str:
+    """Figures 8-9 layout: per size, the four curves."""
+    by_n: dict[int, dict[tuple[str, bool], NetsolveCell]] = defaultdict(dict)
+    for c in cells:
+        by_n[c.n][(c.kind, c.adoc)] = c
+    rows = []
+    for n in sorted(by_n):
+        cell = by_n[n]
+        rows.append(
+            [
+                str(n),
+                f"{cell[('dense', False)].total_s:.2f}",
+                f"{cell[('dense', True)].total_s:.2f}",
+                f"{cell[('sparse', False)].total_s:.2f}",
+                f"{cell[('sparse', True)].total_s:.2f}",
+            ]
+        )
+    return render_table(
+        ["n", "dense (s)", "dense+AdOC (s)", "sparse (s)", "sparse+AdOC (s)"],
+        rows,
+        title=title,
+    )

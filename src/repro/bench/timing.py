@@ -1,0 +1,177 @@
+"""Measurement helpers shared by live benchmarks and examples.
+
+The paper's conventions (section 6.1.1): every figure point is either
+the *average* or the *best* of N repeated measurements; Internet/WAN
+figures use best-of-40 because averages are dominated by cross-traffic
+noise.  These helpers implement those conventions for *live* (wall
+clock) measurements; the simulator has its own in
+:mod:`repro.simulator.runner`.
+"""
+
+from __future__ import annotations
+
+import statistics
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["Timing", "repeat_timing", "live_echo_transfer", "live_pingpong"]
+
+
+@dataclass(frozen=True)
+class Timing:
+    """Aggregate of repeated wall-clock measurements (seconds)."""
+
+    best: float
+    mean: float
+    worst: float
+    stdev: float
+    n: int
+
+    @classmethod
+    def from_samples(cls, samples: list[float]) -> "Timing":
+        if not samples:
+            raise ValueError("no samples")
+        return cls(
+            best=min(samples),
+            mean=statistics.fmean(samples),
+            worst=max(samples),
+            stdev=statistics.pstdev(samples) if len(samples) > 1 else 0.0,
+            n=len(samples),
+        )
+
+
+def repeat_timing(fn: Callable[[], None], repeats: int = 5) -> Timing:
+    """Run ``fn`` ``repeats`` times, timing each run."""
+    samples: list[float] = []
+    for _ in range(repeats):
+        t0 = time.monotonic()
+        fn()
+        samples.append(time.monotonic() - t0)
+    return Timing.from_samples(samples)
+
+
+def live_echo_transfer(
+    make_pair: Callable[[], tuple],
+    payload: bytes,
+    use_adoc: bool,
+    config=None,
+) -> float:
+    """One send-and-receive-back exchange; returns elapsed seconds.
+
+    This is the paper's bandwidth measurement: the application sends a
+    buffer and receives it back; bandwidth is derived from half the
+    round-trip time.  ``make_pair`` supplies the (possibly shaped) link.
+    """
+    from ..core.api import AdocSocket
+    from ..core.config import DEFAULT_CONFIG
+    from ..transport.base import recv_exact, sendall
+
+    a, b = make_pair()
+    n = len(payload)
+    done = threading.Event()
+
+    if use_adoc:
+        tx, rx = AdocSocket(a, config or DEFAULT_CONFIG), AdocSocket(
+            b, config or DEFAULT_CONFIG
+        )
+
+        def echo() -> None:
+            data = rx.read_exact(n)
+            tx_back = rx  # echo through the same AdOC connection
+            tx_back.write(data)
+            done.set()
+
+        t = threading.Thread(target=echo, daemon=True)
+        t.start()
+        t0 = time.monotonic()
+        tx.write(payload)
+        echoed = tx.read_exact(n)
+        elapsed = time.monotonic() - t0
+        done.wait(timeout=30)
+        assert echoed == payload, "echo corrupted the payload"
+        tx.close()
+        rx.close()
+    else:
+
+        def echo() -> None:
+            data = recv_exact(b, n)
+            sendall(b, data)
+            done.set()
+
+        t = threading.Thread(target=echo, daemon=True)
+        t.start()
+        t0 = time.monotonic()
+        sendall(a, payload)
+        echoed = recv_exact(a, n)
+        elapsed = time.monotonic() - t0
+        done.wait(timeout=30)
+        assert echoed == payload, "echo corrupted the payload"
+        a.close()
+        b.close()
+    return elapsed
+
+
+def live_pingpong(
+    make_pair: Callable[[], tuple],
+    use_adoc: bool,
+    repeats: int = 20,
+    config=None,
+) -> Timing:
+    """Tiny-message ping-pong over a fresh link (Table 2, live flavour).
+
+    Uses a 1-byte payload: a 0-byte message has no observable arrival
+    with plain read/write semantics, and the paper's harness necessarily
+    did the same under the covers.
+    """
+    from ..core.api import AdocSocket
+    from ..core.config import DEFAULT_CONFIG
+    from ..transport.base import recv_exact, sendall
+
+    a, b = make_pair()
+    stop = threading.Event()
+    samples: list[float] = []
+
+    if use_adoc:
+        tx, rx = AdocSocket(a, config or DEFAULT_CONFIG), AdocSocket(
+            b, config or DEFAULT_CONFIG
+        )
+
+        def pong() -> None:
+            while not stop.is_set():
+                data = rx.read(1)
+                if not data:
+                    return
+                rx.write(data)
+
+        t = threading.Thread(target=pong, daemon=True)
+        t.start()
+        for _ in range(repeats):
+            t0 = time.monotonic()
+            tx.write(b"x")
+            tx.read_exact(1)
+            samples.append(time.monotonic() - t0)
+        stop.set()
+        tx.close()
+        rx.close()
+    else:
+
+        def pong() -> None:
+            while not stop.is_set():
+                data = b.recv(1)
+                if not data:
+                    return
+                sendall(b, data)
+
+        t = threading.Thread(target=pong, daemon=True)
+        t.start()
+        for _ in range(repeats):
+            t0 = time.monotonic()
+            sendall(a, b"x")
+            recv_exact(a, 1)
+            samples.append(time.monotonic() - t0)
+        stop.set()
+        a.close()
+        b.close()
+    return Timing.from_samples(samples)

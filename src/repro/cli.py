@@ -1,0 +1,281 @@
+"""Command-line interface: ``python -m repro`` (or the ``adoc`` script).
+
+Subcommands:
+
+``adoc info``
+    Show the compression-level table and the built-in network profiles.
+
+``adoc serve --port P --out-dir D``
+    Receive files over TCP with AdOC decompression (the data-mover
+    receiver; peers with ``adoc send``).
+
+``adoc send --host H --port P FILE...``
+    Send files over TCP with adaptive online compression.
+
+``adoc bench EXPERIMENT``
+    Regenerate one of the paper's tables/figures and print it
+    (``table1``, ``table2``, ``fig3`` .. ``fig9``).
+
+``adoc trace``
+    Print a per-buffer adaptation trace for a simulated transfer.
+"""
+
+from __future__ import annotations
+
+import argparse
+import socket
+import sys
+import time
+from pathlib import Path
+from typing import Sequence
+
+__all__ = ["main"]
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from .compress import all_levels, level_name
+    from .transport import ALL_PROFILES
+
+    print("AdOC compression levels:")
+    for lvl in all_levels():
+        print(f"  {lvl:>2}  {level_name(lvl)}")
+    print("\nNetwork profiles (paper testbeds):")
+    for name, p in ALL_PROFILES.items():
+        print(
+            f"  {name:<9} {p.bandwidth_bps / 1e6:8.1f} Mbit/s, "
+            f"RTT {p.rtt_s * 1e3:7.3f} ms"
+        )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .core import AdocSocket
+
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    listener.bind((args.host, args.port))
+    listener.listen(1)
+    print(f"listening on {args.host}:{listener.getsockname()[1]}", flush=True)
+    conn, peer = listener.accept()
+    rx = AdocSocket(conn)
+    received = 0
+    try:
+        while args.count is None or received < args.count:
+            name_len_raw = rx.read_exact(2)
+            if len(name_len_raw) < 2:
+                break
+            name = rx.read_exact(int.from_bytes(name_len_raw, "big")).decode()
+            target = out_dir / Path(name).name
+            with target.open("wb") as f:
+                n = rx.receive_file(f)
+            print(f"received {name}: {n} bytes", flush=True)
+            received += 1
+    finally:
+        rx.close()
+        listener.close()
+    return 0
+
+
+def _cmd_send(args: argparse.Namespace) -> int:
+    from .core import AdocSocket
+
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    sock.connect((args.host, args.port))
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    tx = AdocSocket(sock)
+    status = 0
+    try:
+        for path in map(Path, args.files):
+            if not path.is_file():
+                print(f"skipping {path}: not a file", file=sys.stderr)
+                status = 1
+                continue
+            name = path.name.encode()
+            tx.write(len(name).to_bytes(2, "big") + name)
+            t0 = time.monotonic()
+            with path.open("rb") as f:
+                size, slen = tx.send_file(f)
+            elapsed = time.monotonic() - t0
+            print(
+                f"sent {path.name}: {size} -> {slen} bytes "
+                f"(ratio {size / max(slen, 1):.2f}) in {elapsed:.2f}s"
+            )
+    finally:
+        tx.close()
+    return status
+
+
+_EXPERIMENTS = ("table1", "table2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "all")
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import (
+        render_bandwidth_figure,
+        render_netsolve_figure,
+        render_table1,
+        render_table2,
+        run_bandwidth_figure,
+        run_netsolve_figure,
+        run_table1,
+        run_table2,
+    )
+
+    name = args.experiment
+    if name == "all":
+        return _bench_all(args)
+    if name == "table1":
+        print(render_table1(run_table1()))
+    elif name == "table2":
+        print(render_table2(run_table2()))
+    elif name in ("fig3", "fig4", "fig5", "fig6", "fig7"):
+        fig = int(name[3])
+        titles = {
+            3: "Figure 3: Bandwidth on a Fast Ethernet LAN",
+            4: "Figure 4: Bandwidth on Renater (average timings)",
+            5: "Figure 5: Bandwidth on Renater (best timings)",
+            6: "Figure 6: Bandwidth on Internet (Tennessee-France)",
+            7: "Figure 7: Bandwidth on a Gbit Ethernet LAN",
+        }
+        points = run_bandwidth_figure(fig)
+        if args.plot:
+            from .bench.charts import bandwidth_chart
+
+            print(bandwidth_chart(points, titles[fig]))
+        else:
+            print(render_bandwidth_figure(points, titles[fig]))
+    elif name in ("fig8", "fig9"):
+        fig = int(name[3])
+        titles = {
+            8: "Figure 8: NetSolve dgemm on a 100 Mbit LAN",
+            9: "Figure 9: NetSolve dgemm on Internet",
+        }
+        print(render_netsolve_figure(run_netsolve_figure(fig), titles[fig]))
+    else:  # pragma: no cover - argparse restricts choices
+        print(f"unknown experiment {name}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _bench_all(args: argparse.Namespace) -> int:
+    """Run every experiment and write CSVs (and rendered text) to a
+    directory (``--csv-dir``, default ``results/``)."""
+    from .bench import (
+        run_bandwidth_figure,
+        run_netsolve_figure,
+        run_table1,
+        run_table2,
+    )
+    from .bench.export import (
+        bandwidth_to_csv,
+        latency_to_csv,
+        netsolve_to_csv,
+        table1_to_csv,
+    )
+
+    out = Path(args.csv_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    (out / "table1.csv").write_text(table1_to_csv(run_table1()))
+    print("wrote table1.csv", flush=True)
+    (out / "table2.csv").write_text(latency_to_csv(run_table2()))
+    print("wrote table2.csv", flush=True)
+    for fig in (3, 4, 5, 6, 7):
+        (out / f"fig{fig}.csv").write_text(bandwidth_to_csv(run_bandwidth_figure(fig)))
+        print(f"wrote fig{fig}.csv", flush=True)
+    for fig in (8, 9):
+        (out / f"fig{fig}.csv").write_text(netsolve_to_csv(run_netsolve_figure(fig)))
+        print(f"wrote fig{fig}.csv", flush=True)
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .core.adaptation import LevelAdapter
+    from .simulator import profile_by_name, simulate_adoc_message
+    from .transport import ALL_PROFILES
+
+    profile = ALL_PROFILES[args.network]
+    data = profile_by_name(args.data)
+    adapters: list[LevelAdapter] = []
+
+    def factory(cfg, div, inc):
+        adapter = LevelAdapter(cfg, div, inc)
+        adapters.append(adapter)
+        return adapter
+
+    result = simulate_adoc_message(
+        args.size_mb * 1024 * 1024, data, profile, seed=args.seed,
+        adapter_factory=factory,
+    )
+    if not adapters:
+        print("(pipeline never started: small message or fast network)")
+    else:
+        from .bench.charts import sparkline
+
+        history = adapters[0].history
+        print(f"{'buf':>4} {'queue':>5} {'delta':>5} {'fig2':>4} {'used':>4}")
+        for i, t in enumerate(history):
+            print(f"{i:>4} {t.queue_size:>5} {t.delta:>+5} {t.raw_level:>4} {t.level:>4}")
+        print("level over time: " + sparkline([t.level for t in history], width=60))
+        print("queue over time: " + sparkline([t.queue_size for t in history], width=60))
+    print(
+        f"ratio {result.compression_ratio:.2f}, "
+        f"time {result.elapsed_s:.2f}s, "
+        f"bandwidth {result.app_bandwidth_bps / 1e6:.1f} Mbit/s"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="adoc", description="AdOC adaptive online compression toolkit"
+    )
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    sub.add_parser("info", help="show levels and network profiles")
+
+    p_serve = sub.add_parser("serve", help="receive files over TCP")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=9099)
+    p_serve.add_argument("--out-dir", default="received")
+    p_serve.add_argument("--count", type=int, default=None,
+                         help="stop after N files (default: until EOF)")
+
+    p_send = sub.add_parser("send", help="send files over TCP")
+    p_send.add_argument("--host", default="127.0.0.1")
+    p_send.add_argument("--port", type=int, default=9099)
+    p_send.add_argument("files", nargs="+")
+
+    p_bench = sub.add_parser("bench", help="regenerate a paper table/figure")
+    p_bench.add_argument("experiment", choices=_EXPERIMENTS)
+    p_bench.add_argument("--plot", action="store_true",
+                         help="terminal chart instead of a table (fig3..fig7)")
+    p_bench.add_argument("--csv-dir", default="results",
+                         help="output directory for 'bench all'")
+
+    p_trace = sub.add_parser("trace", help="print an adaptation trace")
+    p_trace.add_argument("--network", default="renater",
+                         choices=("lan100", "gbit", "renater", "internet"))
+    p_trace.add_argument(
+        "--data", default="ascii",
+        choices=("ascii", "binary", "incompressible", "sparse", "dense"),
+    )
+    p_trace.add_argument("--size-mb", type=int, default=8)
+    p_trace.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "info": _cmd_info,
+        "serve": _cmd_serve,
+        "send": _cmd_send,
+        "bench": _cmd_bench,
+        "trace": _cmd_trace,
+    }
+    return handlers[args.cmd](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,48 @@
+"""Compression substrate: the codecs behind AdOC's compression levels.
+
+Level 0 is the identity, level 1 is LZF (implemented from scratch in
+:mod:`repro.compress.lzf`), levels 2..10 are zlib 1..9.
+"""
+
+from .base import Codec, CodecError
+from .lossy import (
+    RESOLUTION_LEVELS,
+    compress_image,
+    decompress_image,
+    psnr,
+    thumbnail_ladder,
+)
+from .huffman import HuffmanCodec, huffman_compress, huffman_decompress
+from .lzf import LzfCodec, lzf_compress, lzf_decompress
+from .null import NullCodec
+from .registry import (
+    ADOC_MAX_LEVEL,
+    ADOC_MIN_LEVEL,
+    all_levels,
+    codec_for_level,
+    level_name,
+)
+from .zlib_codec import ZlibCodec
+
+__all__ = [
+    "Codec",
+    "CodecError",
+    "LzfCodec",
+    "NullCodec",
+    "ZlibCodec",
+    "lzf_compress",
+    "lzf_decompress",
+    "HuffmanCodec",
+    "huffman_compress",
+    "huffman_decompress",
+    "codec_for_level",
+    "all_levels",
+    "level_name",
+    "ADOC_MIN_LEVEL",
+    "ADOC_MAX_LEVEL",
+    "compress_image",
+    "decompress_image",
+    "psnr",
+    "thumbnail_ladder",
+    "RESOLUTION_LEVELS",
+]

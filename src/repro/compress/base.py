@@ -1,0 +1,78 @@
+"""Codec interface for the AdOC compression substrate.
+
+The AdOC algorithm (Jeannot, RR-5500) maps *compression levels* onto
+concrete codecs: level 0 is the identity, level 1 is LZF (fast, low
+ratio), and levels 2..10 are zlib/gzip levels 1..9.  Every codec used by
+the library implements :class:`Codec`: a stateless pair of ``compress``
+and ``decompress`` operations over byte blocks.
+
+AdOC compresses data *per packet payload* (each 200 KB input buffer is
+compressed as one unit and the output framed into 8 KB packets), so a
+block-oriented interface is sufficient; no streaming state is shared
+between buffers.  This mirrors the paper's observation (section 3.2)
+that splitting the input costs a small amount of compression ratio
+(< 6% at 200 KB granularity) in exchange for reactivity.
+"""
+
+from __future__ import annotations
+
+import abc
+
+__all__ = ["Codec", "CodecError"]
+
+
+class CodecError(Exception):
+    """Raised when a codec cannot decode its input.
+
+    Compression never fails (any byte string has an encoding) but
+    decompression of corrupt or truncated data must fail loudly rather
+    than return wrong bytes.
+    """
+
+
+class Codec(abc.ABC):
+    """A lossless block codec.
+
+    Implementations must be thread-safe: AdOC calls codecs from its
+    compression and decompression worker threads concurrently, possibly
+    for several connections at once.  The easiest way to satisfy this is
+    to keep codecs stateless, which all built-in codecs are.
+    """
+
+    #: Short stable identifier, e.g. ``"lzf"`` or ``"zlib-6"``.
+    name: str = "codec"
+
+    @abc.abstractmethod
+    def compress(self, data: bytes) -> bytes:
+        """Compress ``data`` and return the encoded block.
+
+        The output must round-trip exactly through :meth:`decompress`.
+        The output may be *larger* than the input (incompressible data);
+        AdOC's framing layer decides whether to keep the compressed or
+        the raw form.
+        """
+
+    @abc.abstractmethod
+    def decompress(self, data: bytes, expected_size: int | None = None) -> bytes:
+        """Decompress an encoded block.
+
+        ``expected_size``, when given, is the exact size of the original
+        data; codecs that need a growth bound (LZF) use it, others may
+        ignore it.  Raises :class:`CodecError` on malformed input.
+        """
+
+    def ratio(self, data: bytes) -> float:
+        """Convenience: compression ratio ``len(data) / len(compressed)``.
+
+        Returns ``inf`` for inputs that compress to zero bytes and 1.0
+        for empty input.
+        """
+        if not data:
+            return 1.0
+        out = self.compress(data)
+        if not out:
+            return float("inf")
+        return len(data) / len(out)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name}>"

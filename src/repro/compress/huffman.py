@@ -1,0 +1,213 @@
+"""Canonical Huffman codec, from scratch — the related-work comparator.
+
+Paper section 7, on Schwan, Widener & Wiseman (ICDCS 2004): *"For high
+speed compression, it uses the Huffman algorithm that is slower and
+gives lower compression ratio than LZF."*  To reproduce that
+related-work claim (see ``benchmarks/test_related_work_huffman.py``)
+this module implements a complete order-0 byte-level Huffman coder:
+
+* frequency analysis over the block;
+* Huffman tree construction (heap-based, ties broken deterministically);
+* **canonical** code assignment — only the code *lengths* need to
+  travel, making the header small and the decoder table-driven;
+* bit-level packing via numpy (``np.packbits``/``unpackbits``).
+
+Container layout::
+
+    magic   2   b"HF"
+    orig    4   original length (big-endian)
+    nlens   1   number of symbols with codes, minus 1 (0 means 1)
+    table   nlens x (symbol u8, length u8)
+    padbits 1   number of padding bits in the final byte
+    payload packed MSB-first bitstream
+
+Order-0 Huffman cannot exploit repetition (no back references), which
+is exactly why it loses to LZ-family coders on the paper's workloads —
+its ratio is bounded by the byte-entropy of the data.
+"""
+
+from __future__ import annotations
+
+import heapq
+import struct
+from collections import Counter
+
+import numpy as np
+
+from .base import Codec, CodecError
+
+__all__ = ["HuffmanCodec", "huffman_compress", "huffman_decompress", "code_lengths"]
+
+_MAGIC = b"HF"
+_HDR = struct.Struct(">2sIB")
+
+#: Canonical-code sanity bound; 255-symbol alphabets cannot exceed it.
+_MAX_CODE_LEN = 56
+
+
+def code_lengths(data: bytes) -> dict[int, int]:
+    """Huffman code length per symbol (the canonical-code input)."""
+    freq = Counter(data)
+    if not freq:
+        return {}
+    if len(freq) == 1:
+        # A single distinct symbol still needs one bit.
+        return {next(iter(freq)): 1}
+    # Heap of (weight, tiebreak, id); tree as parent pointers.
+    heap: list[tuple[int, int, int]] = []
+    parents: dict[int, int] = {}
+    depth_of: dict[int, int] = {}
+    next_id = 0
+    leaf_ids: dict[int, int] = {}
+    for sym, w in sorted(freq.items()):
+        heap.append((w, next_id, next_id))
+        leaf_ids[sym] = next_id
+        next_id += 1
+    heapq.heapify(heap)
+    while len(heap) > 1:
+        w1, _, n1 = heapq.heappop(heap)
+        w2, _, n2 = heapq.heappop(heap)
+        parents[n1] = next_id
+        parents[n2] = next_id
+        heapq.heappush(heap, (w1 + w2, next_id, next_id))
+        next_id += 1
+    # Depth of each leaf = number of parent hops to the root.
+    lengths: dict[int, int] = {}
+    for sym, nid in leaf_ids.items():
+        depth = 0
+        node = nid
+        while node in parents:
+            node = parents[node]
+            depth += 1
+        lengths[sym] = depth
+    return lengths
+
+
+def _canonical_codes(lengths: dict[int, int]) -> dict[int, tuple[int, int]]:
+    """Symbol -> (code, length), canonical ordering (length, symbol)."""
+    items = sorted(lengths.items(), key=lambda kv: (kv[1], kv[0]))
+    codes: dict[int, tuple[int, int]] = {}
+    code = 0
+    prev_len = 0
+    for sym, length in items:
+        code <<= length - prev_len
+        codes[sym] = (code, length)
+        code += 1
+        prev_len = length
+    return codes
+
+
+def huffman_compress(data: bytes) -> bytes:
+    """Encode ``data`` as a self-contained Huffman block."""
+    lengths = code_lengths(data)
+    table = b"".join(
+        bytes((sym, ln)) for sym, ln in sorted(lengths.items())
+    )
+    header = _HDR.pack(_MAGIC, len(data), max(len(lengths) - 1, 0))
+    if not data:
+        return header + bytes([0])
+
+    codes = _canonical_codes(lengths)
+    # Emit bits via a numpy bit array: fast enough for bench files.
+    code_arr = np.zeros(256, dtype=np.uint64)
+    len_arr = np.zeros(256, dtype=np.uint8)
+    for sym, (code, ln) in codes.items():
+        code_arr[sym] = code
+        len_arr[sym] = ln
+    arr = np.frombuffer(data, dtype=np.uint8)
+    lens = len_arr[arr].astype(np.int64)
+    total_bits = int(lens.sum())
+    # Bit offsets of each symbol's code.
+    offsets = np.concatenate(([0], np.cumsum(lens)[:-1]))
+    bits = np.zeros(total_bits, dtype=np.uint8)
+    codes_of = code_arr[arr]
+    # Scatter each code's bits MSB-first.
+    max_len = int(lens.max())
+    for bitpos in range(max_len):
+        mask = lens > bitpos
+        # bit index within the code, from the MSB.
+        shift = (lens[mask] - 1 - bitpos).astype(np.uint64)
+        bits[offsets[mask] + bitpos] = (
+            (codes_of[mask] >> shift) & np.uint64(1)
+        ).astype(np.uint8)
+    pad = (-total_bits) % 8
+    payload = np.packbits(bits).tobytes()
+    return header + table + bytes([pad]) + payload
+
+
+def huffman_decompress(data: bytes, expected_size: int | None = None) -> bytes:
+    """Decode a block produced by :func:`huffman_compress`."""
+    if len(data) < _HDR.size:
+        raise CodecError("truncated Huffman header")
+    magic, orig, nlens_m1 = _HDR.unpack(data[: _HDR.size])
+    if magic != _MAGIC:
+        raise CodecError(f"bad Huffman magic {magic!r}")
+    pos = _HDR.size
+    if orig == 0:
+        return b""
+    n_syms = nlens_m1 + 1
+    table_end = pos + 2 * n_syms
+    if table_end + 1 > len(data):
+        raise CodecError("truncated Huffman code table")
+    lengths: dict[int, int] = {}
+    for i in range(n_syms):
+        sym, ln = data[pos + 2 * i], data[pos + 2 * i + 1]
+        if not 0 < ln <= _MAX_CODE_LEN:
+            raise CodecError(f"invalid code length {ln}")
+        lengths[sym] = ln
+    pos = table_end
+    pad = data[pos]
+    pos += 1
+    if pad > 7:
+        raise CodecError(f"invalid padding {pad}")
+
+    bits = np.unpackbits(np.frombuffer(data[pos:], dtype=np.uint8))
+    if pad:
+        if len(bits) < pad:
+            raise CodecError("truncated Huffman payload")
+        bits = bits[: len(bits) - pad]
+
+    # Canonical decoding: first-code/first-index per length.
+    codes = _canonical_codes(lengths)
+    by_len: dict[int, dict[int, int]] = {}
+    for sym, (code, ln) in codes.items():
+        by_len.setdefault(ln, {})[code] = sym
+
+    out = bytearray()
+    acc = 0
+    acc_len = 0
+    bit_list = bits.tolist()
+    try:
+        for bit in bit_list:
+            acc = (acc << 1) | bit
+            acc_len += 1
+            table = by_len.get(acc_len)
+            if table is not None:
+                sym = table.get(acc)
+                if sym is not None:
+                    out.append(sym)
+                    acc = 0
+                    acc_len = 0
+                    if len(out) == orig:
+                        break
+            if acc_len > _MAX_CODE_LEN:
+                raise CodecError("code walk exceeded maximum length")
+    except CodecError:
+        raise
+    if len(out) != orig:
+        raise CodecError(f"decoded {len(out)} of {orig} bytes")
+    if expected_size is not None and orig != expected_size:
+        raise CodecError(f"Huffman size {orig} != expected {expected_size}")
+    return bytes(out)
+
+
+class HuffmanCodec(Codec):
+    """Order-0 canonical Huffman (the related-work comparator)."""
+
+    name = "huffman"
+
+    def compress(self, data: bytes) -> bytes:
+        return huffman_compress(data)
+
+    def decompress(self, data: bytes, expected_size: int | None = None) -> bytes:
+        return huffman_decompress(data, expected_size)

@@ -1,0 +1,166 @@
+"""Lossy image compression — the paper's stated future work.
+
+RR-5500's conclusion: *"We also direct our future work towards lossy
+compression for image transfer with various resolution.  This is useful
+when a user has to choose one image among a set of images (thumbnails):
+the resolution and accuracy of the thumbnails is not necessary required
+to be very high."*
+
+This module implements that extension: a resolution-laddered lossy
+image codec.  The *resolution level* plays the role AdOC's compression
+level plays for lossless data — higher levels trade fidelity for wire
+bytes:
+
+    level 0: full resolution, full 8-bit depth (still zlib-packed)
+    level 1: full resolution, quantised to 6 bits
+    level 2: 1/2 resolution (box filter), 6 bits
+    level 3: 1/4 resolution, 5 bits
+    level 4: 1/8 resolution, 4 bits
+
+Images are numpy ``uint8`` arrays of shape ``(h, w)`` (grayscale) or
+``(h, w, 3)`` (RGB).  The encoded form is self-describing, so the
+receiver needs no side channel — the same constraint AdOC's wire
+protocol lives under.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import CodecError
+
+__all__ = [
+    "RESOLUTION_LEVELS",
+    "compress_image",
+    "decompress_image",
+    "psnr",
+    "thumbnail_ladder",
+]
+
+_MAGIC = b"AI"  # "AdOC Image"
+_HDR = struct.Struct(">2sBBHHBB")  # magic, version, level, h, w, channels, bits
+
+
+@dataclass(frozen=True)
+class _LevelSpec:
+    downsample: int  # 1, 2, 4, 8 — spatial reduction factor
+    bits: int        # retained bits per sample (8..1)
+
+
+RESOLUTION_LEVELS: tuple[_LevelSpec, ...] = (
+    _LevelSpec(1, 8),
+    _LevelSpec(1, 6),
+    _LevelSpec(2, 6),
+    _LevelSpec(4, 5),
+    _LevelSpec(8, 4),
+)
+
+
+def _validate(img: np.ndarray) -> np.ndarray:
+    if img.dtype != np.uint8:
+        raise ValueError("images must be uint8 arrays")
+    if img.ndim == 2:
+        return img[:, :, None]
+    if img.ndim == 3 and img.shape[2] in (1, 3):
+        return img
+    raise ValueError("images must be (h, w) or (h, w, 3) arrays")
+
+
+def _box_downsample(img: np.ndarray, k: int) -> np.ndarray:
+    """Average over k x k blocks (padding the edges by replication)."""
+    if k == 1:
+        return img
+    h, w, c = img.shape
+    ph = (-h) % k
+    pw = (-w) % k
+    if ph or pw:
+        img = np.pad(img, ((0, ph), (0, pw), (0, 0)), mode="edge")
+    hh, ww = img.shape[0] // k, img.shape[1] // k
+    blocks = img.reshape(hh, k, ww, k, img.shape[2]).astype(np.uint32)
+    return (blocks.mean(axis=(1, 3)) + 0.5).astype(np.uint8)
+
+
+def _upsample(img: np.ndarray, k: int, h: int, w: int) -> np.ndarray:
+    """Nearest-neighbour upsample back to (h, w)."""
+    if k == 1:
+        return img[:h, :w]
+    out = np.repeat(np.repeat(img, k, axis=0), k, axis=1)
+    return out[:h, :w]
+
+
+def compress_image(img: np.ndarray, level: int) -> bytes:
+    """Encode ``img`` at a resolution level (0 = best, 4 = smallest)."""
+    if not 0 <= level < len(RESOLUTION_LEVELS):
+        raise ValueError(
+            f"resolution level must be in 0..{len(RESOLUTION_LEVELS) - 1}"
+        )
+    arr = _validate(img)
+    spec = RESOLUTION_LEVELS[level]
+    h, w, c = arr.shape
+    small = _box_downsample(arr, spec.downsample)
+    # Quantise: keep the top `bits` bits of each sample.
+    shift = 8 - spec.bits
+    q = (small >> shift).astype(np.uint8)
+    payload = zlib.compress(q.tobytes(), 6)
+    header = _HDR.pack(_MAGIC, 1, level, h, w, c, spec.bits)
+    return header + payload
+
+
+def decompress_image(data: bytes) -> np.ndarray:
+    """Decode an image produced by :func:`compress_image`.
+
+    Returns a ``uint8`` array at the *original* spatial dimensions
+    (lower-resolution levels are upsampled back), shaped ``(h, w)`` for
+    grayscale and ``(h, w, 3)`` for RGB.
+    """
+    if len(data) < _HDR.size:
+        raise CodecError("truncated image header")
+    magic, version, level, h, w, c, bits = _HDR.unpack(data[: _HDR.size])
+    if magic != _MAGIC:
+        raise CodecError(f"bad image magic {magic!r}")
+    if version != 1:
+        raise CodecError(f"unsupported image codec version {version}")
+    spec = RESOLUTION_LEVELS[level]
+    try:
+        raw = zlib.decompress(data[_HDR.size :])
+    except zlib.error as exc:
+        raise CodecError(f"image payload corrupt: {exc}") from exc
+    k = spec.downsample
+    hh = (h + k - 1) // k
+    ww = (w + k - 1) // k
+    expected = hh * ww * c
+    if len(raw) != expected:
+        raise CodecError(f"image payload is {len(raw)} bytes, expected {expected}")
+    q = np.frombuffer(raw, dtype=np.uint8).reshape(hh, ww, c)
+    # De-quantise to the centre of each bucket.
+    shift = 8 - bits
+    arr = (q.astype(np.uint16) << shift) | (1 << shift >> 1) if shift else q
+    arr = arr.astype(np.uint8)
+    out = _upsample(arr, k, h, w)
+    return out[:, :, 0] if c == 1 else out
+
+
+def psnr(a: np.ndarray, b: np.ndarray) -> float:
+    """Peak signal-to-noise ratio in dB (inf for identical images)."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError("images must have identical shapes")
+    mse = np.mean((a - b) ** 2)
+    if mse == 0:
+        return float("inf")
+    return 10.0 * np.log10(255.0**2 / mse)
+
+
+def thumbnail_ladder(img: np.ndarray) -> list[tuple[int, bytes]]:
+    """Encode ``img`` at every resolution level, smallest first.
+
+    The thumbnail-browsing flow the paper sketches: ship the cheapest
+    rendition first, refine on demand.
+    """
+    encoded = [(lvl, compress_image(img, lvl)) for lvl in range(len(RESOLUTION_LEVELS))]
+    return sorted(encoded, key=lambda pair: len(pair[1]))

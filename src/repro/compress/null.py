@@ -1,0 +1,24 @@
+"""Identity codec: AdOC compression level 0 ("no compression").
+
+Level 0 means *no time is spent compressing* (paper section 2).  Packets
+produced at level 0 carry the raw payload; the codec exists so that the
+framing and pipeline code can treat every level uniformly.
+"""
+
+from __future__ import annotations
+
+from .base import Codec
+
+__all__ = ["NullCodec"]
+
+
+class NullCodec(Codec):
+    """Pass-through codec used for compression level 0."""
+
+    name = "null"
+
+    def compress(self, data: bytes) -> bytes:
+        return data
+
+    def decompress(self, data: bytes, expected_size: int | None = None) -> bytes:
+        return data

@@ -1,0 +1,63 @@
+"""Level-to-codec registry.
+
+The paper (end of section 2) fixes the mapping this module implements:
+
+    compression level 0  -> no compression
+    compression level 1  -> lzf
+    compression level 2  -> gzip (zlib) level 1
+    ...
+    compression level 10 -> gzip (zlib) level 9
+
+``ADOC_MIN_LEVEL`` and ``ADOC_MAX_LEVEL`` are the two internal constants
+the C library exposes for the ``*_levels`` API variants: setting
+``max=ADOC_MIN_LEVEL`` disables compression, setting
+``min=ADOC_MIN_LEVEL+1`` forces it (paper section 4.1).
+"""
+
+from __future__ import annotations
+
+from .base import Codec
+from .lzf import LzfCodec
+from .null import NullCodec
+from .zlib_codec import ZlibCodec
+
+__all__ = [
+    "ADOC_MIN_LEVEL",
+    "ADOC_MAX_LEVEL",
+    "codec_for_level",
+    "all_levels",
+    "level_name",
+]
+
+ADOC_MIN_LEVEL = 0
+ADOC_MAX_LEVEL = 10
+
+# Codecs are stateless, so one shared instance per level is safe across
+# threads and connections.
+_CODECS: dict[int, Codec] = {0: NullCodec(), 1: LzfCodec()}
+_CODECS.update({lvl: ZlibCodec(lvl - 1) for lvl in range(2, ADOC_MAX_LEVEL + 1)})
+
+
+def codec_for_level(level: int) -> Codec:
+    """Return the shared codec instance for an AdOC compression level."""
+    try:
+        return _CODECS[level]
+    except KeyError:
+        raise ValueError(
+            f"compression level must be in {ADOC_MIN_LEVEL}..{ADOC_MAX_LEVEL}, "
+            f"got {level}"
+        ) from None
+
+
+def all_levels() -> list[int]:
+    """All valid AdOC levels, ascending (0 = none ... 10 = zlib 9)."""
+    return list(range(ADOC_MIN_LEVEL, ADOC_MAX_LEVEL + 1))
+
+
+def level_name(level: int) -> str:
+    """Human-readable name matching the paper's terminology."""
+    if level == 0:
+        return "none"
+    if level == 1:
+        return "lzf"
+    return f"gzip {level - 1}"

@@ -1,0 +1,88 @@
+"""AdOC core: the paper's contribution.
+
+The adaptive online compression pipeline (Figure 1), the Figure-2 level
+update algorithm, the section-5 performance guards, the wire protocol,
+and the seven-function user API of section 4.1.
+"""
+
+from .adaptation import AdaptationTrace, LevelAdapter, update_level
+from .api import (
+    ADOC_MAX_LEVEL,
+    ADOC_MIN_LEVEL,
+    AdocSocket,
+    adoc_attach,
+    adoc_close,
+    adoc_detach,
+    adoc_read,
+    adoc_receive_file,
+    adoc_send_file,
+    adoc_send_file_levels,
+    adoc_write,
+    adoc_write_levels,
+)
+from .compressor import compress_buffer
+from .config import DEFAULT_CONFIG, AdocConfig
+from .divergence import BandwidthRecord, DivergenceGuard
+from .fifo import PacketQueue, QueueClosed, QueuedPacket
+from .guards import IncompressibleGuard
+from .policies import (
+    POLICIES,
+    AimdAdapter,
+    FixedLevelAdapter,
+    NaiveStepAdapter,
+    PaperAdapter,
+    ThresholdAdapter,
+    make_policy,
+)
+from .packets import (
+    MessageHeader,
+    ProtocolError,
+    Record,
+    RecordHeader,
+)
+from .receiver import OutputBuffer, ReceiverPipeline
+from .sender import MessageSender, SendResult
+from .stats import ConnectionStats
+
+__all__ = [
+    "update_level",
+    "LevelAdapter",
+    "AdaptationTrace",
+    "AdocConfig",
+    "DEFAULT_CONFIG",
+    "PacketQueue",
+    "QueuedPacket",
+    "QueueClosed",
+    "DivergenceGuard",
+    "BandwidthRecord",
+    "IncompressibleGuard",
+    "compress_buffer",
+    "Record",
+    "RecordHeader",
+    "MessageHeader",
+    "ProtocolError",
+    "MessageSender",
+    "SendResult",
+    "ConnectionStats",
+    "POLICIES",
+    "make_policy",
+    "PaperAdapter",
+    "NaiveStepAdapter",
+    "AimdAdapter",
+    "FixedLevelAdapter",
+    "ThresholdAdapter",
+    "ReceiverPipeline",
+    "OutputBuffer",
+    "AdocSocket",
+    "adoc_attach",
+    "adoc_detach",
+    "adoc_write",
+    "adoc_write_levels",
+    "adoc_read",
+    "adoc_send_file",
+    "adoc_send_file_levels",
+    "adoc_receive_file",
+    "adoc_close",
+    "ADOC_MIN_LEVEL",
+    "ADOC_MAX_LEVEL",
+]

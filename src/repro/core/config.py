@@ -1,0 +1,139 @@
+"""AdOC configuration: every constant the paper fixes, in one place.
+
+The paper hard-codes a number of tuning constants; they are collected
+here as a frozen dataclass so experiments (and the ablation benches) can
+vary them without monkey-patching:
+
+* 200 KB buffers, 8 KB packets (section 3.2);
+* queue thresholds 10 / 20 / 30 packets for the Figure-2 level update
+  (section 3.3) — with 8 KB packets and the 10-packet floor, nothing
+  smaller than 80 KB is ever compressed;
+* 512 KB small-message threshold and the 256 KB / 500 Mbit/s bandwidth
+  probe (section 5, "Fast Networks");
+* the 1-second divergence forbid window (section 5, "Compression level
+  divergence");
+* the per-packet compression-ratio guard with its 10-packet holdoff
+  (section 5, "Compressed and random data").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..compress.registry import ADOC_MAX_LEVEL, ADOC_MIN_LEVEL
+
+__all__ = ["AdocConfig", "DEFAULT_CONFIG"]
+
+KB = 1024
+
+
+@dataclass(frozen=True)
+class AdocConfig:
+    """Tunable constants of the AdOC algorithm (defaults = the paper's)."""
+
+    #: Input is consumed in buffers of this size; the compression level
+    #: is re-evaluated once per buffer.  Larger buffers compress better
+    #: (< 6% loss at 200 KB) but adapt more sluggishly.
+    buffer_size: int = 200 * KB
+
+    #: Compressed output is chopped into packets of this size before
+    #: entering the FIFO queue; the queue length is measured in packets.
+    packet_size: int = 8 * KB
+
+    #: Hard bounds on the compression level (0 = none, 1 = lzf,
+    #: 2..10 = zlib 1..9).  The ``*_levels`` API narrows within these.
+    min_level: int = ADOC_MIN_LEVEL
+    max_level: int = ADOC_MAX_LEVEL
+
+    #: Figure-2 queue thresholds (in packets).
+    queue_low: int = 10
+    queue_mid: int = 20
+    queue_high: int = 30
+
+    #: Upper bound on queued packets; the compression thread blocks when
+    #: the queue is full.  The paper leaves the bound implicit, but its
+    #: thresholds (10/20/30) put the operating range in the tens of
+    #: packets, and the bound is load-bearing for the divergence story:
+    #: it caps how much data the compressor can *commit* at a level that
+    #: turns out to be diverging before the bandwidth records veto it.
+    #: Twice ``queue_high`` leaves the Figure-2 growth signal (``δ > 0``)
+    #: headroom above every threshold.
+    queue_capacity: int = 64
+
+    #: Messages below this size are written raw, without starting the
+    #: pipeline threads — latency then equals plain read/write.
+    small_message_threshold: int = 512 * KB
+
+    #: For larger messages, this many leading bytes are sent raw while
+    #: timing them, to estimate the link speed.
+    probe_size: int = 256 * KB
+
+    #: If the probed speed exceeds this, the network is "very fast" and
+    #: the rest of the message is sent uncompressed.
+    fast_network_bps: float = 500e6
+
+    #: Divergence guard: how long a level stays forbidden after it is
+    #: observed to deliver worse visible bandwidth than a smaller level.
+    divergence_forbid_s: float = 1.0
+
+    #: Incompressible-data guard: a packet whose compressed size exceeds
+    #: ``ratio * original size`` triggers the guard...
+    incompressible_ratio: float = 0.95
+
+    #: ...which stops compressing the rest of the buffer and pins the
+    #: level to ``min_level`` for this many subsequent packets.
+    incompressible_holdoff: int = 10
+
+    #: Bound on the *receiver's* record queue (in records).  Unlike the
+    #: sender queue this must stay small: the sender can only sense a
+    #: slow receiver (divergence, section 5) through transport
+    #: backpressure, which large receive-side buffering would mask.
+    recv_queue_packets: int = 32
+
+    #: Input-slice granularity at which the compressor feeds data and
+    #: evaluates the per-packet ratio guard (implementation detail; the
+    #: guard needs sub-buffer granularity to abort mid-buffer).
+    slice_size: int = 8 * KB
+
+    def __post_init__(self) -> None:
+        if self.buffer_size <= 0 or self.packet_size <= 0:
+            raise ValueError("buffer and packet sizes must be positive")
+        if self.packet_size > self.buffer_size:
+            raise ValueError("packet size cannot exceed buffer size")
+        if not (0 <= self.min_level <= self.max_level <= ADOC_MAX_LEVEL):
+            raise ValueError(
+                f"levels must satisfy 0 <= min <= max <= {ADOC_MAX_LEVEL}"
+            )
+        if not (0 < self.queue_low <= self.queue_mid <= self.queue_high):
+            raise ValueError("queue thresholds must be increasing and positive")
+        if self.queue_capacity < self.queue_high:
+            raise ValueError("queue capacity must be at least queue_high")
+        if self.probe_size > self.small_message_threshold:
+            raise ValueError("probe must fit below the small-message threshold")
+        if not 0.0 < self.incompressible_ratio <= 1.0:
+            raise ValueError("incompressible ratio must be in (0, 1]")
+
+    def with_levels(self, min_level: int, max_level: int) -> "AdocConfig":
+        """Copy with narrowed level bounds (the ``*_levels`` API)."""
+        from dataclasses import replace
+
+        if not (ADOC_MIN_LEVEL <= min_level <= max_level <= ADOC_MAX_LEVEL):
+            raise ValueError(
+                f"need {ADOC_MIN_LEVEL} <= min <= max <= {ADOC_MAX_LEVEL}, "
+                f"got min={min_level} max={max_level}"
+            )
+        return replace(self, min_level=min_level, max_level=max_level)
+
+    @property
+    def compression_forced(self) -> bool:
+        """True when the caller forbids level 0 (min > ADOC_MIN_LEVEL)."""
+        return self.min_level > ADOC_MIN_LEVEL
+
+    @property
+    def compression_disabled(self) -> bool:
+        """True when the caller forbids any compression (max == 0)."""
+        return self.max_level == ADOC_MIN_LEVEL
+
+
+#: Shared default configuration (the paper's constants).
+DEFAULT_CONFIG = AdocConfig()

@@ -1,0 +1,109 @@
+"""The FIFO packet queue shared by AdOC's pipeline threads.
+
+Paper section 3.1: on the sending side the compression thread stores
+packets into a FIFO queue and the emission thread drains it; the queue
+*length in packets* (and its variation) is the only signal the
+adaptation algorithm consumes.  On the receiving side the same
+structure sits between the reception and decompression threads, but its
+size is not monitored.
+
+This is a deliberately small blocking bounded queue rather than
+``queue.Queue``: the adapter needs an O(1) racy-but-consistent ``size``
+snapshot, producers need ``put`` backpressure, and shutdown needs a
+poison-free ``close`` that lets consumers drain remaining items before
+seeing EOF.  Items are :class:`QueuedPacket` records so the emission
+thread can attribute visible bandwidth to the compression level that
+produced each packet (the divergence guard's input).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+
+__all__ = ["QueuedPacket", "PacketQueue", "QueueClosed"]
+
+
+class QueueClosed(Exception):
+    """Raised when putting into a queue whose producer side is done."""
+
+
+@dataclass(frozen=True)
+class QueuedPacket:
+    """One packet in flight between pipeline threads.
+
+    ``payload`` is wire bytes (already framed).  ``level`` is the
+    compression level that produced them, ``original_bytes`` how many
+    bytes of user payload they represent, and ``buffer_id`` which input
+    buffer they came from — the emission side aggregates visible
+    bandwidth per (buffer, level) window for the divergence guard
+    (per-packet gaps are meaningless while the socket buffer absorbs a
+    burst; per-buffer windows measure the sustained rate).
+    """
+
+    payload: bytes
+    level: int
+    original_bytes: int
+    buffer_id: int = 0
+
+
+class PacketQueue:
+    """Bounded, thread-safe FIFO of :class:`QueuedPacket` items."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._items: deque[QueuedPacket] = deque()
+        self._closed = False
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._not_full = threading.Condition(self._lock)
+        #: Monotonic counters for diagnostics and tests.
+        self.total_put = 0
+        self.peak_size = 0
+
+    def put(self, packet: QueuedPacket) -> None:
+        """Append a packet, blocking while the queue is full."""
+        with self._lock:
+            while len(self._items) >= self.capacity and not self._closed:
+                self._not_full.wait()
+            if self._closed:
+                raise QueueClosed("queue closed")
+            self._items.append(packet)
+            self.total_put += 1
+            if len(self._items) > self.peak_size:
+                self.peak_size = len(self._items)
+            self._not_empty.notify()
+
+    def get(self) -> QueuedPacket | None:
+        """Pop the oldest packet; ``None`` once closed *and* drained."""
+        with self._lock:
+            while not self._items and not self._closed:
+                self._not_empty.wait()
+            if not self._items:
+                return None
+            item = self._items.popleft()
+            self._not_full.notify()
+            return item
+
+    def close(self) -> None:
+        """Producer is done; consumers drain the rest then get ``None``."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def size(self) -> int:
+        """Current length in packets (the Figure-2 ``n``)."""
+        with self._lock:
+            return len(self._items)
+
+    def __len__(self) -> int:  # pragma: no cover - alias
+        return self.size()

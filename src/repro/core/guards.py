@@ -1,0 +1,52 @@
+"""Incompressible-data guard.
+
+Paper section 5, "Compressed and random data": compressing random or
+already-compressed data costs CPU for nothing (ratio near or below 1).
+AdOC compares each compressed packet's size with its original size; if
+the achieved ratio is below a threshold it (a) stops compressing the
+rest of the current buffer and (b) pins the compression level to its
+minimum for the next 10 packets before letting adaptation resume.
+"""
+
+from __future__ import annotations
+
+__all__ = ["IncompressibleGuard"]
+
+
+class IncompressibleGuard:
+    """Per-packet compression-ratio watchdog with a packet holdoff."""
+
+    def __init__(self, ratio_threshold: float = 0.95, holdoff_packets: int = 10) -> None:
+        if not 0.0 < ratio_threshold <= 1.0:
+            raise ValueError("ratio threshold must be in (0, 1]")
+        if holdoff_packets < 0:
+            raise ValueError("holdoff cannot be negative")
+        self.ratio_threshold = ratio_threshold
+        self.holdoff_packets = holdoff_packets
+        self._remaining = 0
+        self.trips = 0  # diagnostic: how often the guard fired
+
+    @property
+    def active(self) -> bool:
+        """True while the holdoff pins the level to the minimum."""
+        return self._remaining > 0
+
+    def check_packet(self, original_size: int, compressed_size: int) -> bool:
+        """Evaluate one compressed packet; return True if the guard trips.
+
+        A packet "fails" when compression saved less than
+        ``1 - ratio_threshold`` of its size (e.g. with the default 0.95,
+        saving under 5% — or expanding — counts as incompressible).
+        """
+        if original_size <= 0:
+            return False
+        if compressed_size >= original_size * self.ratio_threshold:
+            self._remaining = self.holdoff_packets
+            self.trips += 1
+            return True
+        return False
+
+    def note_packet_emitted(self) -> None:
+        """Count one produced packet against the holdoff window."""
+        if self._remaining > 0:
+            self._remaining -= 1

@@ -1,0 +1,301 @@
+"""The AdOC reception pipeline: reception thread + decompression thread.
+
+The receiving half of Figure 1: one thread reads the network, the other
+decompresses, with a FIFO queue between them (the receiver does *not*
+monitor its queue size — adaptation is sender-side only).  Decompressed
+bytes land in a bounded :class:`OutputBuffer` that ``adoc_read`` drains.
+
+The bounded buffer chain is load-bearing for the paper's divergence
+story: when the application (or this host's CPU) consumes slowly, the
+output buffer fills, the decompression thread blocks, the record queue
+fills, the reception thread stops reading, the peer's socket buffer
+fills, and the *sender's* emission thread finally feels it as a drop in
+visible bandwidth — the only signal the sender-side divergence guard
+gets, since the read/write semantics forbid any explicit feedback.
+
+POSIX ``read`` semantics (paper section 4.1): reads may be partial and
+may span message boundaries (send 100 MB, read 60 MB then 40 MB);
+whatever has been decompressed but not yet read is held in the buffer
+and freed by ``adoc_close``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import BinaryIO, Callable
+
+from ..compress.registry import codec_for_level
+from ..transport.base import Endpoint, TransportClosed, recv_exact
+from .config import AdocConfig, DEFAULT_CONFIG
+from .fifo import PacketQueue, QueueClosed, QueuedPacket
+from .packets import (
+    MESSAGE_HEADER_SIZE,
+    RECORD_HEADER_SIZE,
+    ProtocolError,
+    unpack_message_header,
+    unpack_record_header,
+)
+
+__all__ = ["OutputBuffer", "ReceiverPipeline"]
+
+#: Sentinel chunk marking an end-of-message boundary in the buffers.
+_EOM = object()
+
+
+class OutputBuffer:
+    """Bounded blocking byte buffer with end-of-message markers.
+
+    ``read`` implements the byte-stream view (markers are transparent);
+    ``read_until_marker`` implements the message view used by
+    ``adoc_receive_file``.
+    """
+
+    def __init__(self, capacity_bytes: int = 4 * 1024 * 1024) -> None:
+        self._chunks: deque[object] = deque()
+        self._buffered = 0
+        self.capacity = capacity_bytes
+        self._eof = False
+        self._error: BaseException | None = None
+        self._skip_next_marker = False
+        self._lock = threading.Lock()
+        self._readable = threading.Condition(self._lock)
+        self._writable = threading.Condition(self._lock)
+
+    # producer side (decompression thread) ---------------------------------
+
+    def put(self, chunk: bytes) -> None:
+        if not chunk:
+            return
+        with self._lock:
+            while self._buffered >= self.capacity and not self._eof:
+                self._writable.wait()
+            if self._eof:
+                return  # reader closed; drop silently
+            # More data for the message a byte-read drained mid-flight:
+            # its boundary has not been crossed after all.
+            self._skip_next_marker = False
+            self._chunks.append(chunk)
+            self._buffered += len(chunk)
+            self._readable.notify_all()
+
+    def put_marker(self) -> None:
+        with self._lock:
+            if self._skip_next_marker:
+                # A byte-read already consumed this message to its end
+                # (see read()): the boundary is crossed, don't expose it.
+                self._skip_next_marker = False
+                return
+            self._chunks.append(_EOM)
+            self._readable.notify_all()
+
+    def finish(self, error: BaseException | None = None) -> None:
+        """No more data will arrive (EOF or failure)."""
+        with self._lock:
+            self._eof = True
+            self._error = error
+            self._readable.notify_all()
+            self._writable.notify_all()
+
+    # consumer side (adoc_read) ---------------------------------------------
+
+    def read(self, n: int) -> bytes:
+        """Up to ``n`` bytes; ``b""`` at EOF; raises a deferred error."""
+        if n <= 0:
+            return b""
+        with self._lock:
+            while True:
+                # Skip any leading message markers: byte-stream view.
+                while self._chunks and self._chunks[0] is _EOM:
+                    self._chunks.popleft()
+                if self._chunks:
+                    break
+                if self._eof:
+                    if self._error is not None:
+                        raise self._error
+                    return b""
+                self._readable.wait()
+            out = bytearray()
+            while self._chunks and len(out) < n:
+                head = self._chunks[0]
+                if head is _EOM:
+                    break  # do not cross into marker handling mid-read
+                take = n - len(out)
+                if len(head) <= take:
+                    out += head
+                    self._chunks.popleft()
+                    self._buffered -= len(head)
+                else:
+                    out += head[:take]
+                    self._chunks[0] = head[take:]
+                    self._buffered -= take
+            # If this read consumed a message right up to its boundary,
+            # the boundary is crossed: drop exactly that one marker so a
+            # following read_until_marker applies to the *next* message
+            # rather than reporting a stale, empty tail.  When the read
+            # drained the buffer entirely, the verdict depends on what
+            # arrives next (more data: same message continues; a marker:
+            # it was the end) — _skip_next_marker defers the decision.
+            if out:
+                if self._chunks and self._chunks[0] is _EOM:
+                    self._chunks.popleft()
+                elif not self._chunks and not self._eof:
+                    self._skip_next_marker = True
+            self._writable.notify_all()
+            return bytes(out)
+
+    def read_until_marker(self, sink: BinaryIO) -> int:
+        """Write everything up to the next message boundary into ``sink``.
+
+        Returns the byte count.  Raises on EOF-before-marker only if
+        bytes were already consumed (truncated message)."""
+        total = 0
+        while True:
+            with self._lock:
+                while not self._chunks and not self._eof:
+                    self._readable.wait()
+                if not self._chunks:
+                    if self._error is not None:
+                        raise self._error
+                    if total:
+                        raise ProtocolError("stream ended mid-message")
+                    return total
+                head = self._chunks.popleft()
+                if head is _EOM:
+                    self._writable.notify_all()
+                    return total
+                self._buffered -= len(head)
+                self._writable.notify_all()
+            sink.write(head)  # write outside the lock
+            total += len(head)
+
+    @property
+    def buffered_bytes(self) -> int:
+        with self._lock:
+            return self._buffered
+
+
+class ReceiverPipeline:
+    """Reads AdOC framing from an endpoint and yields decompressed bytes.
+
+    Threads start lazily on construction and run until EOF, a protocol
+    error, or :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        endpoint: Endpoint,
+        config: AdocConfig = DEFAULT_CONFIG,
+        output_capacity: int = 4 * 1024 * 1024,
+    ) -> None:
+        self.endpoint = endpoint
+        self.config = config
+        self.output = OutputBuffer(output_capacity)
+        self._queue: PacketQueue = PacketQueue(config.recv_queue_packets)
+        self._closed = False
+        self._reader = threading.Thread(
+            target=self._reception_thread, name="adoc-recv", daemon=True
+        )
+        self._decompressor = threading.Thread(
+            target=self._decompression_thread, name="adoc-decompress", daemon=True
+        )
+        self._reader.start()
+        self._decompressor.start()
+
+    # -- public API ----------------------------------------------------------
+
+    def read(self, n: int) -> bytes:
+        return self.output.read(n)
+
+    def receive_into(self, sink: BinaryIO) -> int:
+        """Receive exactly one message into ``sink`` (adoc_receive_file)."""
+        return self.output.read_until_marker(sink)
+
+    def close(self) -> None:
+        """Free internal buffers and detach the threads (adoc_close)."""
+        self._closed = True
+        self.output.finish()
+        self._queue.close()
+
+    def join(self, timeout: float | None = None) -> None:
+        """Wait for the pipeline threads (tests and orderly shutdown)."""
+        self._reader.join(timeout)
+        self._decompressor.join(timeout)
+
+    # -- reception thread: socket -> record queue ----------------------------
+
+    def _reception_thread(self) -> None:
+        error: BaseException | None = None
+        try:
+            while not self._closed:
+                if not self._read_one_message():
+                    break
+        except QueueClosed:
+            pass
+        except (ProtocolError, TransportClosed) as exc:
+            error = exc
+        except BaseException as exc:  # noqa: BLE001 - surfaced to reader
+            error = exc
+        finally:
+            self._queue.close()
+            if error is not None:
+                self.output.finish(error)
+
+    def _read_one_message(self) -> bool:
+        """Parse one message; False on clean EOF before a header."""
+        first = self.endpoint.recv(MESSAGE_HEADER_SIZE)
+        if not first:
+            return False
+        rest = (
+            recv_exact(self.endpoint, MESSAGE_HEADER_SIZE - len(first))
+            if len(first) < MESSAGE_HEADER_SIZE
+            else b""
+        )
+        header = unpack_message_header(first + rest)
+
+        remaining = header.total_length
+        while True:
+            if header.length_known and remaining <= 0:
+                break
+            rec_hdr = unpack_record_header(
+                recv_exact(self.endpoint, RECORD_HEADER_SIZE)
+            )
+            if rec_hdr.is_end:
+                if header.length_known:
+                    raise ProtocolError("unexpected END in known-length message")
+                break
+            payload = recv_exact(self.endpoint, rec_hdr.wire_size)
+            if header.length_known:
+                remaining -= rec_hdr.original_size
+                if remaining < 0:
+                    raise ProtocolError("records overflow declared length")
+            self._queue.put(
+                QueuedPacket(payload, rec_hdr.level, rec_hdr.original_size)
+            )
+        # Message boundary marker rides the queue as a zero-byte packet
+        # with the reserved END level so ordering with data is preserved.
+        self._queue.put(QueuedPacket(b"", 0xFF, 0))
+        return True
+
+    # -- decompression thread: record queue -> output buffer ------------------
+
+    def _decompression_thread(self) -> None:
+        try:
+            while True:
+                pkt = self._queue.get()
+                if pkt is None:
+                    break
+                if pkt.level == 0xFF:
+                    self.output.put_marker()
+                    continue
+                if pkt.level == 0:
+                    self.output.put(pkt.payload)
+                else:
+                    codec = codec_for_level(pkt.level)
+                    self.output.put(
+                        codec.decompress(pkt.payload, pkt.original_bytes)
+                    )
+        except BaseException as exc:  # noqa: BLE001
+            self.output.finish(exc)
+        else:
+            self.output.finish()

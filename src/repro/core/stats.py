@@ -1,0 +1,96 @@
+"""Per-connection statistics: observability for the live library.
+
+The C library exposes its effect only through the ``*slen`` out
+parameters; a library meant for adoption needs a richer view.  Each
+connection aggregates, across all its messages:
+
+* payload and wire byte totals (→ overall achieved ratio);
+* how many messages took each path (small / fast-network / pipeline);
+* a compression-level histogram in packets;
+* guard activity (incompressible trips, divergence forbids).
+
+The counters are updated by :class:`~repro.core.sender.MessageSender`
+after every send and are thread-safe to read at any time.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+__all__ = ["ConnectionStats"]
+
+
+@dataclass
+class _Snapshot:
+    """Immutable copy of the counters (what ``snapshot()`` returns)."""
+
+    messages: int = 0
+    payload_bytes: int = 0
+    wire_bytes: int = 0
+    small_path: int = 0
+    fast_path: int = 0
+    pipeline_path: int = 0
+    guard_trips: int = 0
+    levels_used: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def compression_ratio(self) -> float:
+        return self.payload_bytes / self.wire_bytes if self.wire_bytes else 1.0
+
+    @property
+    def mean_level(self) -> float:
+        total = sum(self.levels_used.values())
+        if total == 0:
+            return 0.0
+        return sum(k * v for k, v in self.levels_used.items()) / total
+
+
+class ConnectionStats:
+    """Thread-safe accumulator of send-side accounting."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._data = _Snapshot()
+
+    def record_send(self, result) -> None:
+        """Fold one :class:`~repro.core.sender.SendResult` in."""
+        with self._lock:
+            d = self._data
+            d.messages += 1
+            d.payload_bytes += result.payload_bytes
+            d.wire_bytes += result.wire_bytes
+            d.guard_trips += result.guard_trips
+            if result.pipeline_used:
+                d.pipeline_path += 1
+            elif result.fast_path:
+                d.fast_path += 1
+            else:
+                d.small_path += 1
+            for level, count in result.levels_used.items():
+                d.levels_used[level] = d.levels_used.get(level, 0) + count
+
+    def snapshot(self) -> _Snapshot:
+        """A consistent copy of all counters."""
+        with self._lock:
+            d = self._data
+            return _Snapshot(
+                messages=d.messages,
+                payload_bytes=d.payload_bytes,
+                wire_bytes=d.wire_bytes,
+                small_path=d.small_path,
+                fast_path=d.fast_path,
+                pipeline_path=d.pipeline_path,
+                guard_trips=d.guard_trips,
+                levels_used=dict(d.levels_used),
+            )
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        s = self.snapshot()
+        return (
+            f"{s.messages} msg, {s.payload_bytes} B -> {s.wire_bytes} B "
+            f"(ratio {s.compression_ratio:.2f}), paths "
+            f"small={s.small_path}/fast={s.fast_path}/pipe={s.pipeline_path}, "
+            f"mean level {s.mean_level:.1f}, guard trips {s.guard_trips}"
+        )

@@ -1,0 +1,45 @@
+"""Workload substrate: the paper's data generators and bench files."""
+
+from .generators import (
+    DATA_CLASSES,
+    ascii_data,
+    binary_data,
+    data_by_name,
+    gzip6_ratio,
+    incompressible_data,
+)
+from .harwell_boeing import HBMatrix, read_hb, synthetic_hb_bytes, write_hb
+from .images import read_pnm, synthetic_image, write_pnm
+from .matrices import (
+    decode_matrix_ascii,
+    decode_matrix_binary,
+    dense_matrix,
+    encode_matrix_ascii,
+    encode_matrix_binary,
+    sparse_matrix,
+)
+from .tarlike import synthetic_executable, synthetic_tar_bytes
+
+__all__ = [
+    "ascii_data",
+    "binary_data",
+    "incompressible_data",
+    "data_by_name",
+    "gzip6_ratio",
+    "DATA_CLASSES",
+    "dense_matrix",
+    "sparse_matrix",
+    "encode_matrix_ascii",
+    "decode_matrix_ascii",
+    "encode_matrix_binary",
+    "decode_matrix_binary",
+    "HBMatrix",
+    "write_hb",
+    "read_hb",
+    "synthetic_hb_bytes",
+    "synthetic_executable",
+    "synthetic_tar_bytes",
+    "synthetic_image",
+    "write_pnm",
+    "read_pnm",
+]

@@ -1,0 +1,89 @@
+"""Synthetic test images and PGM/PPM serialization.
+
+Support substrate for the lossy-thumbnail extension (paper future
+work): seeded generators producing natural-looking test images (smooth
+gradients + blobs + texture noise — compressible but not trivial), and
+binary PGM (P5) / PPM (P6) writers/readers so images can live on disk
+without any imaging dependency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["synthetic_image", "write_pnm", "read_pnm"]
+
+
+def synthetic_image(
+    height: int, width: int, channels: int = 3, seed: int = 0
+) -> np.ndarray:
+    """A natural-statistics test image: gradient + Gaussian blobs + noise."""
+    if channels not in (1, 3):
+        raise ValueError("channels must be 1 or 3")
+    rng = np.random.default_rng(seed)
+    yy, xx = np.mgrid[0:height, 0:width]
+    out = np.zeros((height, width, channels), dtype=np.float64)
+    for c in range(channels):
+        layer = (
+            40.0 * (xx / max(width - 1, 1))
+            + 40.0 * (yy / max(height - 1, 1)) * (1 if c % 2 == 0 else -1)
+            + 90.0
+        )
+        for _ in range(4):
+            cy = rng.uniform(0, height)
+            cx = rng.uniform(0, width)
+            sig = rng.uniform(min(height, width) / 10, min(height, width) / 3)
+            amp = rng.uniform(-80, 80)
+            layer = layer + amp * np.exp(
+                -((yy - cy) ** 2 + (xx - cx) ** 2) / (2 * sig**2)
+            )
+        layer = layer + rng.normal(0, 3.0, size=(height, width))
+        out[:, :, c] = layer
+    img = np.clip(out, 0, 255).astype(np.uint8)
+    return img[:, :, 0] if channels == 1 else img
+
+
+def write_pnm(img: np.ndarray) -> bytes:
+    """Serialize to binary PGM (grayscale) or PPM (RGB)."""
+    if img.dtype != np.uint8:
+        raise ValueError("PNM images must be uint8")
+    if img.ndim == 2:
+        magic, h, w = b"P5", *img.shape
+        body = img.tobytes()
+    elif img.ndim == 3 and img.shape[2] == 3:
+        magic = b"P6"
+        h, w = img.shape[:2]
+        body = np.ascontiguousarray(img).tobytes()
+    else:
+        raise ValueError("PNM images must be (h, w) or (h, w, 3)")
+    return magic + f"\n{w} {h}\n255\n".encode("ascii") + body
+
+
+def read_pnm(data: bytes) -> np.ndarray:
+    """Parse a binary PGM/PPM produced by :func:`write_pnm` (or most
+    other writers that keep the plain three-token header)."""
+    if data[:2] not in (b"P5", b"P6"):
+        raise ValueError("not a binary PGM/PPM file")
+    channels = 1 if data[:2] == b"P5" else 3
+    # Header: magic, width, height, maxval, then a single whitespace
+    # byte, then the raster.  Comments (#...) are permitted.
+    pos = 2
+    fields: list[int] = []
+    while len(fields) < 3:
+        while pos < len(data) and data[pos : pos + 1].isspace():
+            pos += 1
+        if data[pos : pos + 1] == b"#":
+            while pos < len(data) and data[pos] != 0x0A:
+                pos += 1
+            continue
+        start = pos
+        while pos < len(data) and not data[pos : pos + 1].isspace():
+            pos += 1
+        fields.append(int(data[start:pos]))
+    pos += 1  # the single whitespace after maxval
+    w, h, maxval = fields
+    if maxval != 255:
+        raise ValueError("only 8-bit PNM supported")
+    raster = np.frombuffer(data, dtype=np.uint8, count=h * w * channels, offset=pos)
+    img = raster.reshape(h, w, channels).copy()
+    return img[:, :, 0] if channels == 1 else img

@@ -1,0 +1,12 @@
+"""IBP-style byte-array depot: the paper's section-4.2 integration target."""
+
+from .service import DepotClient, depot_registry
+from .storage import Allocation, ByteArrayDepot, DepotError
+
+__all__ = [
+    "ByteArrayDepot",
+    "Allocation",
+    "DepotError",
+    "depot_registry",
+    "DepotClient",
+]

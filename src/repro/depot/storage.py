@@ -1,0 +1,143 @@
+"""In-memory byte-array depot — the IBP storage engine.
+
+The paper validates AdOC's thread safety inside the Internet Backplane
+Protocol (section 4.2: *"We have incorporated AdOC into the Internet
+Backplane Protocol (IBP) that use multiple threads to store or retrieve
+data from data handlers. It works without error."*).  This package
+rebuilds that integration target: a depot allocates fixed-capacity byte
+arrays and hands out *capabilities* — unforgeable tokens separating the
+right to write from the right to read, as IBP does.
+
+This module is the storage engine only (no I/O): thread-safe
+allocation, capability checking, bounded-capacity accounting.  The wire
+side lives in :mod:`repro.depot.service`.
+"""
+
+from __future__ import annotations
+
+import secrets
+import threading
+from dataclasses import dataclass, field
+
+__all__ = ["Allocation", "DepotError", "ByteArrayDepot"]
+
+
+class DepotError(Exception):
+    """Invalid capability, exhausted capacity, or bad byte range."""
+
+
+@dataclass
+class Allocation:
+    """One allocated byte array and its capabilities."""
+
+    handle: str
+    capacity: int
+    read_cap: str
+    write_cap: str
+    data: bytearray = field(repr=False, default_factory=bytearray)
+    length: int = 0  # bytes stored so far
+
+
+class ByteArrayDepot:
+    """Thread-safe capability-checked byte-array store."""
+
+    def __init__(self, total_capacity: int = 256 * 1024 * 1024) -> None:
+        if total_capacity <= 0:
+            raise ValueError("depot capacity must be positive")
+        self.total_capacity = total_capacity
+        self._used = 0
+        self._allocations: dict[str, Allocation] = {}
+        self._by_read_cap: dict[str, Allocation] = {}
+        self._by_write_cap: dict[str, Allocation] = {}
+        self._lock = threading.Lock()
+
+    # -- management ------------------------------------------------------
+
+    def allocate(self, capacity: int) -> Allocation:
+        """Reserve ``capacity`` bytes; returns the allocation record
+        (including both capabilities).  Raises when the depot is full."""
+        if capacity <= 0:
+            raise DepotError("allocation capacity must be positive")
+        with self._lock:
+            if self._used + capacity > self.total_capacity:
+                raise DepotError(
+                    f"depot full: {self._used}/{self.total_capacity} used, "
+                    f"{capacity} requested"
+                )
+            alloc = Allocation(
+                handle=secrets.token_hex(8),
+                capacity=capacity,
+                read_cap="R-" + secrets.token_hex(12),
+                write_cap="W-" + secrets.token_hex(12),
+                data=bytearray(capacity),
+            )
+            self._allocations[alloc.handle] = alloc
+            self._by_read_cap[alloc.read_cap] = alloc
+            self._by_write_cap[alloc.write_cap] = alloc
+            self._used += capacity
+            return alloc
+
+    def free(self, write_cap: str) -> None:
+        """Release an allocation (requires the write capability)."""
+        with self._lock:
+            alloc = self._by_write_cap.pop(write_cap, None)
+            if alloc is None:
+                raise DepotError("unknown write capability")
+            del self._allocations[alloc.handle]
+            del self._by_read_cap[alloc.read_cap]
+            self._used -= alloc.capacity
+
+    def probe(self, cap: str) -> tuple[int, int]:
+        """``(stored_length, capacity)`` for either capability."""
+        with self._lock:
+            alloc = self._by_read_cap.get(cap) or self._by_write_cap.get(cap)
+            if alloc is None:
+                raise DepotError("unknown capability")
+            return alloc.length, alloc.capacity
+
+    @property
+    def used_bytes(self) -> int:
+        with self._lock:
+            return self._used
+
+    @property
+    def allocation_count(self) -> int:
+        with self._lock:
+            return len(self._allocations)
+
+    # -- data path ---------------------------------------------------------
+
+    def store(self, write_cap: str, data: bytes, offset: int = 0) -> int:
+        """Write ``data`` at ``offset``; returns the new stored length.
+
+        Writes must stay within the allocated capacity (IBP byte arrays
+        are fixed-size).
+        """
+        with self._lock:
+            alloc = self._by_write_cap.get(write_cap)
+            if alloc is None:
+                raise DepotError("unknown write capability")
+            if offset < 0 or offset + len(data) > alloc.capacity:
+                raise DepotError(
+                    f"write [{offset}, {offset + len(data)}) exceeds "
+                    f"capacity {alloc.capacity}"
+                )
+            alloc.data[offset : offset + len(data)] = data
+            alloc.length = max(alloc.length, offset + len(data))
+            return alloc.length
+
+    def load(self, read_cap: str, offset: int = 0, length: int | None = None) -> bytes:
+        """Read ``length`` bytes from ``offset`` (default: to the end of
+        the stored region)."""
+        with self._lock:
+            alloc = self._by_read_cap.get(read_cap)
+            if alloc is None:
+                raise DepotError("unknown read capability")
+            if length is None:
+                length = alloc.length - offset
+            if offset < 0 or length < 0 or offset + length > alloc.length:
+                raise DepotError(
+                    f"read [{offset}, {offset + length}) exceeds stored "
+                    f"length {alloc.length}"
+                )
+            return bytes(alloc.data[offset : offset + length])

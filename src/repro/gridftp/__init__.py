@@ -1,0 +1,21 @@
+"""Mini-gridFTP: the paper's next integration target, built.
+
+A file service with an RFC-959-flavoured control channel and striped
+data channels whose compression option is AdOC (``MODE ADOC``).
+"""
+
+from .client import FileClient, GridFtpError, TransferReport
+from .protocol import Reply
+from .server import ChannelBroker, FileServer
+from .transfer import receive_data, send_data
+
+__all__ = [
+    "FileServer",
+    "FileClient",
+    "ChannelBroker",
+    "TransferReport",
+    "GridFtpError",
+    "Reply",
+    "send_data",
+    "receive_data",
+]

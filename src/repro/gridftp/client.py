@@ -1,0 +1,133 @@
+"""The mini-gridFTP client.
+
+Speaks the text control protocol, redeems data-channel tokens from the
+server's broker, and runs the striped data transfers.  Selecting
+``MODE ADOC`` turns on the paper's compression option for all
+subsequent transfers on the session.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.config import AdocConfig, DEFAULT_CONFIG
+from ..transport.base import Endpoint, sendall
+from .protocol import ProtocolViolation, Reply, parse_reply, read_line
+from .server import FileServer
+from .transfer import DEFAULT_CHUNK, receive_data, send_data
+
+__all__ = ["FileClient", "TransferReport", "GridFtpError"]
+
+
+class GridFtpError(Exception):
+    """Server refused a command or a transfer failed."""
+
+
+@dataclass(frozen=True)
+class TransferReport:
+    """Accounting for one STOR/RETR."""
+
+    name: str
+    payload_bytes: int
+    wire_bytes: int
+    stripes: int
+    mode: str
+
+    @property
+    def compression_ratio(self) -> float:
+        return self.payload_bytes / self.wire_bytes if self.wire_bytes else 1.0
+
+
+class FileClient:
+    """A control-channel session against one :class:`FileServer`."""
+
+    def __init__(
+        self, server: FileServer, config: AdocConfig = DEFAULT_CONFIG
+    ) -> None:
+        self.server = server
+        self.config = config
+        self.mode = "PLAIN"
+        self.stripes = 1
+        self.control: Endpoint = server.connect()
+        greeting = self._read_reply()
+        if greeting.code != 220:
+            raise GridFtpError(f"unexpected greeting: {greeting}")
+
+    # -- session configuration ------------------------------------------------
+
+    def set_mode(self, mode: str) -> None:
+        """``PLAIN`` or ``ADOC`` — the compression option."""
+        reply = self._command(f"MODE {mode}")
+        self.mode = mode.upper()
+        assert reply.ok
+
+    def set_stripes(self, n: int) -> None:
+        reply = self._command(f"STRIPES {n}")
+        self.stripes = n
+        assert reply.ok
+
+    # -- file operations --------------------------------------------------------
+
+    def list_files(self) -> dict[str, int]:
+        reply = self._command("LIST")
+        if reply.text == "(empty)":
+            return {}
+        out: dict[str, int] = {}
+        for item in reply.text.split(","):
+            name, _, size = item.rpartition(":")
+            out[name] = int(size)
+        return out
+
+    def size(self, name: str) -> int:
+        return int(self._command(f"SIZE {name}").text)
+
+    def store(self, name: str, data: bytes) -> TransferReport:
+        """Upload ``data`` as ``name``."""
+        reply = self._command(f"STOR {name} {len(data)}")
+        tokens = reply.text.split()
+        channels = [self.server.broker.redeem(t) for t in tokens]
+        wire = send_data(channels, data, self.mode, self.server.chunk_size, self.config)
+        done = self._read_reply()
+        if done.code != 226:
+            raise GridFtpError(f"store failed: {done}")
+        return TransferReport(name, len(data), wire, len(channels), self.mode)
+
+    def retrieve(self, name: str) -> bytes:
+        """Download ``name``."""
+        reply = self._command(f"RETR {name}")
+        size_str, *tokens = reply.text.split()
+        total = int(size_str)
+        channels = [self.server.broker.redeem(t) for t in tokens]
+        data = receive_data(
+            channels, total, self.mode, self.server.chunk_size, self.config
+        )
+        done = self._read_reply()
+        if done.code != 226:
+            raise GridFtpError(f"retrieve failed: {done}")
+        return data
+
+    def quit(self) -> None:
+        try:
+            self._command("QUIT", expect=221)
+        finally:
+            self.control.close()
+
+    # -- control-channel plumbing -------------------------------------------------
+
+    def _command(self, line: str, expect: int | None = None) -> Reply:
+        sendall(self.control, (line + "\r\n").encode("utf-8"))
+        reply = self._read_reply()
+        if expect is not None and reply.code != expect:
+            raise GridFtpError(f"{line!r} -> {reply}")
+        if not reply.ok and expect is None:
+            raise GridFtpError(f"{line!r} -> {reply}")
+        return reply
+
+    def _read_reply(self) -> Reply:
+        line = read_line(self.control)
+        if not line:
+            raise GridFtpError("control connection closed")
+        try:
+            return parse_reply(line)
+        except ProtocolViolation as exc:
+            raise GridFtpError(str(exc)) from exc

@@ -1,0 +1,82 @@
+"""Control-channel protocol for the mini-gridFTP service.
+
+The paper's conclusion targets gridFTP next, noting that "(as in FTP) a
+compression option is available".  This package builds that
+integration: an FTP-shaped file service with a *text control channel*
+(commands and numeric replies, RFC-959 style) and separate *data
+channels* — each data channel optionally wrapped in AdOC, which is the
+compression-option story.
+
+The control protocol is deliberately small:
+
+    MODE PLAIN|ADOC          choose the data-channel wrapping
+    STRIPES n                number of parallel data channels (1..16)
+    LIST                     name/size listing
+    SIZE name                file size
+    STOR name size           upload: server replies with channel tokens
+    RETR name                download: ditto
+    QUIT
+
+Replies: ``2xx`` success, ``4xx``/``5xx`` errors, one line, terminated
+by ``\\r\\n``.  For STOR/RETR the reply carries the data-channel tokens
+the client must present when opening the channels (standing in for
+PASV's host/port, since our transports are in-process endpoints).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Reply", "parse_command", "format_reply", "parse_reply", "ProtocolViolation"]
+
+
+class ProtocolViolation(Exception):
+    """Malformed control-channel traffic."""
+
+
+@dataclass(frozen=True)
+class Reply:
+    code: int
+    text: str
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.code < 300
+
+
+def parse_command(line: str) -> tuple[str, list[str]]:
+    """Split a control line into (VERB, args)."""
+    line = line.strip()
+    if not line:
+        raise ProtocolViolation("empty command")
+    parts = line.split()
+    return parts[0].upper(), parts[1:]
+
+
+def format_reply(code: int, text: str) -> bytes:
+    if not 100 <= code <= 599:
+        raise ValueError("reply codes are 3-digit")
+    if "\r" in text or "\n" in text:
+        raise ValueError("reply text must be one line")
+    return f"{code} {text}\r\n".encode("utf-8")
+
+
+def parse_reply(line: bytes) -> Reply:
+    text = line.decode("utf-8").rstrip("\r\n")
+    if len(text) < 4 or not text[:3].isdigit() or text[3] != " ":
+        raise ProtocolViolation(f"malformed reply {text!r}")
+    return Reply(int(text[:3]), text[4:])
+
+
+def read_line(endpoint, max_len: int = 4096) -> bytes:
+    """Read one CRLF-terminated line from an endpoint (byte at a time is
+    fine: control-channel traffic is tiny)."""
+    buf = bytearray()
+    while len(buf) < max_len:
+        ch = endpoint.recv(1)
+        if not ch:
+            return bytes(buf)
+        buf += ch
+        if buf.endswith(b"\r\n"):
+            return bytes(buf)
+    raise ProtocolViolation("control line too long")

@@ -1,0 +1,191 @@
+"""The mini-gridFTP file server.
+
+One :class:`FileServer` holds an in-memory file store and serves any
+number of control connections, each on its own thread.  Data channels
+are brokered by token: STOR/RETR replies carry channel tokens; the
+client redeems each token for its end of a freshly created endpoint
+pair (standing in for PASV's host/port in our in-process world).
+
+The compression option (paper's conclusion: "as in FTP a compression
+option is available") is the session's MODE: data channels are wrapped
+in AdOC when the session selects ``MODE ADOC``.
+"""
+
+from __future__ import annotations
+
+import secrets
+import threading
+from typing import Callable
+
+from ..core.config import AdocConfig, DEFAULT_CONFIG
+from ..transport.base import Endpoint, TransportClosed, sendall
+from .protocol import ProtocolViolation, format_reply, parse_command, read_line
+from .transfer import DEFAULT_CHUNK, receive_data, send_data
+
+__all__ = ["FileServer", "ChannelBroker"]
+
+TransportFactory = Callable[[], tuple[Endpoint, Endpoint]]
+
+MAX_STRIPES = 16
+
+
+class ChannelBroker:
+    """Token -> endpoint rendezvous between server and client."""
+
+    def __init__(self) -> None:
+        self._pending: dict[str, Endpoint] = {}
+        self._lock = threading.Lock()
+
+    def offer(self, endpoint: Endpoint) -> str:
+        token = secrets.token_hex(8)
+        with self._lock:
+            self._pending[token] = endpoint
+        return token
+
+    def redeem(self, token: str) -> Endpoint:
+        with self._lock:
+            ep = self._pending.pop(token, None)
+        if ep is None:
+            raise KeyError(f"unknown or already-redeemed channel token {token!r}")
+        return ep
+
+
+class FileServer:
+    """In-memory gridFTP-lite server with AdOC-optional data channels."""
+
+    def __init__(
+        self,
+        transport_factory: TransportFactory,
+        config: AdocConfig = DEFAULT_CONFIG,
+        chunk_size: int = DEFAULT_CHUNK,
+    ) -> None:
+        self.transport_factory = transport_factory
+        self.config = config
+        self.chunk_size = chunk_size
+        self.broker = ChannelBroker()
+        self.files: dict[str, bytes] = {}
+        self._files_lock = threading.Lock()
+        self.transfers = 0  # diagnostic counter
+
+    # -- connection management ------------------------------------------------
+
+    def connect(self) -> Endpoint:
+        """Open a control connection; returns the client's end."""
+        client_end, server_end = self.transport_factory()
+        threading.Thread(
+            target=self._control_loop, args=(server_end,), daemon=True
+        ).start()
+        return client_end
+
+    # -- file store -------------------------------------------------------------
+
+    def put_file(self, name: str, data: bytes) -> None:
+        with self._files_lock:
+            self.files[name] = data
+
+    def get_file(self, name: str) -> bytes:
+        with self._files_lock:
+            return self.files[name]
+
+    # -- control loop -----------------------------------------------------------
+
+    def _control_loop(self, control: Endpoint) -> None:
+        mode = "PLAIN"
+        stripes = 1
+        try:
+            sendall(control, format_reply(220, "gridftp-lite ready"))
+            while True:
+                line = read_line(control)
+                if not line:
+                    return
+                try:
+                    verb, args = parse_command(line.decode("utf-8"))
+                except (ProtocolViolation, UnicodeDecodeError):
+                    sendall(control, format_reply(500, "malformed command"))
+                    continue
+
+                if verb == "QUIT":
+                    sendall(control, format_reply(221, "bye"))
+                    return
+                if verb == "MODE":
+                    if len(args) == 1 and args[0].upper() in ("PLAIN", "ADOC"):
+                        mode = args[0].upper()
+                        sendall(control, format_reply(200, f"mode {mode}"))
+                    else:
+                        sendall(control, format_reply(501, "MODE PLAIN|ADOC"))
+                elif verb == "STRIPES":
+                    if len(args) == 1 and args[0].isdigit() and 1 <= int(args[0]) <= MAX_STRIPES:
+                        stripes = int(args[0])
+                        sendall(control, format_reply(200, f"stripes {stripes}"))
+                    else:
+                        sendall(control, format_reply(501, f"STRIPES 1..{MAX_STRIPES}"))
+                elif verb == "LIST":
+                    with self._files_lock:
+                        listing = ",".join(
+                            f"{name}:{len(data)}" for name, data in sorted(self.files.items())
+                        )
+                    sendall(control, format_reply(200, listing or "(empty)"))
+                elif verb == "SIZE":
+                    if len(args) != 1:
+                        sendall(control, format_reply(501, "SIZE name"))
+                        continue
+                    with self._files_lock:
+                        data = self.files.get(args[0])
+                    if data is None:
+                        sendall(control, format_reply(550, "no such file"))
+                    else:
+                        sendall(control, format_reply(213, str(len(data))))
+                elif verb == "STOR":
+                    self._handle_stor(control, args, mode, stripes)
+                elif verb == "RETR":
+                    self._handle_retr(control, args, mode, stripes)
+                else:
+                    sendall(control, format_reply(502, f"unknown command {verb}"))
+        except (TransportClosed, ProtocolViolation):
+            pass
+        finally:
+            control.close()
+
+    def _open_channels(self, n: int) -> tuple[list[str], list[Endpoint]]:
+        tokens: list[str] = []
+        server_ends: list[Endpoint] = []
+        for _ in range(n):
+            client_end, server_end = self.transport_factory()
+            tokens.append(self.broker.offer(client_end))
+            server_ends.append(server_end)
+        return tokens, server_ends
+
+    def _handle_stor(self, control, args, mode: str, stripes: int) -> None:
+        if len(args) != 2 or not args[1].isdigit():
+            sendall(control, format_reply(501, "STOR name size"))
+            return
+        name, size = args[0], int(args[1])
+        tokens, server_ends = self._open_channels(stripes)
+        sendall(control, format_reply(225, " ".join(tokens)))
+        try:
+            data = receive_data(server_ends, size, mode, self.chunk_size, self.config)
+        except Exception as exc:  # noqa: BLE001 - reported on control channel
+            sendall(control, format_reply(451, f"transfer failed: {exc}"))
+            return
+        self.put_file(name, data)
+        self.transfers += 1
+        sendall(control, format_reply(226, f"stored {name} ({size} bytes)"))
+
+    def _handle_retr(self, control, args, mode: str, stripes: int) -> None:
+        if len(args) != 1:
+            sendall(control, format_reply(501, "RETR name"))
+            return
+        with self._files_lock:
+            data = self.files.get(args[0])
+        if data is None:
+            sendall(control, format_reply(550, "no such file"))
+            return
+        tokens, server_ends = self._open_channels(stripes)
+        sendall(control, format_reply(225, f"{len(data)} " + " ".join(tokens)))
+        try:
+            send_data(server_ends, data, mode, self.chunk_size, self.config)
+        except Exception as exc:  # noqa: BLE001
+            sendall(control, format_reply(451, f"transfer failed: {exc}"))
+            return
+        self.transfers += 1
+        sendall(control, format_reply(226, f"sent {args[0]}"))

@@ -1,0 +1,136 @@
+"""Striped data-channel transfers for the mini-gridFTP service.
+
+Unlike :mod:`repro.mover.striped` (self-describing, AdOC-only), these
+transfers are parameterised out-of-band: the control channel has
+already agreed on total size, chunk size, stripe count and mode, so the
+data channels carry nothing but payload.  ``mode`` selects the paper's
+compression option: ``"ADOC"`` wraps every channel in an
+:class:`~repro.core.api.AdocSocket` (adaptive online compression),
+``"PLAIN"`` sends raw bytes — the unmodified-FTP baseline.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..core.api import AdocSocket
+from ..core.config import AdocConfig, DEFAULT_CONFIG
+from ..transport.base import Endpoint, recv_exact, sendall
+
+__all__ = ["send_data", "receive_data", "DEFAULT_CHUNK"]
+
+DEFAULT_CHUNK = 256 * 1024
+
+
+def _chunk_indices(total: int, chunk: int, stripe: int, n: int):
+    """Chunk numbers owned by ``stripe`` out of ``n`` (round robin)."""
+    n_chunks = (total + chunk - 1) // chunk
+    return range(stripe, n_chunks, n)
+
+
+def send_data(
+    endpoints: list[Endpoint],
+    data: bytes,
+    mode: str,
+    chunk_size: int = DEFAULT_CHUNK,
+    config: AdocConfig = DEFAULT_CONFIG,
+) -> int:
+    """Send ``data`` across the channels; returns wire bytes (ADOC mode)
+    or payload bytes (PLAIN — raw bytes are their own wire size)."""
+    n = len(endpoints)
+    if n == 0:
+        raise ValueError("need at least one data channel")
+    wire_totals = [0] * n
+    errors: list[BaseException] = []
+
+    if mode == "ADOC":
+        sockets = [AdocSocket(ep, config) for ep in endpoints]
+
+        def worker(i: int) -> None:
+            try:
+                for k in _chunk_indices(len(data), chunk_size, i, n):
+                    _, slen = sockets[i].write(data[k * chunk_size : (k + 1) * chunk_size])
+                    wire_totals[i] += slen
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+    elif mode == "PLAIN":
+
+        def worker(i: int) -> None:
+            try:
+                for k in _chunk_indices(len(data), chunk_size, i, n):
+                    chunk = data[k * chunk_size : (k + 1) * chunk_size]
+                    sendall(endpoints[i], chunk)
+                    wire_totals[i] += len(chunk)
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+    else:
+        raise ValueError(f"unknown data mode {mode!r}")
+
+    threads = [threading.Thread(target=worker, args=(i,), daemon=True) for i in range(n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if mode == "ADOC":
+        for s in sockets:
+            s.close()
+    if errors:
+        raise errors[0]
+    return sum(wire_totals)
+
+
+def receive_data(
+    endpoints: list[Endpoint],
+    total: int,
+    mode: str,
+    chunk_size: int = DEFAULT_CHUNK,
+    config: AdocConfig = DEFAULT_CONFIG,
+) -> bytes:
+    """Receive a transfer parameterised by the control channel."""
+    n = len(endpoints)
+    if n == 0:
+        raise ValueError("need at least one data channel")
+    n_chunks = (total + chunk_size - 1) // chunk_size
+    parts: list[bytes | None] = [None] * n_chunks
+    errors: list[BaseException] = []
+
+    if mode == "ADOC":
+        sockets = [AdocSocket(ep, config) for ep in endpoints]
+
+        def worker(i: int) -> None:
+            try:
+                for k in _chunk_indices(total, chunk_size, i, n):
+                    length = min(chunk_size, total - k * chunk_size)
+                    parts[k] = sockets[i].read_exact(length)
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+    elif mode == "PLAIN":
+
+        def worker(i: int) -> None:
+            try:
+                for k in _chunk_indices(total, chunk_size, i, n):
+                    length = min(chunk_size, total - k * chunk_size)
+                    parts[k] = recv_exact(endpoints[i], length)
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+    else:
+        raise ValueError(f"unknown data mode {mode!r}")
+
+    threads = [threading.Thread(target=worker, args=(i,), daemon=True) for i in range(n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if mode == "ADOC":
+        for s in sockets:
+            s.close()
+    if errors:
+        raise errors[0]
+    out = b"".join(p for p in parts if p is not None)
+    if len(out) != total:
+        raise ValueError(f"received {len(out)} of {total} bytes")
+    return out

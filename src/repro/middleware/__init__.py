@@ -1,0 +1,32 @@
+"""Mini-NetSolve: a GridRPC middleware with a pluggable communicator.
+
+Reproduces the paper's section 6.2 integration: the only difference
+between "NetSolve" and "NetSolve + AdOC" is whether connections are
+wrapped in :class:`PlainCommunicator` or :class:`AdocCommunicator`.
+"""
+
+from .agent import Agent, Registration
+from .client import CallResult, Client
+from .communicator import AdocCommunicator, Communicator, PlainCommunicator
+from .protocol import MsgType, RpcError, RpcMessage, read_message, write_message
+from .server import Server, ServerStats
+from .services import ServiceRegistry, default_registry
+
+__all__ = [
+    "Agent",
+    "Registration",
+    "Client",
+    "CallResult",
+    "Server",
+    "ServerStats",
+    "Communicator",
+    "PlainCommunicator",
+    "AdocCommunicator",
+    "ServiceRegistry",
+    "default_registry",
+    "RpcMessage",
+    "RpcError",
+    "MsgType",
+    "read_message",
+    "write_message",
+]

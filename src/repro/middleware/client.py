@@ -1,0 +1,118 @@
+"""The GridRPC client.
+
+``Client.call("dgemm", A, B)`` asks the agent for a server, opens the
+data connection, marshals the request through the configured
+communicator, and blocks for the result — a normal RPC, as the paper
+describes.  Matrices are accepted/returned as numpy arrays; raw-bytes
+calls are available via :meth:`Client.call_raw` for non-matrix services.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+from threading import Thread
+
+import numpy as np
+
+from ..data.matrices import decode_matrix_ascii, encode_matrix_ascii
+from .agent import Agent
+from .communicator import Communicator, PlainCommunicator
+from .protocol import MsgType, RpcError, RpcMessage, read_message, write_message
+
+__all__ = ["Client", "CallResult"]
+
+
+@dataclass
+class CallResult:
+    """A completed RPC with its transfer accounting."""
+
+    results: list[bytes]
+    elapsed_s: float
+    request_wire_bytes: int
+    request_payload_bytes: int
+
+    @property
+    def compression_ratio(self) -> float:
+        """Achieved request-path ratio (1.0 for the plain communicator)."""
+        if self.request_wire_bytes == 0:
+            return 1.0
+        return self.request_payload_bytes / self.request_wire_bytes
+
+
+class Client:
+    """A NetSolve-style client bound to one agent.
+
+    ``communicator_factory`` mirrors the server-side choice: pass
+    :class:`~repro.middleware.communicator.AdocCommunicator` for the
+    AdOC-enabled middleware.  Both sides must agree (the wire format
+    differs), exactly as the paper rebuilt client and server together.
+    """
+
+    def __init__(
+        self,
+        agent: Agent,
+        communicator_factory=PlainCommunicator,
+        clock=time.monotonic,
+    ) -> None:
+        self.agent = agent
+        self.communicator_factory = communicator_factory
+        self.clock = clock
+
+    def call_raw(self, service: str, args: list[bytes]) -> CallResult:
+        """One RPC with pre-marshalled argument payloads."""
+        start = self.clock()
+        endpoint = self.agent.connect(service)
+        comm: Communicator = self.communicator_factory(endpoint)
+        try:
+            payload = sum(len(a) for a in args)
+            write_message(comm, RpcMessage(MsgType.REQUEST, service, args))
+            wire = comm.bytes_written
+            reply = read_message(comm)
+            if reply is None:
+                raise RpcError("connection closed before a response arrived")
+            if reply.type == MsgType.ERROR or reply.status != 0:
+                detail = reply.args[0].decode("utf-8") if reply.args else "unknown"
+                raise RpcError(f"remote {service!r} failed: {detail}")
+            return CallResult(reply.args, self.clock() - start, wire, payload)
+        finally:
+            comm.close()
+
+    def call(self, service: str, *matrices: np.ndarray) -> np.ndarray:
+        """One RPC over numpy matrices; returns the (single) result."""
+        args = [encode_matrix_ascii(m) for m in matrices]
+        result = self.call_raw(service, args)
+        if len(result.results) != 1:
+            raise RpcError(
+                f"{service!r} returned {len(result.results)} payloads, expected 1"
+            )
+        return decode_matrix_ascii(result.results[0])
+
+    def call_timed(self, service: str, *matrices: np.ndarray) -> tuple[np.ndarray, CallResult]:
+        """Like :meth:`call` but also returns the timing/accounting."""
+        args = [encode_matrix_ascii(m) for m in matrices]
+        result = self.call_raw(service, args)
+        if len(result.results) != 1:
+            raise RpcError(
+                f"{service!r} returned {len(result.results)} payloads, expected 1"
+            )
+        return decode_matrix_ascii(result.results[0]), result
+
+    def call_async(self, service: str, *matrices: np.ndarray) -> "Future[np.ndarray]":
+        """Non-blocking request (NetSolve's ``netsolve_nb``).
+
+        Returns a future resolving to the result matrix; several
+        outstanding requests fan out across the agent's servers (each
+        call opens its own data connection, so they genuinely overlap).
+        """
+        future: Future[np.ndarray] = Future()
+
+        def run() -> None:
+            try:
+                future.set_result(self.call(service, *matrices))
+            except BaseException as exc:  # noqa: BLE001 - delivered via future
+                future.set_exception(exc)
+
+        Thread(target=run, daemon=True).start()
+        return future

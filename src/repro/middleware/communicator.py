@@ -1,0 +1,95 @@
+"""The communicator: the one seam where AdOC plugs into the middleware.
+
+The paper's NetSolve integration changed ``communicator.c`` only —
+every ``read`` became ``adoc_read``, every ``write`` became
+``adoc_write`` (section 6.2).  This module is that file's equivalent:
+
+* :class:`PlainCommunicator` — POSIX-style blocking read/write straight
+  on the endpoint (the unmodified NetSolve);
+* :class:`AdocCommunicator` — the same surface over the AdOC library
+  (the AdOC-enabled NetSolve).
+
+Everything above (protocol marshalling, agent, server, client) is
+identical for both; construct a :class:`repro.middleware.client.Client`
+or :class:`repro.middleware.server.Server` with one or the other.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from ..core.api import AdocSocket
+from ..core.config import AdocConfig, DEFAULT_CONFIG
+from ..transport.base import Endpoint, sendall
+
+__all__ = ["Communicator", "PlainCommunicator", "AdocCommunicator"]
+
+
+class Communicator(abc.ABC):
+    """Blocking byte I/O surface the RPC layer marshals through."""
+
+    @abc.abstractmethod
+    def write(self, data: bytes) -> None:
+        """Write all of ``data``."""
+
+    @abc.abstractmethod
+    def read(self, n: int) -> bytes:
+        """Read up to ``n`` bytes; ``b""`` at EOF."""
+
+    def read_exact(self, n: int) -> bytes:
+        """Read exactly ``n`` bytes, or fewer only at EOF."""
+        parts: list[bytes] = []
+        got = 0
+        while got < n:
+            chunk = self.read(n - got)
+            if not chunk:
+                break
+            parts.append(chunk)
+            got += len(chunk)
+        return b"".join(parts)
+
+    @abc.abstractmethod
+    def close(self) -> None:
+        """Release the underlying endpoint."""
+
+    #: Wire bytes written so far (for the experiment reports).
+    bytes_written: int = 0
+
+
+class PlainCommunicator(Communicator):
+    """Unmodified NetSolve: plain read/write on the socket."""
+
+    def __init__(self, endpoint: Endpoint) -> None:
+        self.endpoint = endpoint
+        self.bytes_written = 0
+
+    def write(self, data: bytes) -> None:
+        sendall(self.endpoint, data)
+        self.bytes_written += len(data)
+
+    def read(self, n: int) -> bytes:
+        return self.endpoint.recv(n)
+
+    def close(self) -> None:
+        self.endpoint.close()
+
+
+class AdocCommunicator(Communicator):
+    """AdOC-enabled NetSolve: read/write replaced by adoc_read/adoc_write."""
+
+    def __init__(self, endpoint: Endpoint, config: AdocConfig = DEFAULT_CONFIG) -> None:
+        self.socket = AdocSocket(endpoint, config)
+        self.bytes_written = 0
+
+    def write(self, data: bytes) -> None:
+        _, wire = self.socket.write(data)
+        self.bytes_written += wire
+
+    def read(self, n: int) -> bytes:
+        return self.socket.read(n)
+
+    def close(self) -> None:
+        try:
+            self.socket.close()
+        except ValueError:
+            pass  # descriptor already closed

@@ -1,0 +1,101 @@
+"""GridRPC wire protocol for the mini-NetSolve middleware.
+
+NetSolve (Casanova & Dongarra, 1996) is a GridRPC system: clients ask an
+agent for a server, then run a remote procedure call against it.  The
+paper integrates AdOC by editing exactly one file — ``communicator.c``
+— replacing ``read``/``write`` with ``adoc_read``/``adoc_write``.  To
+reproduce that story, all marshalling here is written against the same
+two-operation surface (:class:`repro.middleware.communicator.Communicator`),
+so swapping plain I/O for AdOC is a one-line choice.
+
+Message layout (big-endian)::
+
+    magic   2   b"NS"
+    type    1   REQUEST / RESPONSE / ERROR
+    status  1   0 = OK (meaningful for responses)
+    name    2+n service name length + UTF-8 bytes
+    nargs   2   number of payload arguments
+    per argument:
+      length 8
+      bytes
+
+Each argument is written with its own ``write`` call, which is what
+lets AdOC compress large matrix payloads independently while tiny
+headers take the small-message fast path — the same traffic pattern the
+modified NetSolve produces.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+__all__ = ["MsgType", "RpcMessage", "write_message", "read_message", "RpcError"]
+
+_MAGIC = b"NS"
+_HDR = struct.Struct(">2sBB")
+_U16 = struct.Struct(">H")
+_U64 = struct.Struct(">Q")
+
+
+class MsgType:
+    REQUEST = 1
+    RESPONSE = 2
+    ERROR = 3
+
+
+class RpcError(Exception):
+    """Remote error or malformed RPC traffic."""
+
+
+@dataclass
+class RpcMessage:
+    """One request or response travelling over a communicator."""
+
+    type: int
+    name: str
+    args: list[bytes] = field(default_factory=list)
+    status: int = 0
+
+
+def write_message(comm, msg: RpcMessage) -> int:
+    """Marshal ``msg`` through ``comm``; returns payload bytes written.
+
+    The header and each argument go through separate ``write`` calls
+    (see module docstring).
+    """
+    name_b = msg.name.encode("utf-8")
+    header = (
+        _HDR.pack(_MAGIC, msg.type, msg.status)
+        + _U16.pack(len(name_b))
+        + name_b
+        + _U16.pack(len(msg.args))
+    )
+    comm.write(header)
+    total = len(header)
+    for arg in msg.args:
+        comm.write(_U64.pack(len(arg)))
+        if arg:
+            comm.write(arg)
+        total += 8 + len(arg)
+    return total
+
+
+def read_message(comm) -> RpcMessage | None:
+    """Read one message; ``None`` on clean EOF before a header."""
+    first = comm.read_exact(_HDR.size)
+    if not first:
+        return None
+    if len(first) < _HDR.size:
+        raise RpcError("truncated RPC header")
+    magic, mtype, status = _HDR.unpack(first)
+    if magic != _MAGIC:
+        raise RpcError(f"bad RPC magic {magic!r}")
+    (name_len,) = _U16.unpack(comm.read_exact(_U16.size))
+    name = comm.read_exact(name_len).decode("utf-8")
+    (nargs,) = _U16.unpack(comm.read_exact(_U16.size))
+    args: list[bytes] = []
+    for _ in range(nargs):
+        (alen,) = _U64.unpack(comm.read_exact(_U64.size))
+        args.append(comm.read_exact(alen) if alen else b"")
+    return RpcMessage(mtype, name, args, status)

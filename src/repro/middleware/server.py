@@ -1,0 +1,129 @@
+"""The computational server: hosts services, answers GridRPC requests.
+
+A :class:`Server` owns a service registry and serves any number of
+connections, each on its own thread (NetSolve forks per request; threads
+are the Python equivalent).  The communicator class is pluggable — this
+is where "NetSolve" differs from "NetSolve + AdOC" and nowhere else.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from dataclasses import dataclass, field
+
+from ..transport.base import Endpoint, TransportClosed
+from .communicator import Communicator, PlainCommunicator
+from .protocol import MsgType, RpcError, RpcMessage, read_message, write_message
+from .services import ServiceRegistry, default_registry
+
+__all__ = ["Server", "ServerStats"]
+
+
+@dataclass
+class ServerStats:
+    """Served-request accounting (read by the agent's load balancing)."""
+
+    requests: int = 0
+    errors: int = 0
+    busy: int = 0
+    lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def begin(self) -> None:
+        with self.lock:
+            self.requests += 1
+            self.busy += 1
+
+    def end(self, failed: bool = False) -> None:
+        with self.lock:
+            self.busy -= 1
+            if failed:
+                self.errors += 1
+
+
+class Server:
+    """One computational host.
+
+    ``communicator_factory`` wraps each accepted endpoint; pass
+    :class:`~repro.middleware.communicator.AdocCommunicator` (or a
+    lambda applying a config) to build the AdOC-enabled server.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        registry: ServiceRegistry | None = None,
+        communicator_factory=PlainCommunicator,
+    ) -> None:
+        self.name = name
+        self.registry = registry or default_registry()
+        self.communicator_factory = communicator_factory
+        self.stats = ServerStats()
+        self._threads: list[threading.Thread] = []
+
+    def services(self) -> list[str]:
+        return self.registry.names()
+
+    def serve(self, endpoint: Endpoint, background: bool = True) -> threading.Thread:
+        """Serve one connection; requests are handled until EOF."""
+        thread = threading.Thread(
+            target=self._serve_loop,
+            args=(endpoint,),
+            name=f"server-{self.name}",
+            daemon=True,
+        )
+        self._threads.append(thread)
+        thread.start()
+        if not background:
+            thread.join()
+        return thread
+
+    def join(self, timeout: float | None = None) -> None:
+        for t in self._threads:
+            t.join(timeout)
+
+    # -- request loop ----------------------------------------------------------
+
+    def _serve_loop(self, endpoint: Endpoint) -> None:
+        comm: Communicator = self.communicator_factory(endpoint)
+        try:
+            while True:
+                try:
+                    msg = read_message(comm)
+                except (RpcError, TransportClosed):
+                    break
+                if msg is None:
+                    break
+                if msg.type != MsgType.REQUEST:
+                    self._reply_error(comm, msg.name, "expected a REQUEST")
+                    continue
+                self._handle(comm, msg)
+        finally:
+            comm.close()
+
+    def _handle(self, comm: Communicator, msg: RpcMessage) -> None:
+        self.stats.begin()
+        failed = False
+        try:
+            service = self.registry.lookup(msg.name)
+            results = service(msg.args)
+            write_message(
+                comm, RpcMessage(MsgType.RESPONSE, msg.name, results, status=0)
+            )
+        except Exception as exc:  # noqa: BLE001 - converted to RPC error
+            failed = True
+            detail = "".join(
+                traceback.format_exception_only(type(exc), exc)
+            ).strip()
+            self._reply_error(comm, msg.name, detail)
+        finally:
+            self.stats.end(failed)
+
+    def _reply_error(self, comm: Communicator, name: str, detail: str) -> None:
+        try:
+            write_message(
+                comm,
+                RpcMessage(MsgType.ERROR, name, [detail.encode("utf-8")], status=1),
+            )
+        except TransportClosed:
+            pass

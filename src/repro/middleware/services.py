@@ -1,0 +1,97 @@
+"""Built-in computational services (the NetSolve problem set).
+
+The paper's evaluation calls ``dgemm`` (matrix-matrix multiply).  A few
+more BLAS-flavoured services are provided so the middleware is usable
+beyond the single experiment.  Services operate on the marshalled
+payload bytes; matrices travel in the ASCII encoding of
+:mod:`repro.data.matrices` (NetSolve's portable text marshalling).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..data.matrices import decode_matrix_ascii, encode_matrix_ascii
+
+__all__ = ["ServiceRegistry", "default_registry"]
+
+Service = Callable[[list[bytes]], list[bytes]]
+
+
+class ServiceRegistry:
+    """Name -> callable registry with signature checking left to callables."""
+
+    def __init__(self) -> None:
+        self._services: dict[str, Service] = {}
+
+    def register(self, name: str, fn: Service) -> None:
+        if name in self._services:
+            raise ValueError(f"service {name!r} already registered")
+        self._services[name] = fn
+
+    def lookup(self, name: str) -> Service:
+        try:
+            return self._services[name]
+        except KeyError:
+            raise KeyError(f"no such service {name!r}") from None
+
+    def names(self) -> list[str]:
+        return sorted(self._services)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._services
+
+
+def _dgemm(args: list[bytes]) -> list[bytes]:
+    """C = A @ B (the paper's benchmark request)."""
+    if len(args) != 2:
+        raise ValueError("dgemm expects exactly two matrices")
+    a = decode_matrix_ascii(args[0])
+    b = decode_matrix_ascii(args[1])
+    return [encode_matrix_ascii(a @ b)]
+
+
+def _dgemv(args: list[bytes]) -> list[bytes]:
+    """y = A @ x with x as an (n, 1) matrix."""
+    if len(args) != 2:
+        raise ValueError("dgemv expects a matrix and a vector")
+    a = decode_matrix_ascii(args[0])
+    x = decode_matrix_ascii(args[1])
+    return [encode_matrix_ascii(a @ x)]
+
+
+def _dsum(args: list[bytes]) -> list[bytes]:
+    """Element-wise sum of any number of equally-shaped matrices."""
+    if not args:
+        raise ValueError("sum expects at least one matrix")
+    acc = decode_matrix_ascii(args[0])
+    for raw in args[1:]:
+        acc = acc + decode_matrix_ascii(raw)
+    return [encode_matrix_ascii(acc)]
+
+
+def _transpose(args: list[bytes]) -> list[bytes]:
+    if len(args) != 1:
+        raise ValueError("transpose expects one matrix")
+    return [encode_matrix_ascii(decode_matrix_ascii(args[0]).T)]
+
+
+def _norm(args: list[bytes]) -> list[bytes]:
+    """Frobenius norm, returned as a 1x1 matrix."""
+    if len(args) != 1:
+        raise ValueError("norm expects one matrix")
+    value = float(np.linalg.norm(decode_matrix_ascii(args[0])))
+    return [encode_matrix_ascii(np.array([[value]]))]
+
+
+def default_registry() -> ServiceRegistry:
+    """The stock problem set every server offers by default."""
+    reg = ServiceRegistry()
+    reg.register("dgemm", _dgemm)
+    reg.register("dgemv", _dgemv)
+    reg.register("sum", _dsum)
+    reg.register("transpose", _transpose)
+    reg.register("norm", _norm)
+    return reg

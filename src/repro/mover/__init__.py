@@ -1,0 +1,5 @@
+"""Data movers built on AdOC: striped multi-stream transfer."""
+
+from .striped import StripeStats, receive_striped, send_striped
+
+__all__ = ["send_striped", "receive_striped", "StripeStats"]

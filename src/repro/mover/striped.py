@@ -1,0 +1,145 @@
+"""Striped multi-stream transfer over AdOC connections.
+
+The paper's future work points AdOC at gridFTP, whose signature feature
+is parallel streams.  This module provides that composition: a payload
+is striped round-robin into fixed-size chunks across N independent AdOC
+connections, each running its own adaptive pipeline, and reassembled on
+the far side.
+
+Layout: chunk ``k`` (of ``chunk_size`` bytes) travels on stream
+``k mod N``; each stream sends its chunks as one AdOC message per chunk
+so the per-connection adaptation state persists across them.  Stream 0
+first carries a small control header (total size, chunk size, stream
+count) so the receiver is self-configuring.
+
+Striping composes with — it does not replace — AdOC's adaptation: each
+stream's controller sees its own share of the link and adapts
+independently, which is exactly how parallel gridFTP streams behave.
+"""
+
+from __future__ import annotations
+
+import struct
+import threading
+from dataclasses import dataclass
+
+from ..core.api import AdocSocket
+from ..core.config import AdocConfig, DEFAULT_CONFIG
+from ..transport.base import Endpoint
+
+__all__ = ["StripeStats", "send_striped", "receive_striped"]
+
+_CTRL = struct.Struct(">QIH")  # total size, chunk size, stream count
+
+
+@dataclass
+class StripeStats:
+    """Aggregate accounting for one striped transfer."""
+
+    payload_bytes: int
+    wire_bytes: int
+    streams: int
+    chunk_size: int
+
+    @property
+    def compression_ratio(self) -> float:
+        return self.payload_bytes / self.wire_bytes if self.wire_bytes else 1.0
+
+
+def send_striped(
+    endpoints: list[Endpoint],
+    data: bytes,
+    chunk_size: int = 1024 * 1024,
+    config: AdocConfig = DEFAULT_CONFIG,
+) -> StripeStats:
+    """Send ``data`` across ``endpoints`` (one AdOC connection each).
+
+    Blocks until every stream has finished.  Raises the first stream
+    error encountered.
+    """
+    if not endpoints:
+        raise ValueError("need at least one endpoint")
+    if chunk_size <= 0:
+        raise ValueError("chunk size must be positive")
+    n = len(endpoints)
+    sockets = [AdocSocket(ep, config) for ep in endpoints]
+    # Control header on stream 0.
+    sockets[0].write(_CTRL.pack(len(data), chunk_size, n))
+
+    chunks = [data[off : off + chunk_size] for off in range(0, len(data), chunk_size)]
+    wire_totals = [0] * n
+    errors: list[BaseException] = []
+
+    def stream_worker(i: int) -> None:
+        try:
+            for k in range(i, len(chunks), n):
+                _, slen = sockets[i].write(chunks[k])
+                wire_totals[i] += slen
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=stream_worker, args=(i,), daemon=True)
+        for i in range(n)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    for s in sockets:
+        s.close()
+    if errors:
+        raise errors[0]
+    return StripeStats(len(data), sum(wire_totals), n, chunk_size)
+
+
+def receive_striped(
+    endpoints: list[Endpoint],
+    config: AdocConfig = DEFAULT_CONFIG,
+) -> bytes:
+    """Receive a striped transfer; returns the reassembled payload.
+
+    ``endpoints`` must be the peer ends of the sender's list, in the
+    same order.
+    """
+    if not endpoints:
+        raise ValueError("need at least one endpoint")
+    n = len(endpoints)
+    sockets = [AdocSocket(ep, config) for ep in endpoints]
+    header = sockets[0].read_exact(_CTRL.size)
+    if len(header) < _CTRL.size:
+        raise ValueError("striped control header missing")
+    total, chunk_size, n_streams = _CTRL.unpack(header)
+    if n_streams != n:
+        raise ValueError(
+            f"sender striped over {n_streams} streams, receiver has {n}"
+        )
+    n_chunks = (total + chunk_size - 1) // chunk_size
+    parts: list[bytes | None] = [None] * n_chunks
+    errors: list[BaseException] = []
+
+    def stream_worker(i: int) -> None:
+        try:
+            for k in range(i, n_chunks, n):
+                length = min(chunk_size, total - k * chunk_size)
+                chunk = sockets[i].read_exact(length)
+                if len(chunk) != length:
+                    raise ValueError(f"stream {i} truncated at chunk {k}")
+                parts[k] = chunk
+        except BaseException as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=stream_worker, args=(i,), daemon=True)
+        for i in range(n)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    for s in sockets:
+        s.close()
+    if errors:
+        raise errors[0]
+    assert all(p is not None for p in parts)
+    return b"".join(parts)  # type: ignore[arg-type]

@@ -1,0 +1,41 @@
+"""Discrete-event simulator of the AdOC pipeline.
+
+Reproduces the paper's timing experiments deterministically: the same
+control logic as the live library (Figure-2 adapter, guards, probe) on
+a virtual clock, with codec costs calibrated from Table 1 and network
+shapes from :mod:`repro.transport.profiles`.
+"""
+
+from .costmodel import PROFILES, DataProfile, LevelCost, profile_by_name
+from .engine import Environment, Process, SimulationError, Store, Timeout
+from .pipeline import (
+    ADOC_FRAMING_S,
+    PIPELINE_STALL_RTTS,
+    THREAD_STARTUP_S,
+    SimTransferResult,
+    simulate_adoc_message,
+    simulate_posix_message,
+)
+from .runner import SweepPoint, pingpong_latency, sweep, transfer_bandwidth
+
+__all__ = [
+    "Environment",
+    "Store",
+    "Timeout",
+    "Process",
+    "SimulationError",
+    "DataProfile",
+    "LevelCost",
+    "PROFILES",
+    "profile_by_name",
+    "SimTransferResult",
+    "simulate_adoc_message",
+    "simulate_posix_message",
+    "ADOC_FRAMING_S",
+    "THREAD_STARTUP_S",
+    "PIPELINE_STALL_RTTS",
+    "transfer_bandwidth",
+    "sweep",
+    "pingpong_latency",
+    "SweepPoint",
+]

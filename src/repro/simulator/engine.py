@@ -1,0 +1,254 @@
+"""A minimal discrete-event simulation engine (SimPy-flavoured).
+
+Why simulate at all: the live AdOC pipeline's *timing* on this host is
+distorted by the GIL (the pure-Python LZF path cannot overlap with I/O)
+and by single-core scheduling, while the paper's figures are about
+timing on 2005 hardware and networks.  The simulator runs the same
+pipeline logic — Figure-2 adaptation, probe, guards, bounded queues —
+on a virtual clock with calibrated compression costs, making every
+figure deterministic and fast to regenerate.
+
+The engine is a classic event-heap + generator-coroutine design:
+
+* :class:`Environment` owns the clock and the event heap;
+* a *process* is a generator that yields effects — :class:`Timeout`,
+  ``store.put(item)``, ``store.get()`` — and is resumed when the effect
+  completes (``get`` resumes with the item as the yield's value);
+* :class:`Store` is a bounded FIFO whose put/get block, with capacity
+  measured either in items or in a caller-supplied "weight" (bytes) —
+  the two flavours of bounded buffer in the AdOC pipeline.
+
+Only the features the pipeline model needs are implemented, which keeps
+the engine small enough to test exhaustively.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Callable, Generator, Iterator
+
+__all__ = ["Environment", "Timeout", "Store", "Process", "SimulationError"]
+
+
+class SimulationError(Exception):
+    """Deadlock, runaway simulation, or a process error."""
+
+
+class Timeout:
+    """Effect: resume the yielding process after ``delay`` sim-seconds."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float) -> None:
+        if delay < 0:
+            raise ValueError("negative timeout")
+        self.delay = delay
+
+
+class _PutRequest:
+    __slots__ = ("store", "item", "weight")
+
+    def __init__(self, store: "Store", item: Any, weight: float) -> None:
+        self.store = store
+        self.item = item
+        self.weight = weight
+
+
+class _GetRequest:
+    __slots__ = ("store",)
+
+    def __init__(self, store: "Store") -> None:
+        self.store = store
+
+
+class Store:
+    """Bounded FIFO channel between processes.
+
+    ``capacity`` bounds the sum of item weights (weight defaults to 1
+    per item, i.e. item-count capacity; pass explicit weights for
+    byte-capacity buffers).  ``close()`` makes further ``get`` return
+    ``None`` once drained, mirroring :class:`repro.core.fifo.PacketQueue`.
+    """
+
+    def __init__(self, env: "Environment", capacity: float = float("inf")) -> None:
+        self.env = env
+        self.capacity = capacity
+        self.items: deque[tuple[Any, float]] = deque()
+        self.level = 0.0
+        self.closed = False
+        self._waiting_putters: deque[tuple[Process, _PutRequest]] = deque()
+        self._waiting_getters: deque[Process] = deque()
+        #: Diagnostics mirrored from the live PacketQueue.
+        self.total_put = 0
+        self.peak_size = 0
+
+    def put(self, item: Any, weight: float = 1.0) -> _PutRequest:
+        """Effect constructor: ``yield store.put(item)``."""
+        return _PutRequest(self, item, weight)
+
+    def get(self) -> _GetRequest:
+        """Effect constructor: ``item = yield store.get()``."""
+        return _GetRequest(self)
+
+    def size(self) -> int:
+        """Number of queued items (the Figure-2 ``n`` when items are
+        packets)."""
+        return len(self.items)
+
+    def close(self) -> None:
+        self.closed = True
+        # Wake getters: they will observe EOF once the store drains.
+        while self._waiting_getters and not self.items:
+            proc = self._waiting_getters.popleft()
+            self.env._resume(proc, None)
+
+    # engine internals -------------------------------------------------------
+
+    def _try_put(self, proc: "Process", req: _PutRequest) -> bool:
+        if self.closed:
+            raise SimulationError("put into closed store")
+        if self.level + req.weight <= self.capacity or not self.items:
+            # The "or not self.items" clause admits oversized single
+            # items (e.g. a packet larger than the remaining byte
+            # window), as a real bounded socket buffer does.
+            self._commit_put(req)
+            return True
+        self._waiting_putters.append((proc, req))
+        return False
+
+    def _commit_put(self, req: _PutRequest) -> None:
+        self.items.append((req.item, req.weight))
+        self.level += req.weight
+        self.total_put += 1
+        if len(self.items) > self.peak_size:
+            self.peak_size = len(self.items)
+        if self._waiting_getters:
+            proc = self._waiting_getters.popleft()
+            item, weight = self.items.popleft()
+            self.level -= weight
+            self.env._resume(proc, item)
+            self._admit_waiters()
+
+    def _try_get(self, proc: "Process") -> tuple[bool, Any]:
+        if self.items:
+            item, weight = self.items.popleft()
+            self.level -= weight
+            self._admit_waiters()
+            return True, item
+        if self.closed:
+            return True, None
+        self._waiting_getters.append(proc)
+        return False, None
+
+    def _admit_waiters(self) -> None:
+        while self._waiting_putters:
+            waiter, req = self._waiting_putters[0]
+            if self.level + req.weight <= self.capacity or not self.items:
+                self._waiting_putters.popleft()
+                self._commit_put(req)
+                self.env._resume(waiter, None)
+            else:
+                break
+
+
+class Process:
+    """A running generator-coroutine inside an Environment."""
+
+    __slots__ = ("env", "gen", "name", "done", "error")
+
+    def __init__(self, env: "Environment", gen: Generator, name: str) -> None:
+        self.env = env
+        self.gen = gen
+        self.name = name
+        self.done = False
+        self.error: BaseException | None = None
+
+    def _step(self, value: Any) -> None:
+        try:
+            effect = self.gen.send(value)
+        except StopIteration:
+            self.done = True
+            self.env._finished(self)
+            return
+        except BaseException as exc:
+            self.done = True
+            self.error = exc
+            self.env._finished(self)
+            raise SimulationError(f"process {self.name!r} failed: {exc!r}") from exc
+        self.env._dispatch(self, effect)
+
+
+class Environment:
+    """Simulation clock + event heap + process scheduler."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: list[tuple[float, int, Process, Any]] = []
+        self._seq = 0
+        self._active = 0
+        self._finish_hooks: list[Callable[[Process], None]] = []
+
+    def process(self, gen: Generator, name: str = "proc") -> Process:
+        """Register and start a generator process."""
+        proc = Process(self, gen, name)
+        self._active += 1
+        self._schedule(0.0, proc, None)
+        return proc
+
+    def timeout(self, delay: float) -> Timeout:
+        return Timeout(delay)
+
+    def run(self, until: float | None = None, max_events: int = 50_000_000) -> None:
+        """Run until the heap empties (all processes blocked or done).
+
+        Raises :class:`SimulationError` when live processes remain but
+        no event can fire (deadlock), or the event budget is exhausted.
+        """
+        events = 0
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                self.now = until
+                return
+            events += 1
+            if events > max_events:
+                raise SimulationError("event budget exhausted (runaway model?)")
+            t, _, proc, value = heapq.heappop(self._heap)
+            self.now = t
+            if proc.done:
+                continue
+            proc._step(value)
+        if self._active > 0:
+            raise SimulationError(
+                f"deadlock: {self._active} process(es) blocked with no pending events"
+            )
+
+    # engine internals -------------------------------------------------------
+
+    def _schedule(self, delay: float, proc: Process, value: Any) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, proc, value))
+
+    def _resume(self, proc: Process, value: Any) -> None:
+        self._schedule(0.0, proc, value)
+
+    def _dispatch(self, proc: Process, effect: Any) -> None:
+        if isinstance(effect, Timeout):
+            self._schedule(effect.delay, proc, None)
+        elif isinstance(effect, _PutRequest):
+            if effect.store._try_put(proc, effect):
+                self._resume(proc, None)
+            # else: parked in the store's waiting_putters
+        elif isinstance(effect, _GetRequest):
+            ready, item = effect.store._try_get(proc)
+            if ready:
+                self._resume(proc, item)
+        else:
+            raise SimulationError(
+                f"process {proc.name!r} yielded unknown effect {effect!r}"
+            )
+
+    def _finished(self, proc: Process) -> None:
+        self._active -= 1
+        for hook in self._finish_hooks:
+            hook(proc)

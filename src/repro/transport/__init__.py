@@ -1,0 +1,44 @@
+"""Network substrate: endpoints, in-memory pipes, sockets, link shaping.
+
+Everything AdOC talks to implements :class:`repro.transport.Endpoint`.
+The paper's four experimental networks are available as
+:data:`LAN100`, :data:`GBIT`, :data:`RENATER` and :data:`INTERNET`.
+"""
+
+from .base import Endpoint, TransportClosed, recv_exact, sendall
+from .pipes import ByteConduit, PipeEndpoint, pipe_pair
+from .profiles import ALL_PROFILES, GBIT, INTERNET, LAN100, RENATER, NetworkProfile
+from .shaping import (
+    CongestionModel,
+    JitterModel,
+    LinkScheduler,
+    PacedEndpoint,
+    TokenBucket,
+    shaped_pair,
+)
+from .socket_transport import SocketEndpoint, socketpair_endpoints, tcp_pair
+
+__all__ = [
+    "Endpoint",
+    "TransportClosed",
+    "sendall",
+    "recv_exact",
+    "ByteConduit",
+    "PipeEndpoint",
+    "pipe_pair",
+    "SocketEndpoint",
+    "socketpair_endpoints",
+    "tcp_pair",
+    "JitterModel",
+    "CongestionModel",
+    "LinkScheduler",
+    "TokenBucket",
+    "PacedEndpoint",
+    "shaped_pair",
+    "NetworkProfile",
+    "LAN100",
+    "GBIT",
+    "RENATER",
+    "INTERNET",
+    "ALL_PROFILES",
+]

@@ -1,0 +1,88 @@
+"""Endpoint interface for the network substrate.
+
+AdOC sits on top of anything that behaves like a connected stream
+socket.  :class:`Endpoint` captures exactly the operations the library
+needs — the blocking byte-stream semantics of ``read(2)``/``write(2)``
+on a connected TCP socket:
+
+* ``send`` may accept fewer bytes than offered (short write) and blocks
+  when the peer's receive window is full (backpressure);
+* ``recv`` blocks until at least one byte is available, returns at most
+  ``n`` bytes, and returns ``b""`` once the peer has closed its sending
+  side and all buffered data has been drained (EOF).
+
+Three implementations exist: real loopback TCP sockets
+(:mod:`repro.transport.socket_transport`), in-memory pipes
+(:mod:`repro.transport.pipes`), and shaped wrappers that emulate the
+paper's networks (:mod:`repro.transport.shaping`).
+"""
+
+from __future__ import annotations
+
+import abc
+
+__all__ = ["Endpoint", "TransportClosed", "sendall", "recv_exact"]
+
+
+class TransportClosed(Exception):
+    """Raised when writing to an endpoint whose peer or self is closed."""
+
+
+class Endpoint(abc.ABC):
+    """One end of a reliable, ordered, duplex byte stream."""
+
+    @abc.abstractmethod
+    def send(self, data: bytes | bytearray | memoryview) -> int:
+        """Queue up to ``len(data)`` bytes; return how many were taken.
+
+        Blocks while the transmit path is full.  Raises
+        :class:`TransportClosed` if the stream can no longer carry data.
+        """
+
+    @abc.abstractmethod
+    def recv(self, n: int) -> bytes:
+        """Receive up to ``n`` bytes; ``b""`` signals EOF.
+
+        Blocks until data is available or EOF is reached.  ``n`` must be
+        positive.
+        """
+
+    @abc.abstractmethod
+    def close(self) -> None:
+        """Close both directions.  Idempotent."""
+
+    def shutdown_write(self) -> None:
+        """Half-close: signal EOF to the peer, keep receiving.
+
+        Endpoints that cannot half-close may fall back to ``close``.
+        """
+        self.close()
+
+
+def sendall(ep: Endpoint, data: bytes | bytearray | memoryview) -> None:
+    """Send every byte of ``data``, looping over short writes."""
+    view = memoryview(data)
+    while view:
+        sent = ep.send(view)
+        view = view[sent:]
+
+
+def recv_exact(ep: Endpoint, n: int) -> bytes:
+    """Receive exactly ``n`` bytes or raise on premature EOF.
+
+    Used by framing layers whose headers have a known size; a stream
+    that ends mid-record is a protocol error, not a normal EOF.
+    """
+    if n == 0:
+        return b""
+    parts: list[bytes] = []
+    got = 0
+    while got < n:
+        chunk = ep.recv(n - got)
+        if not chunk:
+            raise TransportClosed(
+                f"stream ended after {got} of {n} expected bytes"
+            )
+        parts.append(chunk)
+        got += len(chunk)
+    return b"".join(parts)

@@ -1,0 +1,148 @@
+"""In-memory duplex byte pipes.
+
+A :class:`PipeEndpoint` pair behaves like a connected TCP socket pair
+(ordered, reliable, backpressured byte stream) without touching the
+kernel.  This is the substrate the shaped links build on: segments
+written to a conduit carry an *availability time*, which the shaping
+layer sets in the future to model transmission and propagation delay.
+
+The unshaped pipes created by :func:`pipe_pair` deliver immediately and
+are used by unit tests and by the middleware's loopback mode.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+from .base import Endpoint, TransportClosed
+
+__all__ = ["ByteConduit", "PipeEndpoint", "pipe_pair"]
+
+#: Default conduit capacity, mirroring a typical socket buffer.  The
+#: bound is what produces sender backpressure, which the AdOC emission
+#: thread relies on: a full "socket buffer" is how a slow network is
+#: felt by the sender.
+DEFAULT_CAPACITY = 256 * 1024
+
+
+class ByteConduit:
+    """One direction of a pipe: a bounded queue of timed byte segments.
+
+    Writers block while ``capacity`` bytes are in flight; readers block
+    until a segment's availability time has passed.  Availability times
+    are supplied by the writer (``avail_time`` argument), letting the
+    shaping layer schedule deliveries on the real-time clock.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._segments: deque[tuple[float, bytes]] = deque()
+        self._buffered = 0
+        self._eof = False
+        self._broken = False
+        self._lock = threading.Lock()
+        self._readable = threading.Condition(self._lock)
+        self._writable = threading.Condition(self._lock)
+
+    def write(self, data: bytes, avail_time: float | None = None) -> int:
+        """Queue up to capacity-limited prefix of ``data``; return count.
+
+        ``avail_time`` is an absolute ``time.monotonic`` timestamp before
+        which readers will not see the segment (``None`` = immediately).
+        """
+        if not data:
+            return 0
+        with self._lock:
+            while True:
+                if self._broken or self._eof:
+                    raise TransportClosed("conduit closed")
+                room = self.capacity - self._buffered
+                if room > 0:
+                    break
+                self._writable.wait()
+            taken = data[:room]
+            self._segments.append((avail_time or 0.0, bytes(taken)))
+            self._buffered += len(taken)
+            self._readable.notify_all()
+            return len(taken)
+
+    def read(self, n: int) -> bytes:
+        """Read up to ``n`` bytes; ``b""`` on EOF.  Blocks as needed."""
+        if n <= 0:
+            raise ValueError("read size must be positive")
+        with self._lock:
+            while True:
+                if self._segments:
+                    avail, _ = self._segments[0]
+                    now = time.monotonic()
+                    if avail <= now:
+                        break
+                    # Sleep until the head segment is deliverable, but
+                    # stay interruptible by new writes/EOF.
+                    self._readable.wait(timeout=avail - now)
+                    continue
+                if self._eof or self._broken:
+                    return b""
+                self._readable.wait()
+            avail, seg = self._segments.popleft()
+            if len(seg) > n:
+                head, rest = seg[:n], seg[n:]
+                self._segments.appendleft((avail, rest))
+                seg = head
+            self._buffered -= len(seg)
+            self._writable.notify_all()
+            return seg
+
+    def close_write(self) -> None:
+        """EOF from the writer; queued data remains readable."""
+        with self._lock:
+            self._eof = True
+            self._readable.notify_all()
+            self._writable.notify_all()
+
+    def close_read(self) -> None:
+        """Reader abandons the conduit; further writes fail."""
+        with self._lock:
+            self._broken = True
+            self._segments.clear()
+            self._buffered = 0
+            self._readable.notify_all()
+            self._writable.notify_all()
+
+    @property
+    def buffered(self) -> int:
+        """Bytes currently in flight (for tests and diagnostics)."""
+        with self._lock:
+            return self._buffered
+
+
+class PipeEndpoint(Endpoint):
+    """Endpoint over a pair of directed conduits."""
+
+    def __init__(self, out: ByteConduit, inn: ByteConduit) -> None:
+        self._out = out
+        self._in = inn
+
+    def send(self, data: bytes | bytearray | memoryview) -> int:
+        return self._out.write(bytes(data))
+
+    def recv(self, n: int) -> bytes:
+        return self._in.read(n)
+
+    def shutdown_write(self) -> None:
+        self._out.close_write()
+
+    def close(self) -> None:
+        self._out.close_write()
+        self._in.close_read()
+
+
+def pipe_pair(capacity: int = DEFAULT_CAPACITY) -> tuple[PipeEndpoint, PipeEndpoint]:
+    """Create a connected pair of in-memory endpoints."""
+    a_to_b = ByteConduit(capacity)
+    b_to_a = ByteConduit(capacity)
+    return PipeEndpoint(a_to_b, b_to_a), PipeEndpoint(b_to_a, a_to_b)

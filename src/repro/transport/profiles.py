@@ -1,0 +1,118 @@
+"""Network profiles reproducing the paper's four experimental networks.
+
+The figures of RR-5500 are measured on: a 100 Mbit Ethernet LAN, a Gbit
+Ethernet LAN, Renater (the French academic WAN, Nancy–Lyon), and a
+transatlantic Internet path (Tennessee–France).  Each profile captures
+what those links *look like from the application*:
+
+* ``bandwidth_bps`` — the visible steady-state TCP throughput of the
+  path (not the physical line rate: Renater's backbone was multi-Gbit,
+  but the end-to-end flow in the paper drains at WAN speeds — the POSIX
+  curves of Figs. 4-6 plateau at roughly 5-10 Mbit/s on Renater and
+  3-4 Mbit/s on the Internet path).
+* ``latency_s`` — one-way propagation delay; the paper's Table 2
+  reports the 0-byte round trips this must reproduce (0.18 ms LAN,
+  0.030 ms Gbit, 9.2 ms Renater, 80 ms Internet).
+* ``jitter``/``congestion`` — stochastic cross-traffic; enabled for the
+  WAN profiles to reproduce the oscillating *average* plots (Fig. 4)
+  versus the smooth *best-of-40* plots (Fig. 5).
+* ``receiver_cpu_scale`` — relative CPU speed of the receiving host
+  (< 1 means slower).  The paper notes the Tennessee machine was slower
+  than the Renater ones, trimming the Internet-path gains; the
+  simulator's cost model consumes this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from .base import Endpoint
+from .shaping import CongestionModel, JitterModel, shaped_pair
+
+__all__ = ["NetworkProfile", "LAN100", "GBIT", "RENATER", "INTERNET", "ALL_PROFILES"]
+
+MBIT = 1_000_000.0
+
+
+@dataclass(frozen=True)
+class NetworkProfile:
+    """Application-visible characteristics of one experimental network."""
+
+    name: str
+    bandwidth_bps: float
+    latency_s: float
+    jitter: JitterModel | None = None
+    congestion: CongestionModel | None = None
+    buffer_bytes: int = 256 * 1024
+    mtu: int = 1500
+    sender_cpu_scale: float = 1.0
+    receiver_cpu_scale: float = 1.0
+
+    @property
+    def rtt_s(self) -> float:
+        """Zero-byte round-trip time implied by the propagation delay."""
+        return 2.0 * self.latency_s
+
+    def make_pair(self, seed: int | None = 0) -> tuple[Endpoint, Endpoint]:
+        """Build a live shaped duplex link with this profile's shape."""
+        return shaped_pair(
+            self.bandwidth_bps,
+            self.latency_s,
+            jitter=self.jitter,
+            congestion=self.congestion,
+            buffer_bytes=self.buffer_bytes,
+            mtu=self.mtu,
+            seed=seed,
+        )
+
+    def scaled(self, factor: float) -> "NetworkProfile":
+        """A copy with bandwidth scaled by ``factor`` (for quick demos)."""
+        return replace(self, bandwidth_bps=self.bandwidth_bps * factor)
+
+
+#: 100 Mbit Ethernet LAN (Figs. 3, 8; Table 2 row 3).  RTT 0.18 ms.
+LAN100 = NetworkProfile(
+    name="lan100",
+    bandwidth_bps=94 * MBIT,  # TCP goodput of 100 Mbit Ethernet
+    latency_s=90e-6,
+    buffer_bytes=64 * 1024,  # 2005-era kernel default; < probe size, so
+    # the 256 KB probe actually feels the line rate instead of vanishing
+    # into the socket buffer
+)
+
+#: Gbit Ethernet LAN (Fig. 7; Table 2 row 4).  RTT 0.030 ms.  Too fast
+#: for online compression on 2005 CPUs: AdOC's probe must bail out.
+GBIT = NetworkProfile(
+    name="gbit",
+    bandwidth_bps=940 * MBIT,
+    latency_s=15e-6,
+    buffer_bytes=256 * 1024,
+)
+
+#: Renater academic WAN, Nancy–Lyon (Figs. 4, 5; Table 2 row 2).
+#: RTT 9.2 ms; visible TCP throughput ~5-6 Mbit/s for a single flow.
+RENATER = NetworkProfile(
+    name="renater",
+    bandwidth_bps=5.5 * MBIT,
+    latency_s=4.6e-3,
+    jitter=JitterModel(base=0.0, mean_extra=8e-3, burst_prob=0.04),
+    congestion=CongestionModel(enter_prob=0.01, exit_prob=0.15, slowdown=0.35),
+    buffer_bytes=64 * 1024,
+)
+
+#: Transatlantic Internet, Tennessee–France (Figs. 6, 9; Table 2 row 1).
+#: RTT 80 ms; ~4 Mbit/s visible; the far host is CPU-slower than the
+#: French machines (paper section 6.1.1), trimming AdOC's advantage.
+INTERNET = NetworkProfile(
+    name="internet",
+    bandwidth_bps=4.0 * MBIT,
+    latency_s=40e-3,
+    jitter=JitterModel(base=0.0, mean_extra=20e-3, burst_prob=0.05),
+    congestion=CongestionModel(enter_prob=0.008, exit_prob=0.12, slowdown=0.4),
+    buffer_bytes=64 * 1024,
+    receiver_cpu_scale=0.55,
+)
+
+ALL_PROFILES: dict[str, NetworkProfile] = {
+    p.name: p for p in (LAN100, GBIT, RENATER, INTERNET)
+}

@@ -1,0 +1,86 @@
+"""Real-socket endpoints (loopback TCP and ``socketpair``).
+
+The paper's experiments run AdOC over BSD sockets; this module provides
+the same substrate for integration tests and examples.  AdOC itself only
+sees the :class:`~repro.transport.base.Endpoint` interface, so the
+library code is identical over real sockets, in-memory pipes, and shaped
+links.
+"""
+
+from __future__ import annotations
+
+import socket
+
+from .base import Endpoint, TransportClosed
+
+__all__ = ["SocketEndpoint", "socketpair_endpoints", "tcp_pair"]
+
+
+class SocketEndpoint(Endpoint):
+    """Endpoint wrapper around a connected ``socket.socket``."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._closed = False
+
+    @property
+    def socket(self) -> socket.socket:
+        """The underlying socket (for tuning, e.g. ``TCP_NODELAY``)."""
+        return self._sock
+
+    def send(self, data: bytes | bytearray | memoryview) -> int:
+        try:
+            return self._sock.send(data)
+        except (BrokenPipeError, ConnectionResetError, OSError) as exc:
+            raise TransportClosed(str(exc)) from exc
+
+    def recv(self, n: int) -> bytes:
+        try:
+            return self._sock.recv(n)
+        except ConnectionResetError:
+            return b""
+        except OSError as exc:
+            if self._closed:
+                return b""
+            raise TransportClosed(str(exc)) from exc
+
+    def shutdown_write(self) -> None:
+        try:
+            self._sock.shutdown(socket.SHUT_WR)
+        except OSError:
+            pass
+
+    def close(self) -> None:
+        self._closed = True
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+def socketpair_endpoints() -> tuple[SocketEndpoint, SocketEndpoint]:
+    """A connected AF_UNIX socket pair wrapped as endpoints."""
+    a, b = socket.socketpair()
+    return SocketEndpoint(a), SocketEndpoint(b)
+
+
+def tcp_pair(nodelay: bool = True) -> tuple[SocketEndpoint, SocketEndpoint]:
+    """A connected loopback TCP pair (client end, server end).
+
+    ``TCP_NODELAY`` is set by default: AdOC does its own batching into
+    8 KB packets, and Nagle's algorithm would distort the small-message
+    latency measurements of Table 2.
+    """
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        client = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        client.connect(listener.getsockname())
+        server, _ = listener.accept()
+    finally:
+        listener.close()
+    if nodelay:
+        client.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        server.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    return SocketEndpoint(client), SocketEndpoint(server)

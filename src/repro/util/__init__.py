@@ -1,0 +1,13 @@
+"""Shared utilities: units, measurement statistics."""
+
+from .stats import Summary, percentile, summarize
+from .units import format_bytes, format_rate, parse_size
+
+__all__ = [
+    "format_bytes",
+    "format_rate",
+    "parse_size",
+    "Summary",
+    "summarize",
+    "percentile",
+]

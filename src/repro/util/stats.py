@@ -1,0 +1,66 @@
+"""Small statistics helpers for measurement aggregation.
+
+The paper's methodology needs exactly two aggregations (average of N
+and best of N, section 6.1.1); this module adds the summaries used by
+the benches' reports (percentiles, coefficient of variation) without
+pulling in scipy for trivia.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["Summary", "summarize", "percentile"]
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """Linear-interpolated percentile, ``q`` in [0, 100]."""
+    if not samples:
+        raise ValueError("no samples")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be in [0, 100]")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = (len(ordered) - 1) * q / 100.0
+    lo = math.floor(pos)
+    hi = math.ceil(pos)
+    frac = pos - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of repeated measurements."""
+
+    n: int
+    best: float
+    mean: float
+    median: float
+    p95: float
+    worst: float
+    stdev: float
+
+    @property
+    def cv(self) -> float:
+        """Coefficient of variation (stdev / mean); 0 for mean == 0."""
+        return self.stdev / self.mean if self.mean else 0.0
+
+
+def summarize(samples: list[float]) -> Summary:
+    """Aggregate a sample list into a :class:`Summary`."""
+    if not samples:
+        raise ValueError("no samples")
+    n = len(samples)
+    mean = sum(samples) / n
+    var = sum((x - mean) ** 2 for x in samples) / n
+    return Summary(
+        n=n,
+        best=min(samples),
+        mean=mean,
+        median=percentile(samples, 50.0),
+        p95=percentile(samples, 95.0),
+        worst=max(samples),
+        stdev=math.sqrt(var),
+    )

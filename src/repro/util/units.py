@@ -1,0 +1,61 @@
+"""Byte/bandwidth unit helpers shared by the CLI, benches and examples."""
+
+from __future__ import annotations
+
+__all__ = ["format_bytes", "format_rate", "parse_size"]
+
+_SUFFIXES = ["B", "KB", "MB", "GB", "TB"]
+
+
+def format_bytes(n: int | float) -> str:
+    """Human-readable byte count (binary units, as the paper's axes)."""
+    if n < 0:
+        return "-" + format_bytes(-n)
+    value = float(n)
+    for suffix in _SUFFIXES:
+        if value < 1024.0 or suffix == _SUFFIXES[-1]:
+            if suffix == "B":
+                return f"{int(value)} B"
+            return f"{value:.1f} {suffix}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def format_rate(bits_per_second: float) -> str:
+    """Network-style rate formatting (decimal units: Mbit/s etc.)."""
+    value = float(bits_per_second)
+    for suffix in ("bit/s", "Kbit/s", "Mbit/s", "Gbit/s"):
+        if abs(value) < 1000.0 or suffix == "Gbit/s":
+            return f"{value:.2f} {suffix}"
+        value /= 1000.0
+    raise AssertionError("unreachable")
+
+
+def parse_size(text: str) -> int:
+    """Parse ``"32MB"``, ``"512 KB"``, ``"100"`` etc. into bytes.
+
+    Binary units (1 KB = 1024 B), case-insensitive, optional space,
+    optional ``iB`` spelling.
+    """
+    s = text.strip().upper().replace(" ", "")
+    multiplier = 1
+    for i, suffix in enumerate(("KB", "MB", "GB", "TB")):
+        for spelling in (suffix, suffix[0] + "IB", suffix[0]):
+            if s.endswith(spelling):
+                multiplier = 1024 ** (i + 1)
+                s = s[: -len(spelling)]
+                break
+        if multiplier != 1:
+            break
+    else:
+        if s.endswith("B"):
+            s = s[:-1]
+    if not s:
+        raise ValueError(f"no number in size {text!r}")
+    try:
+        value = float(s)
+    except ValueError:
+        raise ValueError(f"cannot parse size {text!r}") from None
+    if value < 0:
+        raise ValueError("sizes cannot be negative")
+    return int(value * multiplier)

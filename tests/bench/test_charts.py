@@ -1,0 +1,57 @@
+"""ASCII chart rendering."""
+
+from __future__ import annotations
+
+from repro.bench import run_bandwidth_figure
+from repro.bench.charts import ascii_chart, bandwidth_chart, sparkline
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_monotone_rises_in_density(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7, 8, 9])
+        assert line[0] == " "
+        assert line[-1] == "@"
+
+    def test_constant_series(self):
+        line = sparkline([5.0, 5.0, 5.0])
+        assert len(line) == 3
+        assert len(set(line)) == 1
+
+    def test_downsampling(self):
+        line = sparkline(list(range(1000)), width=40)
+        assert len(line) == 40
+        assert line[-1] in "%@"
+
+
+class TestAsciiChart:
+    def test_contains_legend_and_bounds(self):
+        chart = ascii_chart(
+            {"a": [(1, 10), (2, 20)], "b": [(1, 5), (2, 40)]},
+            title="T",
+        )
+        assert "T" in chart
+        assert "* a" in chart and "o b" in chart
+        assert "40" in chart
+
+    def test_log_axes(self):
+        chart = ascii_chart(
+            {"s": [(10, 1), (10_000, 1000)]}, logx=True, logy=True
+        )
+        assert "1e+04" in chart or "10000" in chart or "1e+4" in chart
+
+    def test_empty(self):
+        assert "(no data)" in ascii_chart({}, title="x")
+
+    def test_single_point(self):
+        chart = ascii_chart({"p": [(5, 5)]})
+        assert "*" in chart
+
+
+def test_bandwidth_chart_end_to_end():
+    pts = run_bandwidth_figure(3, sizes=[1024, 1024 * 1024], repeats=1)
+    chart = bandwidth_chart(pts, "Fig 3")
+    assert "posix" in chart
+    assert "log-log" in chart

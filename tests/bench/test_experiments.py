@@ -1,0 +1,122 @@
+"""Experiment harness sanity (fast variants of every table/figure)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    FIGURE_SIZES,
+    PAPER_CLAIMS,
+    render_bandwidth_figure,
+    render_netsolve_figure,
+    render_table1,
+    render_table2,
+    run_bandwidth_figure,
+    run_netsolve_figure,
+    run_table1,
+    run_table2,
+)
+from repro.data import synthetic_hb_bytes, synthetic_tar_bytes
+
+MB = 1024 * 1024
+
+
+@pytest.fixture(scope="module")
+def small_table1():
+    hb = synthetic_hb_bytes(n=800, band=5, seed=1)
+    tar = synthetic_tar_bytes(n_members=2, member_size=100_000, seed=1)
+    return run_table1(hb, tar)
+
+
+class TestTable1:
+    def test_twenty_rows(self, small_table1):
+        assert len(small_table1) == 20  # 10 algos x 2 files
+
+    def test_compression_time_grows_with_level(self, small_table1):
+        """The paper's monotone shape, on this host's real codecs.
+        Individual adjacent levels can tie; the ends must separate."""
+        for fname in ("oilpann.hb", "bin.tar"):
+            gz = [r for r in small_table1 if r.file == fname and r.algo.startswith("gzip")]
+            assert gz[-1].compress_s > gz[0].compress_s
+
+    def test_ratio_saturates(self, small_table1):
+        for fname in ("oilpann.hb", "bin.tar"):
+            gz = [r for r in small_table1 if r.file == fname and r.algo.startswith("gzip")]
+            assert gz[8].ratio >= gz[0].ratio
+            # Gains after gzip 6 are small (paper: "does not increase
+            # significantly").
+            assert gz[8].ratio / gz[5].ratio < 1.15
+
+    def test_lzf_lowest_ratio(self, small_table1):
+        for fname in ("oilpann.hb", "bin.tar"):
+            rows = [r for r in small_table1 if r.file == fname]
+            lzf = next(r for r in rows if r.algo == "lzf")
+            assert lzf.ratio == min(r.ratio for r in rows)
+
+    def test_ascii_beats_binary_ratio(self, small_table1):
+        hb6 = next(r for r in small_table1 if r.file == "oilpann.hb" and r.algo == "gzip 6")
+        tar6 = next(r for r in small_table1 if r.file == "bin.tar" and r.algo == "gzip 6")
+        assert hb6.ratio > tar6.ratio
+
+    def test_render(self, small_table1):
+        text = render_table1(small_table1)
+        assert "lzf" in text and "gzip 9" in text
+
+
+class TestBandwidthFigures:
+    SMALL_SIZES = [1024, 256 * 1024, 2 * MB]
+
+    @pytest.mark.parametrize("fig", [3, 4, 5, 6, 7])
+    def test_runs_and_renders(self, fig):
+        pts = run_bandwidth_figure(fig, sizes=self.SMALL_SIZES, repeats=2)
+        assert len(pts) == len(self.SMALL_SIZES) * 4
+        text = render_bandwidth_figure(pts, f"Figure {fig}")
+        assert "posix" in text
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(ValueError):
+            run_bandwidth_figure(12)
+
+    def test_default_sizes_span_paper_axis(self):
+        assert FIGURE_SIZES[0] <= 100
+        assert FIGURE_SIZES[-1] == 32 * MB
+
+
+class TestTable2:
+    def test_matches_paper_within_tolerance(self):
+        table = run_table2()
+        for net, (posix_ms, _, forced_ms) in PAPER_CLAIMS["table2_ms"].items():
+            assert table[net]["posix"] * 1e3 == pytest.approx(posix_ms, rel=0.05)
+            assert table[net]["forced"] * 1e3 == pytest.approx(forced_ms, rel=0.3)
+
+    def test_render(self):
+        text = render_table2(run_table2())
+        assert "renater" in text and "forced" in text.lower()
+
+
+class TestNetsolveFigures:
+    def test_fig8_shape(self):
+        cells = run_netsolve_figure(8, ns=[512, 1024])
+        assert len(cells) == 2 * 2 * 2
+        by = {(c.n, c.kind, c.adoc): c for c in cells}
+        for n in (512, 1024):
+            for kind in ("dense", "sparse"):
+                # AdOC never loses.
+                assert by[(n, kind, True)].total_s <= by[(n, kind, False)].total_s * 1.02
+        # Time grows with size.
+        assert by[(1024, "dense", False)].total_s > by[(512, "dense", False)].total_s
+
+    def test_fig9_sparse_gain_much_larger_than_dense(self):
+        cells = run_netsolve_figure(9, ns=[1024])
+        by = {(c.kind, c.adoc): c for c in cells}
+        dense_gain = by[("dense", False)].total_s / by[("dense", True)].total_s
+        sparse_gain = by[("sparse", False)].total_s / by[("sparse", True)].total_s
+        assert sparse_gain > dense_gain * 3
+
+    def test_render(self):
+        text = render_netsolve_figure(run_netsolve_figure(8, ns=[256]), "Fig 8")
+        assert "dense+AdOC" in text
+
+    def test_invalid_fig_rejected(self):
+        with pytest.raises(ValueError):
+            run_netsolve_figure(10)

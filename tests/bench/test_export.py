@@ -1,0 +1,50 @@
+"""CSV export of experiment results."""
+
+from __future__ import annotations
+
+import csv
+import io
+
+from repro.bench import run_bandwidth_figure, run_netsolve_figure, run_table1, run_table2
+from repro.bench.export import (
+    bandwidth_to_csv,
+    latency_to_csv,
+    netsolve_to_csv,
+    table1_to_csv,
+)
+from repro.data import synthetic_hb_bytes, synthetic_tar_bytes
+
+
+def parse(text: str) -> list[dict[str, str]]:
+    return list(csv.DictReader(io.StringIO(text)))
+
+
+def test_bandwidth_csv():
+    pts = run_bandwidth_figure(3, sizes=[1024, 1024 * 1024], repeats=1)
+    rows = parse(bandwidth_to_csv(pts))
+    assert len(rows) == 8  # 2 sizes x 4 methods
+    assert {r["method"] for r in rows} == {"posix", "ascii", "binary", "incompressible"}
+    assert all(float(r["bandwidth_mbit_s"]) > 0 for r in rows)
+
+
+def test_table1_csv():
+    hb = synthetic_hb_bytes(n=400, band=3, seed=1)
+    tar = synthetic_tar_bytes(n_members=1, member_size=50_000, seed=1)
+    rows = parse(table1_to_csv(run_table1(hb, tar)))
+    assert len(rows) == 20
+    assert rows[0]["algo"] == "lzf"
+    assert all(float(r["ratio"]) > 0.9 for r in rows)
+
+
+def test_netsolve_csv():
+    rows = parse(netsolve_to_csv(run_netsolve_figure(8, ns=[256])))
+    assert len(rows) == 4
+    assert {r["kind"] for r in rows} == {"dense", "sparse"}
+    assert {r["adoc"] for r in rows} == {"0", "1"}
+
+
+def test_latency_csv():
+    rows = parse(latency_to_csv(run_table2()))
+    assert len(rows) == 12  # 4 networks x 3 modes
+    by = {(r["network"], r["mode"]): float(r["latency_ms"]) for r in rows}
+    assert by[("internet", "posix")] == 80.0

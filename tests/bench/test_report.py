@@ -1,0 +1,45 @@
+"""Report renderers."""
+
+from __future__ import annotations
+
+from repro.bench import format_bytes, render_table
+from repro.bench.experiments import Table1Row
+from repro.bench.report import render_table1
+
+
+class TestFormatBytes:
+    def test_bands(self):
+        assert format_bytes(10) == "10 B"
+        assert format_bytes(8 * 1024) == "8 KB"
+        assert format_bytes(32 * 1024 * 1024) == "32 MB"
+
+
+class TestRenderTable:
+    def test_alignment_and_title(self):
+        out = render_table(["a", "long-header"], [["1", "2"], ["333", "4"]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        # All rows share the same width.
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1
+
+    def test_empty_rows(self):
+        out = render_table(["x"], [])
+        assert "x" in out
+
+
+class TestRenderTable1:
+    def test_missing_file_renders_dash(self):
+        rows = [Table1Row("lzf", "oilpann.hb", 0.5, 2.0, 0.1)]
+        out = render_table1(rows)
+        assert "lzf" in out
+        assert "-" in out  # the absent bin.tar columns
+
+    def test_preserves_algo_order(self):
+        rows = [
+            Table1Row("lzf", "oilpann.hb", 1, 2, 3),
+            Table1Row("gzip 1", "oilpann.hb", 1, 2, 3),
+            Table1Row("gzip 2", "oilpann.hb", 1, 2, 3),
+        ]
+        out = render_table1(rows)
+        assert out.index("lzf") < out.index("gzip 1") < out.index("gzip 2")

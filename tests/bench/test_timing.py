@@ -1,0 +1,59 @@
+"""Live measurement helpers (bench.timing)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import Timing, live_echo_transfer, live_pingpong, repeat_timing
+from repro.core import AdocConfig
+from repro.data import ascii_data
+from repro.transport import pipe_pair
+
+CFG = AdocConfig(
+    buffer_size=16 * 1024,
+    packet_size=2 * 1024,
+    slice_size=2 * 1024,
+    small_message_threshold=8 * 1024,
+    probe_size=4 * 1024,
+    fast_network_bps=float("inf"),
+)
+
+
+class TestTiming:
+    def test_from_samples(self):
+        t = Timing.from_samples([0.2, 0.1, 0.4])
+        assert t.best == 0.1
+        assert t.worst == 0.4
+        assert t.n == 3
+        assert t.mean == pytest.approx(0.7 / 3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Timing.from_samples([])
+
+    def test_repeat_timing_counts(self):
+        calls = []
+        t = repeat_timing(lambda: calls.append(1), repeats=4)
+        assert len(calls) == 4
+        assert t.n == 4
+        assert t.best >= 0
+
+
+class TestLiveEcho:
+    def test_raw_echo(self):
+        payload = ascii_data(50_000, seed=1)
+        elapsed = live_echo_transfer(pipe_pair, payload, use_adoc=False)
+        assert elapsed > 0
+
+    def test_adoc_echo(self):
+        payload = ascii_data(50_000, seed=2)
+        elapsed = live_echo_transfer(pipe_pair, payload, use_adoc=True, config=CFG)
+        assert elapsed > 0
+
+
+class TestLivePingpong:
+    @pytest.mark.parametrize("use_adoc", [False, True])
+    def test_pingpong_measures(self, use_adoc):
+        t = live_pingpong(pipe_pair, use_adoc=use_adoc, repeats=5, config=CFG)
+        assert t.n == 5
+        assert 0 < t.best <= t.worst

@@ -1,0 +1,108 @@
+"""Lossy image codec (the paper's future-work extension)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compress import CodecError
+from repro.compress.lossy import (
+    RESOLUTION_LEVELS,
+    compress_image,
+    decompress_image,
+    psnr,
+    thumbnail_ladder,
+)
+from repro.data.images import synthetic_image
+
+
+@pytest.fixture(scope="module")
+def rgb():
+    return synthetic_image(96, 128, channels=3, seed=4)
+
+
+@pytest.fixture(scope="module")
+def gray():
+    return synthetic_image(80, 80, channels=1, seed=5)
+
+
+class TestRoundTrip:
+    def test_level0_shape_preserved(self, rgb):
+        out = decompress_image(compress_image(rgb, 0))
+        assert out.shape == rgb.shape
+        assert out.dtype == np.uint8
+
+    def test_level0_lossless_spatially(self, rgb):
+        """Level 0 keeps all 8 bits and full resolution: identical."""
+        out = decompress_image(compress_image(rgb, 0))
+        assert np.array_equal(out, rgb)
+
+    @pytest.mark.parametrize("level", range(len(RESOLUTION_LEVELS)))
+    def test_every_level_roundtrips_shape(self, rgb, gray, level):
+        for img in (rgb, gray):
+            out = decompress_image(compress_image(img, level))
+            assert out.shape == img.shape
+
+    def test_odd_dimensions(self):
+        img = synthetic_image(33, 47, channels=3, seed=2)
+        for level in range(len(RESOLUTION_LEVELS)):
+            assert decompress_image(compress_image(img, level)).shape == img.shape
+
+
+class TestFidelityLadder:
+    def test_size_decreases_with_level(self, rgb):
+        sizes = [len(compress_image(rgb, lvl)) for lvl in range(len(RESOLUTION_LEVELS))]
+        for lo, hi in zip(sizes, sizes[1:]):
+            assert hi < lo, sizes
+
+    def test_psnr_decreases_with_level(self, rgb):
+        scores = [
+            psnr(rgb, decompress_image(compress_image(rgb, lvl)))
+            for lvl in range(len(RESOLUTION_LEVELS))
+        ]
+        for better, worse in zip(scores, scores[1:]):
+            assert better > worse, scores
+
+    def test_thumbnail_quality_still_recognisable(self, rgb):
+        """The smallest rendition keeps PSNR above ~15 dB — thumbnail
+        grade, per the paper's use case."""
+        tiny = decompress_image(compress_image(rgb, len(RESOLUTION_LEVELS) - 1))
+        assert psnr(rgb, tiny) > 15.0
+
+    def test_thumbnail_ladder_sorted_smallest_first(self, rgb):
+        ladder = thumbnail_ladder(rgb)
+        sizes = [len(data) for _, data in ladder]
+        assert sizes == sorted(sizes)
+        assert len(ladder) == len(RESOLUTION_LEVELS)
+
+
+class TestValidation:
+    def test_bad_level(self, rgb):
+        with pytest.raises(ValueError):
+            compress_image(rgb, 99)
+
+    def test_bad_dtype(self):
+        with pytest.raises(ValueError):
+            compress_image(np.zeros((4, 4), dtype=np.float64), 0)
+
+    def test_bad_shape(self):
+        with pytest.raises(ValueError):
+            compress_image(np.zeros((4, 4, 4), dtype=np.uint8), 0)
+
+    def test_truncated_data(self, rgb):
+        data = compress_image(rgb, 1)
+        with pytest.raises(CodecError):
+            decompress_image(data[: len(data) // 2])
+
+    def test_bad_magic(self, rgb):
+        data = bytearray(compress_image(rgb, 1))
+        data[0] = ord("X")
+        with pytest.raises(CodecError):
+            decompress_image(bytes(data))
+
+    def test_psnr_shape_mismatch(self, rgb, gray):
+        with pytest.raises(ValueError):
+            psnr(rgb, gray)
+
+    def test_psnr_identical_is_inf(self, gray):
+        assert psnr(gray, gray) == float("inf")

@@ -1,0 +1,145 @@
+"""LZF codec: format behaviour, round trips, property-based fuzzing."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compress import CodecError, LzfCodec, lzf_compress, lzf_decompress
+
+
+class TestRoundTrip:
+    def test_empty(self):
+        assert lzf_compress(b"") == b""
+        assert lzf_decompress(b"") == b""
+
+    @pytest.mark.parametrize(
+        "data",
+        [
+            b"a",
+            b"ab",
+            b"abc",
+            b"abcd",
+            b"hello world",
+            b"aaaa",
+            b"\x00" * 7,
+        ],
+    )
+    def test_short_inputs(self, data):
+        assert lzf_decompress(lzf_compress(data), len(data)) == data
+
+    def test_highly_repetitive(self):
+        data = b"x" * 100_000
+        comp = lzf_compress(data)
+        assert len(comp) < len(data) // 20, "RLE-like input must collapse"
+        assert lzf_decompress(comp, len(data)) == data
+
+    def test_repeating_pattern(self):
+        data = b"abcdefgh" * 10_000
+        comp = lzf_compress(data)
+        assert len(comp) < len(data) // 10
+        assert lzf_decompress(comp, len(data)) == data
+
+    def test_random_bytes_do_not_crash(self):
+        import random
+
+        rng = random.Random(42)
+        data = bytes(rng.randrange(256) for _ in range(50_000))
+        comp = lzf_compress(data)
+        # Literal-run encoding costs at most 1 byte per 32.
+        assert len(comp) <= len(data) + len(data) // 32 + 2
+        assert lzf_decompress(comp, len(data)) == data
+
+    def test_all_byte_values(self):
+        data = bytes(range(256)) * 64
+        assert lzf_decompress(lzf_compress(data), len(data)) == data
+
+    def test_long_match_beyond_max_ref(self):
+        # Matches longer than 264 must be split into several references.
+        data = b"Q" * 5000 + b"tail"
+        assert lzf_decompress(lzf_compress(data), len(data)) == data
+
+    def test_match_at_max_offset(self):
+        # A repetition exactly 8 KiB apart is the furthest reachable.
+        block = bytes(range(200))
+        data = block + b"\xff" * (8192 - len(block)) + block
+        assert lzf_decompress(lzf_compress(data), len(data)) == data
+
+    def test_match_beyond_max_offset_still_roundtrips(self):
+        block = bytes(range(200))
+        data = block + b"\xff" * 9000 + block
+        assert lzf_decompress(lzf_compress(data), len(data)) == data
+
+
+class TestFormat:
+    def test_literal_run_encoding(self):
+        # 3 incompressible bytes: control byte (len-1) + literals.
+        out = lzf_compress(b"xyz")
+        assert out[0] == 2
+        assert out[1:] == b"xyz"
+
+    def test_decoder_rejects_truncated_literal_run(self):
+        with pytest.raises(CodecError):
+            lzf_decompress(bytes([10]) + b"ab")  # run of 11, only 2 present
+
+    def test_decoder_rejects_bad_back_reference(self):
+        # ctrl >= 32 encodes a reference; offset points before output start.
+        with pytest.raises(CodecError):
+            lzf_decompress(bytes([0b001_00000, 0xFF]))
+
+    def test_decoder_rejects_truncated_stream(self):
+        # Truncation either breaks a token (decode error) or silently
+        # drops a whole trailing token — the expected-size check must
+        # catch whichever happens.
+        data = b"hello world, hello world, hello world"
+        comp = lzf_compress(data)
+        with pytest.raises(CodecError):
+            lzf_decompress(comp[:-3], len(data))
+
+    def test_expected_size_mismatch_raises(self):
+        comp = lzf_compress(b"some data here")
+        with pytest.raises(CodecError):
+            lzf_decompress(comp, 99)
+
+    def test_overlapping_copy_rle(self):
+        # "aaaa..." encodes as a literal 'a' + self-overlapping reference;
+        # the decoder must copy byte-at-a-time.
+        data = b"a" * 300
+        comp = lzf_compress(data)
+        assert lzf_decompress(comp, len(data)) == data
+
+
+class TestCodecInterface:
+    def test_codec_roundtrip_and_name(self):
+        codec = LzfCodec()
+        assert codec.name == "lzf"
+        data = b"The quick brown fox. " * 100
+        assert codec.decompress(codec.compress(data), len(data)) == data
+
+    def test_ratio_helper(self):
+        codec = LzfCodec()
+        assert codec.ratio(b"") == 1.0
+        assert codec.ratio(b"z" * 10_000) > 10
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.binary(max_size=4096))
+def test_roundtrip_property(data):
+    assert lzf_decompress(lzf_compress(data), len(data)) == data
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.binary(min_size=1, max_size=64), st.integers(min_value=1, max_value=500))
+def test_roundtrip_repeated_blocks(block, reps):
+    data = block * reps
+    assert lzf_decompress(lzf_compress(data), len(data)) == data
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.binary(max_size=2048))
+def test_compress_never_inflates_much(data):
+    comp = lzf_compress(data)
+    # Worst case: pure literals, 1 control byte per 32 payload bytes
+    # (plus one for a trailing partial run).
+    assert len(comp) <= len(data) + len(data) // 32 + 2

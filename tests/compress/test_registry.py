@@ -1,0 +1,64 @@
+"""Level registry: the paper's level-to-codec mapping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compress import (
+    ADOC_MAX_LEVEL,
+    ADOC_MIN_LEVEL,
+    LzfCodec,
+    NullCodec,
+    ZlibCodec,
+    all_levels,
+    codec_for_level,
+    level_name,
+)
+
+
+def test_level_bounds():
+    assert ADOC_MIN_LEVEL == 0
+    assert ADOC_MAX_LEVEL == 10
+    assert all_levels() == list(range(11))
+
+
+def test_level_zero_is_identity():
+    assert isinstance(codec_for_level(0), NullCodec)
+    data = b"anything at all"
+    assert codec_for_level(0).compress(data) == data
+
+
+def test_level_one_is_lzf():
+    assert isinstance(codec_for_level(1), LzfCodec)
+
+
+@pytest.mark.parametrize("level", range(2, 11))
+def test_levels_two_plus_are_zlib(level):
+    codec = codec_for_level(level)
+    assert isinstance(codec, ZlibCodec)
+    # AdOC level N maps to gzip/zlib level N-1 (paper section 2).
+    assert codec.level == level - 1
+
+
+@pytest.mark.parametrize("bad", [-1, 11, 100])
+def test_out_of_range_levels_rejected(bad):
+    with pytest.raises(ValueError):
+        codec_for_level(bad)
+
+
+def test_codecs_are_shared_instances():
+    assert codec_for_level(3) is codec_for_level(3)
+
+
+def test_level_names_follow_paper_terminology():
+    assert level_name(0) == "none"
+    assert level_name(1) == "lzf"
+    assert level_name(2) == "gzip 1"
+    assert level_name(10) == "gzip 9"
+
+
+@pytest.mark.parametrize("level", range(11))
+def test_every_level_roundtrips(level):
+    codec = codec_for_level(level)
+    data = b"roundtrip me please, with some repetition repetition" * 40
+    assert codec.decompress(codec.compress(data), len(data)) == data

@@ -1,0 +1,57 @@
+"""Shared fixtures for the AdOC reproduction test suite."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.transport import pipe_pair
+
+
+@pytest.fixture
+def pipes():
+    """A connected in-memory endpoint pair, closed on teardown."""
+    a, b = pipe_pair()
+    yield a, b
+    a.close()
+    b.close()
+
+
+class BackgroundSender:
+    """Run a send callable on a thread and re-raise its errors on join."""
+
+    def __init__(self, fn, *args, **kwargs):
+        self.result = None
+        self.error: BaseException | None = None
+
+        def run():
+            try:
+                self.result = fn(*args, **kwargs)
+            except BaseException as exc:  # noqa: BLE001 - surfaced on join
+                self.error = exc
+
+        self.thread = threading.Thread(target=run, daemon=True)
+        self.thread.start()
+
+    def join(self, timeout: float = 60.0):
+        self.thread.join(timeout)
+        assert not self.thread.is_alive(), "background sender timed out"
+        if self.error is not None:
+            raise self.error
+        return self.result
+
+
+@pytest.fixture
+def background():
+    """Factory fixture: run a callable in the background, join safely."""
+    senders: list[BackgroundSender] = []
+
+    def start(fn, *args, **kwargs) -> BackgroundSender:
+        s = BackgroundSender(fn, *args, **kwargs)
+        senders.append(s)
+        return s
+
+    yield start
+    for s in senders:
+        s.thread.join(timeout=5)

@@ -1,0 +1,173 @@
+"""Figure-2 level-update algorithm: exact transcription + properties."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AdocConfig, DivergenceGuard, IncompressibleGuard
+from repro.core.adaptation import LevelAdapter, update_level
+
+
+class TestFigure2Exact:
+    """Line-by-line checks against the paper's pseudo-code."""
+
+    def test_empty_queue_returns_min_level(self):
+        # Line 1-2: if n=0 return minLevel.
+        assert update_level(0, 5, 9) == 0
+        assert update_level(0, -5, 9, min_level=1) == 1
+
+    def test_small_queue_nonpositive_delta_halves(self):
+        # Lines 3-5: n < 10 and δ <= 0 → l = l/2.
+        assert update_level(5, 0, 8) == 4
+        assert update_level(9, -3, 8) == 4
+        assert update_level(5, -1, 9) == 4  # integer division
+        assert update_level(5, 0, 1) == 0
+
+    def test_small_queue_positive_delta_keeps_level(self):
+        # n < 10 with δ > 0: no branch applies, level unchanged.
+        assert update_level(5, 2, 8) == 8
+
+    def test_mid_queue_steps_by_one(self):
+        # Lines 6-10: 10 <= n < 20.
+        assert update_level(15, 1, 5) == 6
+        assert update_level(15, -1, 5) == 4
+        assert update_level(15, 0, 5) == 5
+
+    def test_high_queue_asymmetric_steps(self):
+        # Lines 11-15: 20 <= n < 30: +2 on growth, -1 on shrink.
+        assert update_level(25, 3, 5) == 7
+        assert update_level(25, -3, 5) == 4
+        assert update_level(25, 0, 5) == 5
+
+    def test_very_large_queue_only_grows(self):
+        # Lines 16-17: n >= 30: +2 on growth, nothing otherwise.
+        assert update_level(35, 1, 5) == 7
+        assert update_level(35, -10, 5) == 5
+        assert update_level(35, 0, 5) == 5
+
+    def test_clamping(self):
+        # Lines 18-19.
+        assert update_level(35, 1, 10) == 10
+        assert update_level(35, 1, 9) == 10
+        assert update_level(5, 0, 0) == 0
+        assert update_level(15, -1, 3, min_level=3) == 3
+        assert update_level(25, 5, 4, max_level=5) == 5
+
+    def test_thresholds_are_parameters(self):
+        # With low=2, a queue of 3 is in the "mid" band.
+        assert update_level(3, 1, 5, low=2, mid=5, high=8) == 6
+
+    def test_negative_queue_size_rejected(self):
+        with pytest.raises(ValueError):
+            update_level(-1, 0, 5)
+
+
+@settings(max_examples=300, deadline=None)
+@given(
+    n=st.integers(min_value=0, max_value=200),
+    delta=st.integers(min_value=-100, max_value=100),
+    level=st.integers(min_value=0, max_value=10),
+)
+def test_result_always_within_bounds(n, delta, level):
+    out = update_level(n, delta, level)
+    assert 0 <= out <= 10
+
+
+@settings(max_examples=300, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=200),
+    delta=st.integers(min_value=-100, max_value=100),
+    level=st.integers(min_value=0, max_value=10),
+)
+def test_step_bounded_unless_halved(n, delta, level):
+    """Any move is at most +2, and downward either -1 or a halving."""
+    out = update_level(n, delta, level)
+    assert out - level <= 2
+    assert out >= level // 2 - 0  # halving is the deepest cut
+
+
+@settings(max_examples=300, deadline=None)
+@given(
+    n=st.integers(min_value=0, max_value=200),
+    delta=st.integers(min_value=-100, max_value=100),
+    level=st.integers(min_value=0, max_value=10),
+    lo=st.integers(min_value=0, max_value=10),
+)
+def test_respects_custom_min_level(n, delta, level, lo):
+    out = update_level(n, delta, max(level, lo), min_level=lo)
+    assert lo <= out <= 10
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    delta=st.integers(min_value=1, max_value=50),
+    level=st.integers(min_value=0, max_value=10),
+)
+def test_growth_never_decreases_level(delta, level):
+    """δ > 0 never lowers the level, whatever the queue size."""
+    for n in (1, 5, 10, 15, 20, 25, 30, 100):
+        assert update_level(n, delta, level) >= level
+
+
+class TestLevelAdapter:
+    def test_first_call_has_zero_delta(self):
+        adapter = LevelAdapter(AdocConfig())
+        # n=15 with δ=0 in the mid band: level unchanged (0).
+        assert adapter.next_level(15, now=0.0) == 0
+        assert adapter.history[0].delta == 0
+
+    def test_delta_tracks_queue_changes(self):
+        adapter = LevelAdapter(AdocConfig())
+        adapter.next_level(10, now=0.0)
+        adapter.next_level(14, now=1.0)
+        assert adapter.history[1].delta == 4
+        adapter.next_level(11, now=2.0)
+        assert adapter.history[2].delta == -3
+
+    def test_climb_on_growing_queue(self):
+        adapter = LevelAdapter(AdocConfig())
+        levels = [adapter.next_level(30 + 5 * i, now=float(i)) for i in range(8)]
+        assert levels[-1] == 10, "sustained growth must reach max level"
+        assert levels == sorted(levels)
+
+    def test_empty_queue_resets_to_min(self):
+        adapter = LevelAdapter(AdocConfig())
+        for i in range(8):
+            adapter.next_level(30 + 5 * i, now=float(i))
+        assert adapter.next_level(0, now=99.0) == 0
+
+    def test_respects_level_bounds_from_config(self):
+        cfg = AdocConfig(min_level=2, max_level=4)
+        adapter = LevelAdapter(cfg)
+        assert adapter.next_level(0, now=0.0) == 2
+        for i in range(10):
+            adapter.next_level(30 + 5 * i, now=float(i))
+        assert adapter.level == 4
+
+    def test_incompressible_holdoff_pins_min(self):
+        guard = IncompressibleGuard(holdoff_packets=10)
+        adapter = LevelAdapter(AdocConfig(), incompressible=guard)
+        for i in range(8):
+            adapter.next_level(30 + 5 * i, now=float(i))
+        assert adapter.level == 10
+        guard.check_packet(1000, 990)  # trip it
+        assert adapter.next_level(60, now=9.0) == 0
+        assert adapter.history[-1].holdoff
+
+    def test_divergence_veto_recorded_in_trace(self):
+        guard = DivergenceGuard(forbid_seconds=1.0)
+        guard.observe(0, 1_000_000, 1.0)  # level 0: 1 MB/s
+        guard.observe(0, 1_000_000, 1.0)
+        guard.observe(2, 100_000, 1.0)
+        guard.observe(2, 100_000, 1.0)  # level 2: 0.1 MB/s, 2 windows
+        adapter = LevelAdapter(AdocConfig(), divergence=guard)
+        adapter.level = 1
+        got = adapter.next_level(15, now=0.0)
+        adapter2_trace = adapter.history[-1]
+        assert adapter2_trace.raw_level == 1  # δ=0 in mid band keeps 1
+        # Raise into level 2 on the next growth step; the guard vetoes.
+        got = adapter.next_level(19, now=0.1)
+        assert got == 0
+        assert adapter.history[-1].forbidden

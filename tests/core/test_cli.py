@@ -1,0 +1,138 @@
+"""CLI: info, trace, bench dispatch, and a live serve/send round trip."""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.data import ascii_data
+
+
+class TestInfo:
+    def test_lists_levels_and_profiles(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "lzf" in out and "gzip 9" in out
+        for name in ("lan100", "gbit", "renater", "internet"):
+            assert name in out
+
+
+class TestTrace:
+    def test_trace_renater(self, capsys):
+        assert main(["trace", "--network", "renater", "--size-mb", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "queue" in out
+        assert "ratio" in out
+
+    def test_trace_small_message_note(self, capsys):
+        # Gbit + small-ish: fast path, no adaptation history printed.
+        assert main(["trace", "--network", "gbit", "--size-mb", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "ratio" in out
+
+
+class TestBench:
+    def test_table2(self, capsys):
+        assert main(["bench", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "renater" in out
+
+    def test_invalid_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "fig12"])
+
+
+class TestSendServe:
+    def test_roundtrip_over_tcp(self, tmp_path: Path, capsys):
+        src = tmp_path / "data.txt"
+        src.write_bytes(ascii_data(150_000, seed=1))
+        out_dir = tmp_path / "out"
+
+        port_holder = {}
+
+        def serve() -> None:
+            # Bind port 0 and let the OS pick; parse it from stdout is
+            # awkward under capsys, so pre-pick a free port instead.
+            main(
+                [
+                    "serve",
+                    "--port",
+                    str(port_holder["port"]),
+                    "--out-dir",
+                    str(out_dir),
+                    "--count",
+                    "1",
+                ]
+            )
+
+        s = socket.socket()
+        s.bind(("127.0.0.1", 0))
+        port_holder["port"] = s.getsockname()[1]
+        s.close()
+
+        server = threading.Thread(target=serve, daemon=True)
+        server.start()
+        deadline = time.monotonic() + 5
+        rc = None
+        while time.monotonic() < deadline:
+            try:
+                rc = main(
+                    ["send", "--port", str(port_holder["port"]), str(src)]
+                )
+                break
+            except ConnectionRefusedError:
+                time.sleep(0.05)
+        server.join(timeout=30)
+        assert rc == 0
+        assert (out_dir / "data.txt").read_bytes() == src.read_bytes()
+
+    def test_send_missing_file_reports_error(self, tmp_path, capsys):
+        port_holder = {}
+        s = socket.socket()
+        s.bind(("127.0.0.1", 0))
+        port_holder["port"] = s.getsockname()[1]
+        s.listen(1)
+
+        def sink() -> None:
+            try:
+                conn, _ = s.accept()
+                while conn.recv(65536):
+                    pass
+                conn.close()
+            except OSError:
+                pass  # listener torn down at test end
+
+        t = threading.Thread(target=sink, daemon=True)
+        t.start()
+        rc = main(
+            ["send", "--port", str(port_holder["port"]), str(tmp_path / "nope.bin")]
+        )
+        assert rc == 1
+        s.close()
+
+
+class TestBenchAll:
+    def test_writes_all_csvs(self, tmp_path, capsys, monkeypatch):
+        # Shrink the figure sweeps so "all" completes quickly; table1
+        # runs at full size (a couple of seconds of real codecs).
+        import repro.bench.experiments as exp
+
+        monkeypatch.setattr(exp, "FIGURE_SIZES", [1024, 1024 * 1024])
+        monkeypatch.setattr(
+            exp, "_FIGURE_SETUPS",
+            {k: (v[0], 1, v[2]) for k, v in exp._FIGURE_SETUPS.items()},
+        )
+        rc = main(["bench", "all", "--csv-dir", str(tmp_path)])
+        assert rc == 0
+        names = {p.name for p in tmp_path.iterdir()}
+        assert names == {
+            "table1.csv", "table2.csv",
+            "fig3.csv", "fig4.csv", "fig5.csv", "fig6.csv", "fig7.csv",
+            "fig8.csv", "fig9.csv",
+        }
+        assert (tmp_path / "fig5.csv").read_text().startswith("size_bytes,")

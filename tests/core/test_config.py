@@ -1,0 +1,79 @@
+"""AdocConfig: paper defaults and validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AdocConfig, DEFAULT_CONFIG
+
+KB = 1024
+
+
+def test_paper_constants():
+    cfg = DEFAULT_CONFIG
+    assert cfg.buffer_size == 200 * KB
+    assert cfg.packet_size == 8 * KB
+    assert cfg.queue_low == 10
+    assert cfg.queue_mid == 20
+    assert cfg.queue_high == 30
+    assert cfg.small_message_threshold == 512 * KB
+    assert cfg.probe_size == 256 * KB
+    assert cfg.fast_network_bps == 500e6
+    assert cfg.divergence_forbid_s == 1.0
+    assert cfg.incompressible_holdoff == 10
+    assert cfg.min_level == 0
+    assert cfg.max_level == 10
+
+
+def test_no_compression_below_80kb_consequence():
+    """Paper section 3.3: 10-packet floor x 8 KB packets = 80 KB."""
+    cfg = DEFAULT_CONFIG
+    assert cfg.queue_low * cfg.packet_size == 80 * KB
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(buffer_size=0),
+        dict(packet_size=0),
+        dict(packet_size=300 * KB),  # larger than buffer
+        dict(min_level=5, max_level=3),
+        dict(max_level=11),
+        dict(queue_low=0),
+        dict(queue_low=25, queue_mid=20),
+        dict(queue_capacity=10),  # below queue_high
+        dict(probe_size=1024 * KB),  # above small-message threshold
+        dict(incompressible_ratio=0.0),
+        dict(incompressible_ratio=1.5),
+    ],
+)
+def test_invalid_configs_rejected(kwargs):
+    with pytest.raises(ValueError):
+        AdocConfig(**kwargs)
+
+
+def test_with_levels_narrowing():
+    cfg = DEFAULT_CONFIG.with_levels(1, 5)
+    assert cfg.min_level == 1 and cfg.max_level == 5
+    assert cfg.compression_forced
+    assert not cfg.compression_disabled
+    # Original untouched (frozen dataclass).
+    assert DEFAULT_CONFIG.min_level == 0
+
+
+def test_with_levels_disable():
+    cfg = DEFAULT_CONFIG.with_levels(0, 0)
+    assert cfg.compression_disabled
+    assert not cfg.compression_forced
+
+
+def test_with_levels_validation():
+    with pytest.raises(ValueError):
+        DEFAULT_CONFIG.with_levels(5, 3)
+    with pytest.raises(ValueError):
+        DEFAULT_CONFIG.with_levels(0, 11)
+
+
+def test_frozen():
+    with pytest.raises(Exception):
+        DEFAULT_CONFIG.buffer_size = 1  # type: ignore[misc]

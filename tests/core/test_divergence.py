@@ -1,0 +1,107 @@
+"""Divergence guard: bandwidth records, vetoes, forbid windows."""
+
+from __future__ import annotations
+
+from repro.core import BandwidthRecord, DivergenceGuard
+
+
+class TestBandwidthRecord:
+    def test_first_observation_sets_value(self):
+        r = BandwidthRecord()
+        r.observe(100.0)
+        assert r.bandwidth == 100.0
+        assert r.samples == 1
+
+    def test_ewma_blends(self):
+        r = BandwidthRecord()
+        r.observe(100.0, alpha=0.5)
+        r.observe(200.0, alpha=0.5)
+        assert r.bandwidth == 150.0
+
+
+class TestGuard:
+    def test_level_zero_never_vetoed(self):
+        g = DivergenceGuard()
+        g.observe(0, 10, 1.0)
+        assert g.filter_level(0, now=0.0) == 0
+
+    def test_unrecorded_level_allowed_to_collect(self):
+        g = DivergenceGuard()
+        g.observe(0, 1_000_000, 1.0)
+        # Level 5 has never run: let it run so a record can form.
+        assert g.filter_level(5, now=0.0) == 5
+
+    def test_worse_level_vetoed_and_forbidden(self):
+        g = DivergenceGuard(forbid_seconds=1.0)
+        g.observe(0, 2_000_000, 1.0)   # 2 MB/s raw
+        g.observe(0, 2_000_000, 1.0)   # (records need >= 2 windows)
+        g.observe(5, 500_000, 1.0)     # 0.5 MB/s at level 5
+        assert g.filter_level(5, now=10.0) == 0
+        assert g.is_forbidden(5, now=10.5)
+        assert not g.is_forbidden(5, now=11.1)
+
+    def test_forbid_window_expires_and_level_retried(self):
+        g = DivergenceGuard(forbid_seconds=1.0)
+        g.observe(0, 2_000_000, 1.0)
+        g.observe(0, 2_000_000, 1.0)
+        g.observe(5, 500_000, 1.0)
+        g.filter_level(5, now=0.0)  # forbids 5 until 1.0
+        assert g.filter_level(5, now=0.5) == 0  # still forbidden
+        # After expiry the record still says "worse", so the veto
+        # re-fires — but only after the window lapses, as the paper
+        # specifies ("we let AdOC try this level again").
+        out = g.filter_level(5, now=1.5)
+        assert out == 0
+        assert g.is_forbidden(5, now=1.6)
+
+    def test_better_higher_level_allowed(self):
+        g = DivergenceGuard()
+        g.observe(0, 1_000_000, 1.0)
+        g.observe(0, 1_000_000, 1.0)
+        g.observe(5, 3_000_000, 1.0)  # level 5 delivers more payload/s
+        assert g.filter_level(5, now=0.0) == 5
+
+    def test_single_window_record_not_trusted(self):
+        """One (possibly congested) window is not evidence against a
+        level: MIN_SAMPLES gates the comparison."""
+        g = DivergenceGuard()
+        g.observe(0, 9_000_000, 1.0)  # one spectacular raw window
+        g.observe(5, 1_000_000, 1.0)
+        assert g.filter_level(5, now=0.0) == 5
+
+    def test_margin_prevents_noise_flapping(self):
+        g = DivergenceGuard()
+        g.observe(0, 1_200_000, 1.0)
+        g.observe(0, 1_200_000, 1.0)
+        g.observe(5, 1_000_000, 1.0)  # 20% worse: within the 30% margin
+        assert g.filter_level(5, now=0.0) == 5
+
+    def test_fallback_picks_best_recorded_lower_level(self):
+        g = DivergenceGuard()
+        for _ in range(2):
+            g.observe(0, 1_000_000, 1.0)
+            g.observe(2, 3_000_000, 1.0)
+        g.observe(5, 500_000, 1.0)
+        assert g.filter_level(5, now=0.0) == 2
+
+    def test_fallback_skips_forbidden_lower_levels(self):
+        g = DivergenceGuard(forbid_seconds=10.0)
+        for _ in range(2):
+            g.observe(0, 1_000_000, 1.0)
+            g.observe(2, 3_000_000, 1.0)
+            g.observe(3, 2_500_000, 1.0)
+        g.observe(5, 500_000, 1.0)
+        g.filter_level(5, now=0.0)          # falls to 2? no: forbids 5
+        g._forbidden_until[2] = 100.0        # force 2 unavailable
+        assert g.filter_level(5, now=1.0) == 3
+
+    def test_zero_elapsed_observation_ignored(self):
+        g = DivergenceGuard()
+        g.observe(3, 100, 0.0)
+        assert g.recorded_bandwidth(3) is None
+
+    def test_observation_accumulates_ewma(self):
+        g = DivergenceGuard(alpha=0.5)
+        g.observe(3, 1_000_000, 1.0)
+        g.observe(3, 3_000_000, 1.0)
+        assert g.recorded_bandwidth(3) == 2_000_000.0

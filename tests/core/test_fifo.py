@@ -1,0 +1,142 @@
+"""PacketQueue: blocking semantics, close/drain, thread interplay."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.core import PacketQueue, QueueClosed, QueuedPacket
+
+
+def pkt(i: int, level: int = 0) -> QueuedPacket:
+    return QueuedPacket(bytes([i % 256]) * 8, level, 8, buffer_id=i)
+
+
+class TestBasics:
+    def test_fifo_order(self):
+        q = PacketQueue(16)
+        for i in range(5):
+            q.put(pkt(i))
+        got = [q.get().buffer_id for _ in range(5)]
+        assert got == list(range(5))
+
+    def test_size_counts_packets(self):
+        q = PacketQueue(16)
+        assert q.size() == 0
+        q.put(pkt(0))
+        q.put(pkt(1))
+        assert q.size() == 2
+        q.get()
+        assert q.size() == 1
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            PacketQueue(0)
+
+    def test_peak_and_total_counters(self):
+        q = PacketQueue(16)
+        for i in range(6):
+            q.put(pkt(i))
+        for _ in range(6):
+            q.get()
+        assert q.total_put == 6
+        assert q.peak_size == 6
+
+
+class TestClose:
+    def test_get_drains_then_none(self):
+        q = PacketQueue(16)
+        q.put(pkt(0))
+        q.put(pkt(1))
+        q.close()
+        assert q.get() is not None
+        assert q.get() is not None
+        assert q.get() is None
+
+    def test_put_after_close_raises(self):
+        q = PacketQueue(16)
+        q.close()
+        with pytest.raises(QueueClosed):
+            q.put(pkt(0))
+
+    def test_close_wakes_blocked_getter(self):
+        q = PacketQueue(16)
+        got = []
+
+        def consume():
+            got.append(q.get())
+
+        t = threading.Thread(target=consume, daemon=True)
+        t.start()
+        time.sleep(0.05)
+        q.close()
+        t.join(timeout=5)
+        assert not t.is_alive()
+        assert got == [None]
+
+    def test_close_wakes_blocked_putter(self):
+        q = PacketQueue(1)
+        q.put(pkt(0))
+        errors = []
+
+        def produce():
+            try:
+                q.put(pkt(1))
+            except QueueClosed as exc:
+                errors.append(exc)
+
+        t = threading.Thread(target=produce, daemon=True)
+        t.start()
+        time.sleep(0.05)
+        q.close()
+        t.join(timeout=5)
+        assert not t.is_alive()
+        assert len(errors) == 1
+
+
+class TestBlocking:
+    def test_put_blocks_at_capacity(self):
+        q = PacketQueue(2)
+        q.put(pkt(0))
+        q.put(pkt(1))
+        state = {"done": False}
+
+        def produce():
+            q.put(pkt(2))
+            state["done"] = True
+
+        t = threading.Thread(target=produce, daemon=True)
+        t.start()
+        time.sleep(0.05)
+        assert not state["done"], "put must block while full"
+        q.get()
+        t.join(timeout=5)
+        assert state["done"]
+
+    def test_producer_consumer_stress(self):
+        q = PacketQueue(8)
+        n = 500
+        seen = []
+
+        def produce():
+            for i in range(n):
+                q.put(pkt(i))
+            q.close()
+
+        def consume():
+            while True:
+                item = q.get()
+                if item is None:
+                    return
+                seen.append(item.buffer_id)
+
+        tp = threading.Thread(target=produce, daemon=True)
+        tc = threading.Thread(target=consume, daemon=True)
+        tp.start()
+        tc.start()
+        tp.join(timeout=20)
+        tc.join(timeout=20)
+        assert seen == list(range(n))
+        assert q.peak_size <= 8

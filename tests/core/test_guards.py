@@ -1,0 +1,77 @@
+"""Incompressible-data guard (paper section 5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import IncompressibleGuard
+
+
+def test_good_ratio_does_not_trip():
+    g = IncompressibleGuard(ratio_threshold=0.95, holdoff_packets=10)
+    assert not g.check_packet(8192, 4000)
+    assert not g.active
+
+
+def test_poor_ratio_trips_and_holds():
+    g = IncompressibleGuard(ratio_threshold=0.95, holdoff_packets=10)
+    assert g.check_packet(8192, 8100)  # saved < 5%
+    assert g.active
+    assert g.trips == 1
+
+
+def test_expansion_trips():
+    g = IncompressibleGuard()
+    assert g.check_packet(8192, 9000)
+
+
+def test_holdoff_expires_after_n_packets():
+    g = IncompressibleGuard(holdoff_packets=3)
+    g.check_packet(100, 100)
+    assert g.active
+    for _ in range(3):
+        g.note_packet_emitted()
+    assert not g.active
+
+
+def test_retrip_resets_holdoff():
+    g = IncompressibleGuard(holdoff_packets=5)
+    g.check_packet(100, 100)
+    for _ in range(4):
+        g.note_packet_emitted()
+    g.check_packet(100, 100)  # trips again
+    assert g.trips == 2
+    for _ in range(4):
+        g.note_packet_emitted()
+    assert g.active  # 4 of 5 consumed
+    g.note_packet_emitted()
+    assert not g.active
+
+
+def test_note_without_trip_is_noop():
+    g = IncompressibleGuard()
+    g.note_packet_emitted()
+    assert not g.active
+
+
+def test_zero_original_size_ignored():
+    g = IncompressibleGuard()
+    assert not g.check_packet(0, 0)
+
+
+def test_threshold_validation():
+    with pytest.raises(ValueError):
+        IncompressibleGuard(ratio_threshold=0.0)
+    with pytest.raises(ValueError):
+        IncompressibleGuard(ratio_threshold=1.5)
+    with pytest.raises(ValueError):
+        IncompressibleGuard(holdoff_packets=-1)
+
+
+def test_exact_threshold_boundary():
+    g = IncompressibleGuard(ratio_threshold=0.95)
+    # compressed == 0.95 * original: not strictly below the required
+    # saving, so it trips (>= comparison).
+    assert g.check_packet(1000, 950)
+    g2 = IncompressibleGuard(ratio_threshold=0.95)
+    assert not g2.check_packet(1000, 949)

@@ -1,0 +1,121 @@
+"""Mixing byte-stream reads with message reads on one connection.
+
+The file-mover pattern: a small header message read with ``adoc_read``
+followed by a file received with ``adoc_receive_file``.  The boundary
+of a message fully consumed by byte-reads must be crossed, so the
+message read applies to the *next* message — including when the marker
+has not yet been produced by the decompression thread (the drained-
+buffer race).
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro.core import AdocConfig, AdocSocket
+from repro.core.receiver import OutputBuffer
+from repro.data import ascii_data
+from repro.transport import pipe_pair
+
+CFG = AdocConfig(
+    buffer_size=16 * 1024,
+    packet_size=2 * 1024,
+    slice_size=2 * 1024,
+    small_message_threshold=8 * 1024,
+    probe_size=4 * 1024,
+    fast_network_bps=float("inf"),
+)
+
+
+class TestOutputBufferBoundaryCrossing:
+    def test_exact_read_consumes_boundary(self):
+        buf = OutputBuffer()
+        buf.put(b"header")
+        buf.put_marker()
+        buf.put(b"file-payload")
+        buf.put_marker()
+        buf.finish()
+        assert buf.read(6) == b"header"
+        sink = io.BytesIO()
+        assert buf.read_until_marker(sink) == 12
+        assert sink.getvalue() == b"file-payload"
+
+    def test_drained_buffer_race_marker_after_read(self):
+        buf = OutputBuffer()
+        buf.put(b"header")
+        # Byte-read drains the buffer before the marker is produced.
+        assert buf.read(6) == b"header"
+        buf.put_marker()  # late boundary: must be treated as crossed
+        buf.put(b"next-message")
+        buf.put_marker()
+        buf.finish()
+        sink = io.BytesIO()
+        assert buf.read_until_marker(sink) == 12
+        assert sink.getvalue() == b"next-message"
+
+    def test_drained_buffer_more_data_keeps_boundary(self):
+        buf = OutputBuffer()
+        buf.put(b"first-half-")
+        assert buf.read(11) == b"first-half-"
+        # Same message continues: the deferred skip must be cancelled.
+        buf.put(b"second-half")
+        buf.put_marker()
+        buf.finish()
+        sink = io.BytesIO()
+        assert buf.read_until_marker(sink) == 11
+        assert sink.getvalue() == b"second-half"
+
+    def test_partial_read_keeps_boundary(self):
+        buf = OutputBuffer()
+        buf.put(b"abcdef")
+        buf.put_marker()
+        buf.finish()
+        assert buf.read(3) == b"abc"
+        sink = io.BytesIO()
+        # The rest of the same message, up to its boundary.
+        assert buf.read_until_marker(sink) == 3
+        assert sink.getvalue() == b"def"
+
+
+class TestMixedModesEndToEnd:
+    def test_header_then_file_pattern(self, background):
+        a, b = pipe_pair()
+        tx, rx = AdocSocket(a, CFG), AdocSocket(b, CFG)
+        name = b"payload.bin"
+        body = ascii_data(60_000, seed=9)
+
+        def send() -> None:
+            tx.write(len(name).to_bytes(2, "big") + name)
+            tx.send_file(io.BytesIO(body))
+
+        bg = background(send)
+        got_len = int.from_bytes(rx.read_exact(2), "big")
+        got_name = rx.read_exact(got_len)
+        sink = io.BytesIO()
+        n = rx.receive_file(sink)
+        bg.join()
+        assert got_name == name
+        assert n == len(body)
+        assert sink.getvalue() == body
+        tx.close()
+        rx.close()
+
+    def test_alternating_headers_and_files(self, background):
+        a, b = pipe_pair()
+        tx, rx = AdocSocket(a, CFG), AdocSocket(b, CFG)
+        files = [ascii_data(20_000 + 7 * i, seed=i) for i in range(3)]
+
+        def send() -> None:
+            for i, body in enumerate(files):
+                tx.write(bytes([i]))
+                tx.send_file(io.BytesIO(body))
+
+        bg = background(send)
+        for i, body in enumerate(files):
+            assert rx.read_exact(1) == bytes([i])
+            sink = io.BytesIO()
+            assert rx.receive_file(sink) == len(body)
+            assert sink.getvalue() == body
+        bg.join()
+        tx.close()
+        rx.close()

@@ -1,0 +1,105 @@
+"""Alternative level-control policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AdocConfig, IncompressibleGuard
+from repro.core.policies import (
+    POLICIES,
+    AimdAdapter,
+    FixedLevelAdapter,
+    NaiveStepAdapter,
+    PaperAdapter,
+    ThresholdAdapter,
+    make_policy,
+)
+
+CFG = AdocConfig()
+
+
+class TestNaive:
+    def test_steps_up_and_down(self):
+        a = NaiveStepAdapter(CFG)
+        assert a.next_level(10, 0.0) == 0  # first call: delta 0
+        assert a.next_level(15, 0.1) == 1
+        assert a.next_level(20, 0.2) == 2
+        assert a.next_level(18, 0.3) == 1
+
+    def test_reset_on_empty(self):
+        a = NaiveStepAdapter(CFG)
+        a.level = 7
+        assert a.next_level(0, 0.0) == 0
+
+
+class TestAimd:
+    def test_multiplicative_decrease(self):
+        a = AimdAdapter(CFG)
+        a.level = 8
+        a.next_level(20, 0.0)        # first call, delta 0: hold
+        assert a.level == 8
+        assert a.next_level(15, 0.1) == 4   # shrink: halve
+        assert a.next_level(18, 0.2) == 5   # growth: +1
+
+
+class TestFixed:
+    def test_constant(self):
+        a = FixedLevelAdapter(CFG, fixed_level=6)
+        for n in (0, 5, 40, 200):
+            assert a.next_level(n, 0.0) == 6
+
+    def test_clamped_to_config(self):
+        a = FixedLevelAdapter(AdocConfig(max_level=4), fixed_level=9)
+        assert a.next_level(10, 0.0) == 4
+
+
+class TestThreshold:
+    def test_monotone_in_queue(self):
+        a = ThresholdAdapter(CFG)
+        levels = [a.next_level(n, 0.0) for n in (0, 5, 15, 25, 30, 60)]
+        assert levels == sorted(levels)
+        assert levels[0] == 0
+        assert levels[-1] == 10
+
+
+class TestGuardsApply:
+    def test_incompressible_holdoff_pins_all_policies(self):
+        for name, cls in POLICIES.items():
+            guard = IncompressibleGuard(holdoff_packets=5)
+            adapter = cls(CFG, None, guard)
+            adapter.level = 8
+            guard.check_packet(100, 100)
+            assert adapter.next_level(40, 0.0) == 0, name
+
+
+class TestFactory:
+    def test_make_policy(self):
+        factory = make_policy("aimd")
+        adapter = factory(CFG, None, None)
+        assert isinstance(adapter, AimdAdapter)
+
+    def test_make_policy_kwargs(self):
+        factory = make_policy("fixed", fixed_level=3)
+        assert factory(CFG, None, None).next_level(10, 0.0) == 3
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_policy("pid")
+
+
+class TestInSimulator:
+    @pytest.mark.parametrize("name", sorted(POLICIES))
+    def test_every_policy_completes_a_transfer(self, name):
+        from repro.simulator import profile_by_name, simulate_adoc_message
+        from repro.transport import RENATER
+
+        kwargs = {"fixed_level": 5} if name == "fixed" else {}
+        r = simulate_adoc_message(
+            2 * 1024 * 1024,
+            profile_by_name("ascii"),
+            RENATER,
+            seed=1,
+            adapter_factory=make_policy(name, **kwargs),
+        )
+        assert r.payload_bytes == 2 * 1024 * 1024
+        assert r.wire_bytes > 0

@@ -1,0 +1,226 @@
+"""Sender/receiver pipelines over in-memory pipes: full data path."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.core import AdocConfig, MessageSender, ReceiverPipeline
+from repro.core.receiver import OutputBuffer
+from repro.data import ascii_data, binary_data, incompressible_data
+from repro.transport import pipe_pair
+
+#: Small thresholds so pipeline paths engage without megabytes of data.
+FAST_CFG = AdocConfig(
+    buffer_size=16 * 1024,
+    packet_size=2 * 1024,
+    slice_size=2 * 1024,
+    small_message_threshold=8 * 1024,
+    probe_size=4 * 1024,
+    # In-memory pipes are "infinitely fast": disable the fast-network
+    # bypass so the adaptive pipeline actually runs.
+    fast_network_bps=float("inf"),
+)
+
+
+def transfer(data: bytes, config: AdocConfig, background, reader_chunks: int = 1 << 20):
+    a, b = pipe_pair()
+    sender = MessageSender(a, config)
+    receiver = ReceiverPipeline(b, config)
+    bg = background(sender.send, data)
+    out = bytearray()
+    while len(out) < len(data):
+        chunk = receiver.read(min(reader_chunks, len(data) - len(out)))
+        if not chunk:
+            break
+        out += chunk
+    result = bg.join()
+    a.close()
+    receiver.close()
+    return bytes(out), result
+
+
+class TestSmallMessagePath:
+    def test_small_message_raw_no_pipeline(self, background):
+        data = b"tiny payload"
+        got, result = transfer(data, FAST_CFG, background)
+        assert got == data
+        assert not result.pipeline_used
+        assert result.wire_bytes == len(data) + 12 + 9  # headers only
+
+    def test_empty_message(self, background):
+        a, b = pipe_pair()
+        sender = MessageSender(a, FAST_CFG)
+        receiver = ReceiverPipeline(b, FAST_CFG)
+        bg = background(sender.send, b"")
+        result = bg.join()
+        assert result.payload_bytes == 0
+        assert result.wire_bytes == 12
+        # Next message still parses fine after an empty one.
+        bg2 = background(sender.send, b"after-empty")
+        assert receiver.read(11) == b"after-empty"
+        bg2.join()
+        a.close()
+        receiver.close()
+
+
+class TestPipelinePath:
+    @pytest.mark.parametrize(
+        "gen", [ascii_data, binary_data, incompressible_data], ids=["ascii", "binary", "random"]
+    )
+    def test_roundtrip_all_data_classes(self, background, gen):
+        data = gen(100_000, seed=1)
+        got, result = transfer(data, FAST_CFG, background)
+        assert got == data
+        assert result.pipeline_used
+        assert result.payload_bytes == len(data)
+
+    def test_compressible_data_shrinks_on_wire(self, background):
+        data = ascii_data(200_000, seed=2)
+        got, result = transfer(data, FAST_CFG, background)
+        assert got == data
+        assert result.wire_bytes < len(data)
+        assert result.compression_ratio > 1.2
+
+    def test_incompressible_data_bounded_overhead(self, background):
+        data = incompressible_data(200_000, seed=3)
+        got, result = transfer(data, FAST_CFG, background)
+        assert got == data
+        # Framing overhead only: headers per record/packet, < 2%.
+        assert result.wire_bytes < len(data) * 1.02
+
+    def test_guard_trips_on_incompressible(self, background):
+        data = incompressible_data(300_000, seed=4)
+        cfg = AdocConfig(
+            buffer_size=16 * 1024,
+            packet_size=2 * 1024,
+            slice_size=2 * 1024,
+            small_message_threshold=8 * 1024,
+            probe_size=4 * 1024,
+            fast_network_bps=float("inf"),
+            min_level=1,  # force compression attempts so the guard fires
+            max_level=10,
+        )
+        got, result = transfer(data, cfg, background)
+        assert got == data
+        assert result.guard_trips > 0
+
+    def test_multiple_messages_same_connection(self, background):
+        a, b = pipe_pair()
+        sender = MessageSender(a, FAST_CFG)
+        receiver = ReceiverPipeline(b, FAST_CFG)
+        msgs = [ascii_data(50_000, seed=i) for i in range(4)]
+        for m in msgs:
+            bg = background(sender.send, m)
+            out = bytearray()
+            while len(out) < len(m):
+                chunk = receiver.read(len(m) - len(out))
+                assert chunk, "premature EOF"
+                out += chunk
+            assert bytes(out) == m
+            bg.join()
+        a.close()
+        receiver.close()
+
+
+class TestForcedAndDisabled:
+    def test_forced_compression_small_message(self, background):
+        cfg = FAST_CFG.with_levels(1, 10)
+        data = b"a" * 4000  # below small threshold, but forced
+        got, result = transfer(data, cfg, background)
+        assert got == data
+        assert result.pipeline_used
+        assert result.wire_bytes < len(data)
+
+    def test_disabled_compression_large_message(self, background):
+        cfg = FAST_CFG.with_levels(0, 0)
+        data = ascii_data(100_000, seed=5)
+        got, result = transfer(data, cfg, background)
+        assert got == data
+        assert not result.pipeline_used
+        assert result.wire_bytes >= len(data)
+
+
+class TestFileStreaming:
+    def test_send_seekable_stream(self, background):
+        data = ascii_data(60_000, seed=6)
+        a, b = pipe_pair()
+        sender = MessageSender(a, FAST_CFG)
+        receiver = ReceiverPipeline(b, FAST_CFG)
+        bg = background(sender.send_stream, io.BytesIO(data))
+        sink = io.BytesIO()
+        n = receiver.receive_into(sink)
+        result = bg.join()
+        assert n == len(data)
+        assert sink.getvalue() == data
+        assert result.payload_bytes == len(data)
+        a.close()
+        receiver.close()
+
+    def test_send_unseekable_stream_uses_end_record(self, background):
+        data = binary_data(80_000, seed=7)
+
+        class Unseekable(io.RawIOBase):
+            def __init__(self, payload: bytes) -> None:
+                self._buf = io.BytesIO(payload)
+
+            def readable(self) -> bool:
+                return True
+
+            def read(self, n: int = -1) -> bytes:
+                return self._buf.read(n)
+
+            def seekable(self) -> bool:
+                return False
+
+            def tell(self):
+                raise OSError("not seekable")
+
+        a, b = pipe_pair()
+        sender = MessageSender(a, FAST_CFG)
+        receiver = ReceiverPipeline(b, FAST_CFG)
+        bg = background(sender.send_stream, Unseekable(data))
+        sink = io.BytesIO()
+        n = receiver.receive_into(sink)
+        result = bg.join()
+        assert n == len(data)
+        assert sink.getvalue() == data
+        assert result.pipeline_used
+        a.close()
+        receiver.close()
+
+
+class TestOutputBuffer:
+    def test_read_skips_markers(self):
+        buf = OutputBuffer()
+        buf.put(b"abc")
+        buf.put_marker()
+        buf.put(b"def")
+        buf.finish()
+        assert buf.read(6) == b"abc"  # stops at the marker boundary
+        assert buf.read(6) == b"def"
+        assert buf.read(1) == b""
+
+    def test_read_until_marker(self):
+        buf = OutputBuffer()
+        buf.put(b"abc")
+        buf.put(b"def")
+        buf.put_marker()
+        buf.put(b"xyz")
+        buf.finish()
+        sink = io.BytesIO()
+        assert buf.read_until_marker(sink) == 6
+        assert sink.getvalue() == b"abcdef"
+        assert buf.read(3) == b"xyz"
+
+    def test_deferred_error_raised_to_reader(self):
+        buf = OutputBuffer()
+        buf.finish(RuntimeError("boom"))
+        with pytest.raises(RuntimeError):
+            buf.read(1)
+
+    def test_eof_before_marker_with_no_data(self):
+        buf = OutputBuffer()
+        buf.finish()
+        assert buf.read_until_marker(io.BytesIO()) == 0

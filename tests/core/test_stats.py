@@ -1,0 +1,94 @@
+"""Per-connection statistics aggregation."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core import AdocConfig, AdocSocket, ConnectionStats, SendResult
+from repro.data import ascii_data
+from repro.transport import pipe_pair
+
+CFG = AdocConfig(
+    buffer_size=16 * 1024,
+    packet_size=2 * 1024,
+    slice_size=2 * 1024,
+    small_message_threshold=8 * 1024,
+    probe_size=4 * 1024,
+    fast_network_bps=float("inf"),
+)
+
+
+class TestAccumulator:
+    def test_empty_snapshot(self):
+        s = ConnectionStats().snapshot()
+        assert s.messages == 0
+        assert s.compression_ratio == 1.0
+        assert s.mean_level == 0.0
+
+    def test_fold_results(self):
+        stats = ConnectionStats()
+        stats.record_send(
+            SendResult(1000, 400, 0.1, pipeline_used=True, levels_used={2: 3, 4: 1})
+        )
+        stats.record_send(SendResult(100, 120, 0.01))
+        s = stats.snapshot()
+        assert s.messages == 2
+        assert s.payload_bytes == 1100
+        assert s.wire_bytes == 520
+        assert s.pipeline_path == 1
+        assert s.small_path == 1
+        assert s.levels_used == {2: 3, 4: 1}
+        assert abs(s.mean_level - 2.5) < 1e-9
+
+    def test_snapshot_is_a_copy(self):
+        stats = ConnectionStats()
+        stats.record_send(SendResult(10, 10, 0.0, levels_used={1: 1}))
+        snap = stats.snapshot()
+        snap.levels_used[1] = 999
+        assert stats.snapshot().levels_used[1] == 1
+
+    def test_thread_safety(self):
+        stats = ConnectionStats()
+
+        def fold():
+            for _ in range(200):
+                stats.record_send(SendResult(10, 5, 0.0, levels_used={3: 1}))
+
+        threads = [threading.Thread(target=fold) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        s = stats.snapshot()
+        assert s.messages == 800
+        assert s.levels_used[3] == 800
+
+    def test_summary_line(self):
+        stats = ConnectionStats()
+        stats.record_send(SendResult(1000, 500, 0.1, pipeline_used=True))
+        text = stats.summary()
+        assert "ratio 2.00" in text
+        assert "pipe=1" in text
+
+
+class TestLiveIntegration:
+    def test_socket_stats_after_writes(self, background):
+        a, b = pipe_pair()
+        tx, rx = AdocSocket(a, CFG), AdocSocket(b, CFG)
+
+        data = ascii_data(60_000, seed=1)
+        bg = background(tx.write, data)
+        rx.read_exact(len(data))
+        bg.join()
+        bg = background(tx.write, b"tiny")
+        rx.read_exact(4)
+        bg.join()
+
+        s = tx.stats.snapshot()
+        assert s.messages == 2
+        assert s.pipeline_path == 1
+        assert s.small_path == 1
+        assert s.payload_bytes == len(data) + 4
+        assert s.compression_ratio > 1.0
+        tx.close()
+        rx.close()

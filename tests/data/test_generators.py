@@ -1,0 +1,79 @@
+"""Workload generators: calibrated ratios, determinism, dispatch."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    DATA_CLASSES,
+    ascii_data,
+    binary_data,
+    data_by_name,
+    gzip6_ratio,
+    incompressible_data,
+)
+
+
+class TestCalibration:
+    """Section 6.1.1 targets: ~5 / ~2 / 1 at gzip level 6."""
+
+    def test_ascii_ratio_near_five(self):
+        assert gzip6_ratio(ascii_data(1_000_000, seed=3)) == pytest.approx(5.0, rel=0.15)
+
+    def test_binary_ratio_near_two(self):
+        assert gzip6_ratio(binary_data(1_000_000, seed=3)) == pytest.approx(2.0, rel=0.15)
+
+    def test_incompressible_ratio_at_most_one(self):
+        assert gzip6_ratio(incompressible_data(1_000_000, seed=3)) <= 1.001
+
+    def test_ordering_stable_across_seeds(self):
+        for seed in (0, 1, 99):
+            a = gzip6_ratio(ascii_data(300_000, seed))
+            b = gzip6_ratio(binary_data(300_000, seed))
+            i = gzip6_ratio(incompressible_data(300_000, seed))
+            assert a > b > i
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("gen", [ascii_data, binary_data, incompressible_data])
+    def test_same_seed_same_bytes(self, gen):
+        assert gen(10_000, seed=7) == gen(10_000, seed=7)
+
+    @pytest.mark.parametrize("gen", [ascii_data, binary_data, incompressible_data])
+    def test_different_seed_different_bytes(self, gen):
+        assert gen(10_000, seed=7) != gen(10_000, seed=8)
+
+
+class TestSizes:
+    @pytest.mark.parametrize("gen", [ascii_data, binary_data, incompressible_data])
+    @pytest.mark.parametrize("n", [1, 13, 100, 8192, 100_000])
+    def test_exact_size(self, gen, n):
+        assert len(gen(n, seed=1)) == n
+
+
+class TestDispatch:
+    def test_names(self):
+        assert set(DATA_CLASSES) == {"ascii", "binary", "incompressible"}
+
+    @pytest.mark.parametrize("name", DATA_CLASSES)
+    def test_dispatch_matches_direct(self, name):
+        direct = {"ascii": ascii_data, "binary": binary_data, "incompressible": incompressible_data}
+        assert data_by_name(name, 5000, seed=2) == direct[name](5000, seed=2)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            data_by_name("video", 100)
+
+
+def test_ascii_is_actually_ascii():
+    data = ascii_data(50_000, seed=1)
+    data.decode("ascii")  # must not raise
+    assert all(32 <= b <= 126 or b == 10 for b in data)
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(min_value=0, max_value=50_000), seed=st.integers(0, 1000))
+def test_size_property(n, seed):
+    assert len(binary_data(n, seed)) == n

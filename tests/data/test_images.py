@@ -1,0 +1,57 @@
+"""Synthetic images and PGM/PPM serialization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.images import read_pnm, synthetic_image, write_pnm
+
+
+class TestSyntheticImage:
+    def test_shapes(self):
+        assert synthetic_image(10, 20, 1).shape == (10, 20)
+        assert synthetic_image(10, 20, 3).shape == (10, 20, 3)
+
+    def test_deterministic(self):
+        assert np.array_equal(synthetic_image(16, 16, 3, 7), synthetic_image(16, 16, 3, 7))
+
+    def test_uses_dynamic_range(self):
+        img = synthetic_image(64, 64, 3, seed=1)
+        assert img.min() < 60 and img.max() > 180
+
+    def test_bad_channels(self):
+        with pytest.raises(ValueError):
+            synthetic_image(4, 4, 2)
+
+
+class TestPnm:
+    def test_pgm_roundtrip(self):
+        img = synthetic_image(24, 31, 1, seed=2)
+        assert np.array_equal(read_pnm(write_pnm(img)), img)
+
+    def test_ppm_roundtrip(self):
+        img = synthetic_image(24, 31, 3, seed=3)
+        assert np.array_equal(read_pnm(write_pnm(img)), img)
+
+    def test_header_layout(self):
+        raw = write_pnm(synthetic_image(5, 7, 1))
+        assert raw.startswith(b"P5\n7 5\n255\n")
+
+    def test_comment_skipping(self):
+        img = synthetic_image(4, 4, 1, seed=4)
+        raw = write_pnm(img)
+        with_comment = raw[:3] + b"# a comment\n" + raw[3:]
+        assert np.array_equal(read_pnm(with_comment), img)
+
+    def test_rejects_non_pnm(self):
+        with pytest.raises(ValueError):
+            read_pnm(b"JFIF....")
+
+    def test_rejects_16bit(self):
+        with pytest.raises(ValueError):
+            read_pnm(b"P5\n2 2\n65535\n" + bytes(8))
+
+    def test_rejects_float_input(self):
+        with pytest.raises(ValueError):
+            write_pnm(np.zeros((3, 3)))

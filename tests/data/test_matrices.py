@@ -1,0 +1,97 @@
+"""Matrix workloads and NetSolve-style marshalling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    decode_matrix_ascii,
+    decode_matrix_binary,
+    dense_matrix,
+    encode_matrix_ascii,
+    encode_matrix_binary,
+    gzip6_ratio,
+    sparse_matrix,
+)
+
+
+class TestGeneration:
+    def test_dense_shape_and_determinism(self):
+        m = dense_matrix(32, seed=9)
+        assert m.shape == (32, 32)
+        assert np.array_equal(m, dense_matrix(32, seed=9))
+
+    def test_dense_exponent_range(self):
+        """Entries span the paper's 1e-20..1e+20 exponent range."""
+        m = np.abs(dense_matrix(200, seed=1))
+        assert m.min() < 1e-15
+        assert m.max() > 1e15
+
+    def test_sparse_is_all_zero(self):
+        assert not sparse_matrix(64).any()
+
+
+class TestAsciiMarshalling:
+    def test_roundtrip_dense(self):
+        m = dense_matrix(24, seed=3)
+        back = decode_matrix_ascii(encode_matrix_ascii(m))
+        # 13 significant digits survive the text round trip.
+        np.testing.assert_allclose(back, m, rtol=1e-12)
+
+    def test_roundtrip_sparse(self):
+        m = sparse_matrix(24)
+        assert not decode_matrix_ascii(encode_matrix_ascii(m)).any()
+
+    def test_rejects_non_matrix_payload(self):
+        with pytest.raises(ValueError):
+            decode_matrix_ascii(b"BIN 2 2\nnope")
+
+    def test_rejects_wrong_entry_count(self):
+        good = encode_matrix_ascii(np.ones((2, 2)))
+        truncated = good[:-22]  # drop one 22-byte token
+        with pytest.raises(ValueError):
+            decode_matrix_ascii(truncated)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            encode_matrix_ascii(np.ones(5))
+
+    def test_compressibility_split(self):
+        """The experiment's premise: sparse text collapses, dense barely
+        compresses."""
+        dense = encode_matrix_ascii(dense_matrix(100, seed=4))
+        sparse = encode_matrix_ascii(sparse_matrix(100))
+        assert gzip6_ratio(sparse) > 50
+        assert gzip6_ratio(dense) < 3.5
+
+
+class TestBinaryMarshalling:
+    def test_roundtrip_exact(self):
+        m = dense_matrix(16, seed=5)
+        back = decode_matrix_binary(encode_matrix_binary(m))
+        assert np.array_equal(back, m)
+
+    def test_rejects_ascii_payload(self):
+        with pytest.raises(ValueError):
+            decode_matrix_binary(encode_matrix_ascii(np.ones((2, 2))))
+
+    def test_rejects_truncation(self):
+        raw = encode_matrix_binary(np.ones((4, 4)))
+        with pytest.raises(ValueError):
+            decode_matrix_binary(raw[:-8])
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    rows=st.integers(min_value=1, max_value=12),
+    cols=st.integers(min_value=1, max_value=12),
+    seed=st.integers(0, 100),
+)
+def test_ascii_roundtrip_property(rows, cols, seed):
+    rng = np.random.default_rng(seed)
+    m = rng.uniform(-1e3, 1e3, size=(rows, cols))
+    back = decode_matrix_ascii(encode_matrix_ascii(m))
+    np.testing.assert_allclose(back, m, rtol=1e-12)

@@ -1,0 +1,117 @@
+"""Depot storage engine: allocation, capabilities, ranges, accounting."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.depot import ByteArrayDepot, DepotError
+
+
+@pytest.fixture
+def depot():
+    return ByteArrayDepot(total_capacity=1024 * 1024)
+
+
+class TestAllocation:
+    def test_allocate_returns_distinct_caps(self, depot):
+        a = depot.allocate(1000)
+        assert a.read_cap != a.write_cap
+        assert a.read_cap.startswith("R-")
+        assert a.write_cap.startswith("W-")
+        assert depot.allocation_count == 1
+        assert depot.used_bytes == 1000
+
+    def test_capacity_enforced(self, depot):
+        depot.allocate(1024 * 1024)
+        with pytest.raises(DepotError, match="full"):
+            depot.allocate(1)
+
+    def test_free_releases_capacity(self, depot):
+        a = depot.allocate(500_000)
+        depot.free(a.write_cap)
+        assert depot.used_bytes == 0
+        depot.allocate(1024 * 1024)  # fits again
+
+    def test_free_requires_write_cap(self, depot):
+        a = depot.allocate(100)
+        with pytest.raises(DepotError):
+            depot.free(a.read_cap)
+
+    def test_zero_allocation_rejected(self, depot):
+        with pytest.raises(DepotError):
+            depot.allocate(0)
+
+    def test_invalid_total_capacity(self):
+        with pytest.raises(ValueError):
+            ByteArrayDepot(0)
+
+
+class TestDataPath:
+    def test_store_load_roundtrip(self, depot):
+        a = depot.allocate(100)
+        depot.store(a.write_cap, b"hello depot")
+        assert depot.load(a.read_cap) == b"hello depot"
+
+    def test_offset_writes_and_reads(self, depot):
+        a = depot.allocate(100)
+        depot.store(a.write_cap, b"AAAA", offset=0)
+        depot.store(a.write_cap, b"BBBB", offset=4)
+        assert depot.load(a.read_cap, offset=2, length=4) == b"AABB"
+
+    def test_store_requires_write_cap(self, depot):
+        a = depot.allocate(100)
+        with pytest.raises(DepotError):
+            depot.store(a.read_cap, b"nope")
+
+    def test_load_requires_read_cap(self, depot):
+        a = depot.allocate(100)
+        depot.store(a.write_cap, b"data")
+        with pytest.raises(DepotError):
+            depot.load(a.write_cap)
+
+    def test_write_beyond_capacity_rejected(self, depot):
+        a = depot.allocate(10)
+        with pytest.raises(DepotError):
+            depot.store(a.write_cap, b"x" * 11)
+        with pytest.raises(DepotError):
+            depot.store(a.write_cap, b"xx", offset=9)
+
+    def test_read_beyond_stored_rejected(self, depot):
+        a = depot.allocate(100)
+        depot.store(a.write_cap, b"12345")
+        with pytest.raises(DepotError):
+            depot.load(a.read_cap, offset=0, length=6)
+
+    def test_probe(self, depot):
+        a = depot.allocate(64)
+        depot.store(a.write_cap, b"abc")
+        assert depot.probe(a.read_cap) == (3, 64)
+        assert depot.probe(a.write_cap) == (3, 64)
+        with pytest.raises(DepotError):
+            depot.probe("bogus")
+
+
+class TestConcurrency:
+    def test_parallel_store_load_distinct_allocations(self, depot):
+        n_threads = 8
+        blobs = {i: bytes([i]) * 5000 for i in range(n_threads)}
+        errors: list[BaseException] = []
+
+        def worker(i: int) -> None:
+            try:
+                a = depot.allocate(5000)
+                depot.store(a.write_cap, blobs[i])
+                assert depot.load(a.read_cap) == blobs[i]
+                depot.free(a.write_cap)
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not errors, errors
+        assert depot.used_bytes == 0

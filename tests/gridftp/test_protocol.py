@@ -1,0 +1,73 @@
+"""gridFTP-lite control protocol parsing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gridftp.protocol import (
+    ProtocolViolation,
+    format_reply,
+    parse_command,
+    parse_reply,
+    read_line,
+)
+from repro.transport import pipe_pair
+
+
+class TestCommands:
+    def test_parse_verb_and_args(self):
+        assert parse_command("STOR data.bin 1024") == ("STOR", ["data.bin", "1024"])
+
+    def test_verb_case_insensitive(self):
+        assert parse_command("mode adoc")[0] == "MODE"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ProtocolViolation):
+            parse_command("   ")
+
+
+class TestReplies:
+    def test_roundtrip(self):
+        r = parse_reply(format_reply(226, "stored x (10 bytes)"))
+        assert r.code == 226
+        assert r.text == "stored x (10 bytes)"
+        assert r.ok
+
+    def test_error_codes_not_ok(self):
+        assert not parse_reply(format_reply(550, "no such file")).ok
+
+    def test_invalid_code_rejected(self):
+        with pytest.raises(ValueError):
+            format_reply(99, "x")
+
+    def test_multiline_text_rejected(self):
+        with pytest.raises(ValueError):
+            format_reply(200, "two\nlines")
+
+    def test_malformed_reply_rejected(self):
+        with pytest.raises(ProtocolViolation):
+            parse_reply(b"not a reply\r\n")
+
+
+class TestReadLine:
+    def test_reads_one_line(self):
+        a, b = pipe_pair()
+        a.send(b"STOR x 10\r\nextra")
+        assert read_line(b) == b"STOR x 10\r\n"
+        a.close()
+        b.close()
+
+    def test_eof_returns_partial(self):
+        a, b = pipe_pair()
+        a.send(b"QUI")
+        a.close()
+        assert read_line(b) == b"QUI"
+        b.close()
+
+    def test_oversized_line_rejected(self):
+        a, b = pipe_pair()
+        a.send(b"x" * 5000)
+        with pytest.raises(ProtocolViolation):
+            read_line(b, max_len=100)
+        a.close()
+        b.close()

@@ -1,0 +1,37 @@
+"""Smoke tests: every example script must run end to end.
+
+Examples are documentation that executes; a refactor that breaks one
+should fail the suite, not a reader.  Each runs as a subprocess with
+arguments scaled down for test time.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+CASES = [
+    ("quickstart.py", ["--size-mb", "0.8"], "app bandwidth"),
+    ("file_mover.py", ["demo"], "all files verified identical"),
+    ("netsolve_dgemm.py", ["--n", "96"], "dgemm over shaped"),
+    ("adaptation_trace.py", ["--size-mb", "2"], "speedup"),
+    ("image_thumbnails.py", ["--images", "2", "--size", "128"], "full fidelity"),
+    ("gridftp_demo.py", ["--stripes", "1"], "verified byte-identical"),
+]
+
+
+@pytest.mark.parametrize("script,args,marker", CASES, ids=[c[0] for c in CASES])
+def test_example_runs(script, args, marker):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert marker in proc.stdout, f"expected {marker!r} in output"

@@ -1,0 +1,182 @@
+"""Failure injection: transport faults must surface as errors, not hangs.
+
+A real network connection can die at any byte.  These tests wrap
+endpoints with fault injectors (fail after N bytes, corrupt a byte,
+close mid-stream) and assert that both pipelines propagate clean errors
+to their callers — the sender's write raises, the receiver's read
+raises or EOFs — with no deadlocked thread left behind.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core import AdocConfig, AdocSocket, MessageSender, ReceiverPipeline
+from repro.core.packets import ProtocolError
+from repro.data import ascii_data
+from repro.transport import Endpoint, TransportClosed, pipe_pair
+
+CFG = AdocConfig(
+    buffer_size=16 * 1024,
+    packet_size=2 * 1024,
+    slice_size=2 * 1024,
+    small_message_threshold=8 * 1024,
+    probe_size=4 * 1024,
+    fast_network_bps=float("inf"),
+)
+
+
+class FailingEndpoint(Endpoint):
+    """Delegate that fails sends after a byte budget is exhausted."""
+
+    def __init__(self, inner: Endpoint, fail_after_bytes: int) -> None:
+        self.inner = inner
+        self.remaining = fail_after_bytes
+
+    def send(self, data):
+        if self.remaining <= 0:
+            raise TransportClosed("injected send failure")
+        take = min(len(data), self.remaining)
+        sent = self.inner.send(data[:take])
+        self.remaining -= sent
+        return sent
+
+    def recv(self, n):
+        return self.inner.recv(n)
+
+    def close(self):
+        self.inner.close()
+
+
+class CorruptingEndpoint(Endpoint):
+    """Delegate that flips one byte at a given stream offset (recv side)."""
+
+    def __init__(self, inner: Endpoint, corrupt_at: int) -> None:
+        self.inner = inner
+        self.offset = 0
+        self.corrupt_at = corrupt_at
+
+    def send(self, data):
+        return self.inner.send(data)
+
+    def recv(self, n):
+        chunk = self.inner.recv(n)
+        if chunk and self.offset <= self.corrupt_at < self.offset + len(chunk):
+            i = self.corrupt_at - self.offset
+            chunk = chunk[:i] + bytes([chunk[i] ^ 0xFF]) + chunk[i + 1 :]
+        self.offset += len(chunk)
+        return chunk
+
+    def close(self):
+        self.inner.close()
+
+
+class TestSenderFaults:
+    @pytest.mark.parametrize("budget", [10, 5000, 60_000])
+    def test_send_failure_raises_not_hangs(self, budget):
+        a, b = pipe_pair()
+        sender = MessageSender(FailingEndpoint(a, budget), CFG)
+        data = ascii_data(120_000, seed=1)
+        with pytest.raises(TransportClosed):
+            sender.send(data)
+        b.close()
+
+    def test_send_failure_mid_pipeline_joins_worker(self):
+        """The compression thread must not be left running."""
+        a, b = pipe_pair()
+        sender = MessageSender(FailingEndpoint(a, 30_000), CFG)
+        data = ascii_data(200_000, seed=2)
+        before = threading.active_count()
+        with pytest.raises(TransportClosed):
+            sender.send(data)
+        # Allow a scheduling beat, then verify no stray adoc thread.
+        for t in threading.enumerate():
+            if t.name == "adoc-compress":
+                t.join(timeout=5)
+                assert not t.is_alive(), "compression thread leaked"
+        b.close()
+        assert threading.active_count() <= before + 1
+
+
+class TestReceiverFaults:
+    def test_peer_death_mid_message_raises_on_read(self, background):
+        a, b = pipe_pair()
+        sender = MessageSender(a, CFG)
+        receiver = ReceiverPipeline(b, CFG)
+        data = ascii_data(100_000, seed=3)
+
+        def send_then_die():
+            # Send the message header + part of the payload, then die.
+            from repro.core.packets import Record, pack_message_header
+
+            from repro.transport.base import sendall
+
+            sendall(a, pack_message_header(100_000))
+            rec = Record(0, 50_000, data[:50_000]).serialize()
+            sendall(a, rec[: len(rec) // 2])
+            a.close()
+
+        bg = background(send_then_die)
+        bg.join()
+        with pytest.raises((TransportClosed, ProtocolError)):
+            while True:
+                if not receiver.read(65536):
+                    raise TransportClosed("eof")
+        receiver.close()
+
+    def test_corrupted_compressed_payload_raises(self, background):
+        a, b = pipe_pair()
+        sender = MessageSender(a, CFG.with_levels(2, 10))  # force zlib
+        corrupt_rx = CorruptingEndpoint(b, corrupt_at=200)
+        receiver = ReceiverPipeline(corrupt_rx, CFG)
+        data = ascii_data(60_000, seed=4)
+
+        def send():
+            try:
+                sender.send(data)
+            except TransportClosed:
+                pass  # receiver may tear the pipe down first
+
+        bg = background(send)
+        with pytest.raises(Exception) as excinfo:
+            out = bytearray()
+            while len(out) < len(data):
+                chunk = receiver.read(len(data) - len(out))
+                if not chunk:
+                    raise TransportClosed("eof before full payload")
+                out += chunk
+            # If all bytes arrived, they must at least differ (the
+            # corruption cannot silently vanish).
+            assert bytes(out) != data
+            raise TransportClosed("corruption produced wrong bytes")
+        bg.join()
+        receiver.close()
+
+    def test_garbage_stream_rejected(self):
+        a, b = pipe_pair()
+        receiver = ReceiverPipeline(b, CFG)
+        a.send(b"\x00" * 64)
+        a.close()
+        with pytest.raises((ProtocolError, TransportClosed)):
+            if not receiver.read(10):
+                raise TransportClosed("eof")
+        receiver.close()
+
+    def test_clean_eof_is_not_an_error(self):
+        a, b = pipe_pair()
+        receiver = ReceiverPipeline(b, CFG)
+        a.close()
+        assert receiver.read(10) == b""
+        receiver.close()
+
+
+class TestApiLevelFaults:
+    def test_write_on_dead_peer_raises(self, background):
+        a, b = pipe_pair()
+        tx = AdocSocket(a, CFG)
+        b.close()
+        with pytest.raises(TransportClosed):
+            tx.write(ascii_data(50_000, seed=5))
+        tx.close()

@@ -1,0 +1,160 @@
+"""Agent + server + client end to end, plain and AdOC communicators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import AdocConfig
+from repro.data import dense_matrix, sparse_matrix
+from repro.middleware import (
+    AdocCommunicator,
+    Agent,
+    Client,
+    PlainCommunicator,
+    RpcError,
+    Server,
+)
+from repro.transport import pipe_pair
+
+#: AdOC config that exercises the pipeline even on tiny test matrices.
+SMALL_CFG = AdocConfig(
+    buffer_size=16 * 1024,
+    packet_size=2 * 1024,
+    slice_size=2 * 1024,
+    small_message_threshold=8 * 1024,
+    probe_size=4 * 1024,
+    fast_network_bps=float("inf"),
+)
+
+
+def adoc_comm(endpoint):
+    return AdocCommunicator(endpoint, SMALL_CFG)
+
+
+@pytest.fixture(params=["plain", "adoc"])
+def stack(request):
+    comm = PlainCommunicator if request.param == "plain" else adoc_comm
+    agent = Agent()
+    server = Server("s1", communicator_factory=comm)
+    agent.register(server, pipe_pair)
+    return Client(agent, communicator_factory=comm), agent, server
+
+
+class TestRpc:
+    def test_dgemm_dense(self, stack):
+        client, _, _ = stack
+        a, b = dense_matrix(20, seed=1), dense_matrix(20, seed=2)
+        c = client.call("dgemm", a, b)
+        np.testing.assert_allclose(c, a @ b, rtol=1e-9)
+
+    def test_dgemm_sparse(self, stack):
+        client, _, _ = stack
+        s = sparse_matrix(32)
+        assert not client.call("dgemm", s, s).any()
+
+    def test_sequential_requests(self, stack):
+        client, _, server = stack
+        for i in range(3):
+            m = dense_matrix(10, seed=i)
+            np.testing.assert_allclose(client.call("transpose", m), m.T)
+        assert server.stats.requests == 3
+        assert server.stats.errors == 0
+
+    def test_remote_error_propagates(self, stack):
+        client, _, server = stack
+        with pytest.raises(RpcError, match="dgemm"):
+            client.call("dgemm", dense_matrix(4, seed=1))  # wrong arity
+        assert server.stats.errors == 1
+
+    def test_unknown_service_raises_lookup(self, stack):
+        client, _, _ = stack
+        with pytest.raises(LookupError):
+            client.call("fft", dense_matrix(4, seed=1))
+
+    def test_call_timed_accounting(self, stack):
+        client, _, _ = stack
+        m = dense_matrix(16, seed=3)
+        result, info = client.call_timed("norm", m)
+        assert info.elapsed_s > 0
+        assert info.request_payload_bytes > 0
+        assert result.shape == (1, 1)
+
+
+class TestAgent:
+    def test_least_busy_round_robin(self):
+        agent = Agent()
+        s1 = Server("s1")
+        s2 = Server("s2")
+        agent.register(s1, pipe_pair)
+        agent.register(s2, pipe_pair)
+        client = Client(agent)
+        for i in range(4):
+            client.call("norm", dense_matrix(6, seed=i))
+        # Round robin: both served some requests.
+        assert s1.stats.requests > 0
+        assert s2.stats.requests > 0
+
+    def test_service_filtering(self):
+        from repro.middleware import ServiceRegistry
+
+        agent = Agent()
+        special = ServiceRegistry()
+        special.register("only-here", lambda args: args)
+        s1 = Server("plain-server")
+        s2 = Server("special-server", registry=special)
+        agent.register(s1, pipe_pair)
+        agent.register(s2, pipe_pair)
+        assert agent.servers_for("only-here") == [s2]
+        assert agent.servers_for("dgemm") == [s1]
+
+    def test_no_server_raises(self):
+        with pytest.raises(LookupError):
+            Agent().connect("dgemm")
+
+
+class TestAdocActuallyCompresses:
+    def test_request_wire_smaller_for_sparse(self):
+        agent = Agent()
+        server = Server("s1", communicator_factory=adoc_comm)
+        agent.register(server, pipe_pair)
+        client = Client(agent, communicator_factory=adoc_comm)
+        s = sparse_matrix(96)  # ~184 KB ASCII: room for the level to climb
+        _, info = client.call_timed("dgemm", s, s)
+        assert info.compression_ratio > 1.5
+
+    def test_plain_never_compresses(self):
+        agent = Agent()
+        server = Server("s1")
+        agent.register(server, pipe_pair)
+        client = Client(agent)
+        s = sparse_matrix(48)
+        _, info = client.call_timed("dgemm", s, s)
+        assert info.compression_ratio <= 1.0
+
+
+class TestAsyncCalls:
+    def test_call_async_resolves(self, stack):
+        client, _, _ = stack
+        a, b = dense_matrix(16, seed=8), dense_matrix(16, seed=9)
+        future = client.call_async("dgemm", a, b)
+        np.testing.assert_allclose(future.result(timeout=30), a @ b, rtol=1e-9)
+
+    def test_parallel_requests_fan_out(self):
+        agent = Agent()
+        s1, s2 = Server("s1"), Server("s2")
+        agent.register(s1, pipe_pair)
+        agent.register(s2, pipe_pair)
+        client = Client(agent)
+        mats = [dense_matrix(12, seed=i) for i in range(4)]
+        futures = [client.call_async("transpose", m) for m in mats]
+        for m, f in zip(mats, futures):
+            np.testing.assert_allclose(f.result(timeout=30), m.T)
+        assert s1.stats.requests + s2.stats.requests == 4
+        assert s1.stats.requests > 0 and s2.stats.requests > 0
+
+    def test_async_error_via_future(self, stack):
+        client, _, _ = stack
+        future = client.call_async("dgemm", dense_matrix(4, seed=1))  # bad arity
+        with pytest.raises(RpcError):
+            future.result(timeout=30)

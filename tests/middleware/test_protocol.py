@@ -1,0 +1,95 @@
+"""RPC message framing over communicators."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.middleware import (
+    MsgType,
+    PlainCommunicator,
+    RpcError,
+    RpcMessage,
+    read_message,
+    write_message,
+)
+from repro.transport import pipe_pair
+
+
+def roundtrip(msg: RpcMessage) -> RpcMessage:
+    a, b = pipe_pair(capacity=1 << 24)
+    tx, rx = PlainCommunicator(a), PlainCommunicator(b)
+    write_message(tx, msg)
+    got = read_message(rx)
+    tx.close()
+    rx.close()
+    assert got is not None
+    return got
+
+
+class TestRoundTrip:
+    def test_request(self):
+        got = roundtrip(RpcMessage(MsgType.REQUEST, "dgemm", [b"arg1", b"arg2"]))
+        assert got.type == MsgType.REQUEST
+        assert got.name == "dgemm"
+        assert got.args == [b"arg1", b"arg2"]
+        assert got.status == 0
+
+    def test_response_with_status(self):
+        got = roundtrip(RpcMessage(MsgType.RESPONSE, "dgemm", [b"result"], status=0))
+        assert got.type == MsgType.RESPONSE
+
+    def test_error_message(self):
+        got = roundtrip(RpcMessage(MsgType.ERROR, "dgemm", [b"boom"], status=1))
+        assert got.type == MsgType.ERROR
+        assert got.status == 1
+
+    def test_empty_args(self):
+        assert roundtrip(RpcMessage(MsgType.REQUEST, "norm", [])).args == []
+
+    def test_empty_arg_payload(self):
+        assert roundtrip(RpcMessage(MsgType.REQUEST, "x", [b""])).args == [b""]
+
+    def test_unicode_service_name(self):
+        assert roundtrip(RpcMessage(MsgType.REQUEST, "dgémm-π", [])).name == "dgémm-π"
+
+    def test_bytes_written_accounting(self):
+        a, b = pipe_pair(capacity=1 << 20)
+        tx = PlainCommunicator(a)
+        n = write_message(tx, RpcMessage(MsgType.REQUEST, "svc", [b"xy"]))
+        assert tx.bytes_written == n
+        a.close()
+        b.close()
+
+
+class TestErrors:
+    def test_clean_eof_returns_none(self):
+        a, b = pipe_pair()
+        a.close()
+        assert read_message(PlainCommunicator(b)) is None
+
+    def test_bad_magic_raises(self):
+        a, b = pipe_pair()
+        a.send(b"XX\x01\x00")
+        a.close()
+        with pytest.raises(RpcError):
+            read_message(PlainCommunicator(b))
+
+    def test_truncated_header_raises(self):
+        a, b = pipe_pair()
+        a.send(b"NS")  # half a header
+        a.close()
+        with pytest.raises(RpcError):
+            read_message(PlainCommunicator(b))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    name=st.text(min_size=1, max_size=30),
+    args=st.lists(st.binary(max_size=2000), max_size=5),
+)
+def test_roundtrip_property(name, args):
+    got = roundtrip(RpcMessage(MsgType.REQUEST, name, args))
+    assert got.name == name
+    assert got.args == args

@@ -1,0 +1,83 @@
+"""Built-in services and the registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import decode_matrix_ascii, encode_matrix_ascii
+from repro.middleware import ServiceRegistry, default_registry
+
+
+@pytest.fixture
+def reg():
+    return default_registry()
+
+
+def call(reg, name, *mats):
+    out = reg.lookup(name)([encode_matrix_ascii(m) for m in mats])
+    return [decode_matrix_ascii(r) for r in out]
+
+
+class TestDgemm:
+    def test_multiplies(self, reg):
+        rng = np.random.default_rng(1)
+        a, b = rng.random((8, 8)), rng.random((8, 8))
+        (c,) = call(reg, "dgemm", a, b)
+        np.testing.assert_allclose(c, a @ b, rtol=1e-10)
+
+    def test_rectangular(self, reg):
+        rng = np.random.default_rng(2)
+        a, b = rng.random((4, 6)), rng.random((6, 3))
+        (c,) = call(reg, "dgemm", a, b)
+        assert c.shape == (4, 3)
+
+    def test_arity_checked(self, reg):
+        with pytest.raises(ValueError):
+            reg.lookup("dgemm")([encode_matrix_ascii(np.ones((2, 2)))])
+
+
+class TestOtherServices:
+    def test_dgemv(self, reg):
+        rng = np.random.default_rng(3)
+        a, x = rng.random((5, 5)), rng.random((5, 1))
+        (y,) = call(reg, "dgemv", a, x)
+        np.testing.assert_allclose(y, a @ x, rtol=1e-10)
+
+    def test_sum(self, reg):
+        ms = [np.full((3, 3), float(i)) for i in range(1, 4)]
+        (s,) = call(reg, "sum", *ms)
+        np.testing.assert_allclose(s, np.full((3, 3), 6.0))
+
+    def test_transpose(self, reg):
+        m = np.arange(6.0).reshape(2, 3)
+        (t,) = call(reg, "transpose", m)
+        np.testing.assert_allclose(t, m.T)
+
+    def test_norm(self, reg):
+        m = np.eye(4)
+        (n,) = call(reg, "norm", m)
+        assert n.shape == (1, 1)
+        assert n[0, 0] == pytest.approx(2.0)
+
+
+class TestRegistry:
+    def test_default_names(self, reg):
+        assert {"dgemm", "dgemv", "sum", "transpose", "norm"} <= set(reg.names())
+
+    def test_duplicate_rejected(self, reg):
+        with pytest.raises(ValueError):
+            reg.register("dgemm", lambda args: args)
+
+    def test_unknown_lookup_raises(self, reg):
+        with pytest.raises(KeyError):
+            reg.lookup("fft")
+
+    def test_contains(self, reg):
+        assert "dgemm" in reg
+        assert "fft" not in reg
+
+    def test_custom_registration(self):
+        reg = ServiceRegistry()
+        reg.register("echo", lambda args: args)
+        assert reg.lookup("echo")([b"x"]) == [b"x"]

@@ -1,0 +1,121 @@
+"""Striped multi-stream mover."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core import AdocConfig
+from repro.data import ascii_data, binary_data, incompressible_data
+from repro.mover import receive_striped, send_striped
+from repro.transport import LAN100, pipe_pair
+
+CFG = AdocConfig(
+    buffer_size=16 * 1024,
+    packet_size=2 * 1024,
+    slice_size=2 * 1024,
+    small_message_threshold=8 * 1024,
+    probe_size=4 * 1024,
+    fast_network_bps=float("inf"),
+)
+
+
+def striped_roundtrip(data: bytes, n_streams: int, chunk_size: int):
+    pairs = [pipe_pair() for _ in range(n_streams)]
+    tx_ends = [p[0] for p in pairs]
+    rx_ends = [p[1] for p in pairs]
+    result = {}
+
+    def send():
+        result["stats"] = send_striped(tx_ends, data, chunk_size, CFG)
+
+    t = threading.Thread(target=send, daemon=True)
+    t.start()
+    got = receive_striped(rx_ends, CFG)
+    t.join(timeout=60)
+    assert not t.is_alive(), "striped sender hung"
+    return got, result["stats"]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("n_streams", [1, 2, 4])
+    def test_ascii(self, n_streams):
+        data = ascii_data(500_000, seed=1)
+        got, stats = striped_roundtrip(data, n_streams, chunk_size=64 * 1024)
+        assert got == data
+        assert stats.streams == n_streams
+        assert stats.payload_bytes == len(data)
+
+    def test_binary_and_random(self):
+        for gen in (binary_data, incompressible_data):
+            data = gen(300_000, seed=2)
+            got, _ = striped_roundtrip(data, 3, chunk_size=32 * 1024)
+            assert got == data
+
+    def test_uneven_tail_chunk(self):
+        # Payload not a multiple of the chunk size nor the stream count.
+        data = ascii_data(100_001, seed=3)
+        got, _ = striped_roundtrip(data, 3, chunk_size=7_000)
+        assert got == data
+
+    def test_payload_smaller_than_one_chunk(self):
+        data = b"tiny"
+        got, stats = striped_roundtrip(data, 4, chunk_size=64 * 1024)
+        assert got == data
+        assert stats.payload_bytes == 4
+
+    def test_empty_payload(self):
+        got, stats = striped_roundtrip(b"", 2, chunk_size=1024)
+        assert got == b""
+        assert stats.payload_bytes == 0
+
+    def test_compression_accounting(self):
+        data = ascii_data(800_000, seed=4)
+        _, stats = striped_roundtrip(data, 2, chunk_size=200 * 1024)
+        assert 0 < stats.wire_bytes
+        assert stats.compression_ratio > 1.0
+
+
+class TestValidation:
+    def test_stream_count_mismatch_detected(self):
+        pairs = [pipe_pair() for _ in range(3)]
+        data = ascii_data(50_000, seed=5)
+
+        def send():
+            send_striped([p[0] for p in pairs], data, 16 * 1024, CFG)
+
+        t = threading.Thread(target=send, daemon=True)
+        t.start()
+        with pytest.raises(ValueError, match="streams"):
+            receive_striped([p[1] for p in pairs[:2]], CFG)
+        t.join(timeout=10)
+
+    def test_no_endpoints_rejected(self):
+        with pytest.raises(ValueError):
+            send_striped([], b"x")
+        with pytest.raises(ValueError):
+            receive_striped([])
+
+    def test_bad_chunk_size_rejected(self):
+        a, b = pipe_pair()
+        with pytest.raises(ValueError):
+            send_striped([a], b"x", chunk_size=0)
+        a.close()
+        b.close()
+
+
+def test_striped_over_shaped_lan():
+    """Striping across shaped links: correctness under real pacing."""
+    data = binary_data(600_000, seed=6)
+    pairs = [LAN100.make_pair(seed=i) for i in range(2)]
+    result = {}
+
+    def send():
+        result["stats"] = send_striped([p[0] for p in pairs], data, 64 * 1024)
+
+    t = threading.Thread(target=send, daemon=True)
+    t.start()
+    got = receive_striped([p[1] for p in pairs])
+    t.join(timeout=120)
+    assert got == data

@@ -1,0 +1,116 @@
+"""Cost model: Table-1 shape invariants and calibration grounding."""
+
+from __future__ import annotations
+
+import zlib
+
+import pytest
+
+from repro.compress import lzf_compress
+from repro.data import (
+    dense_matrix,
+    encode_matrix_ascii,
+    sparse_matrix,
+)
+from repro.simulator import PROFILES, profile_by_name
+
+
+def test_all_profiles_present():
+    for name in (
+        "table1-ascii",
+        "table1-binary",
+        "ascii",
+        "binary",
+        "incompressible",
+        "sparse",
+        "dense",
+    ):
+        assert name in PROFILES
+
+
+def test_unknown_profile_rejected():
+    with pytest.raises(ValueError):
+        profile_by_name("nope")
+
+
+def test_level_zero_is_free():
+    for p in PROFILES.values():
+        c = p.cost(0)
+        assert c.compress_bps == float("inf")
+        assert c.ratio == 1.0
+
+
+@pytest.mark.parametrize("name", ["table1-ascii", "table1-binary", "ascii", "binary"])
+def test_compression_speed_decreases_with_level(name):
+    """Table 1: c.time grows with the level (so speed shrinks)."""
+    p = profile_by_name(name)
+    speeds = [p.cost(lvl).compress_bps for lvl in range(1, 11)]
+    for lo, hi in zip(speeds, speeds[1:]):
+        assert hi <= lo
+
+
+@pytest.mark.parametrize("name", ["table1-ascii", "table1-binary", "ascii", "binary", "sparse", "dense"])
+def test_ratio_nondecreasing_with_level(name):
+    """Table 1: the ratio saturates but never falls with the level."""
+    p = profile_by_name(name)
+    ratios = [p.cost(lvl).ratio for lvl in range(1, 11)]
+    for lo, hi in zip(ratios, ratios[1:]):
+        assert hi >= lo
+
+
+@pytest.mark.parametrize("name", ["table1-ascii", "table1-binary"])
+def test_decompression_roughly_constant(name):
+    """Table 1: d.time varies little across levels (< 2x spread)."""
+    p = profile_by_name(name)
+    speeds = [p.cost(lvl).decompress_bps for lvl in range(1, 11)]
+    assert max(speeds) / min(speeds) < 2.0
+
+
+def test_lzf_fastest_lowest_ratio():
+    for name in ("table1-ascii", "table1-binary", "ascii", "binary"):
+        p = profile_by_name(name)
+        assert p.cost(1).compress_bps == max(
+            p.cost(lvl).compress_bps for lvl in range(1, 11)
+        )
+        assert p.cost(1).ratio == min(p.cost(lvl).ratio for lvl in range(1, 11))
+
+
+def test_ascii_compresses_better_and_faster_than_binary():
+    """Paper section 2: 'ASCII data compresses better and requires less
+    time to compress than binary data'.  Table 1 itself has one
+    inversion (gzip 8: 26.7 s vs 24.1 s), so speed is compared at
+    levels 1-8 and ratio everywhere."""
+    a = profile_by_name("ascii")
+    b = profile_by_name("binary")
+    for lvl in range(1, 11):
+        assert a.cost(lvl).ratio > b.cost(lvl).ratio
+    for lvl in range(1, 9):
+        assert a.cost(lvl).compress_bps >= b.cost(lvl).compress_bps
+
+
+def test_incompressible_never_compresses():
+    p = profile_by_name("incompressible")
+    for lvl in range(1, 11):
+        assert p.cost(lvl).ratio <= 1.0
+
+
+def test_figure_class_ratio_targets():
+    """Section 6.1.1: ~5 at gzip 6 for ASCII, ~2 for binary.
+    AdOC level 7 == gzip 6."""
+    assert profile_by_name("ascii").cost(7).ratio == pytest.approx(5.0, rel=0.1)
+    assert profile_by_name("binary").cost(7).ratio == pytest.approx(2.0, rel=0.1)
+
+
+def test_matrix_profiles_grounded_in_real_encoder():
+    """The dense/sparse cost-model ratios must match what the actual
+    marshalled matrices measure (within 25%), at lzf and gzip 6."""
+    dense = encode_matrix_ascii(dense_matrix(120, seed=5))
+    sparse = encode_matrix_ascii(sparse_matrix(120))
+    measured = {
+        ("dense", 1): len(dense) / len(lzf_compress(dense)),
+        ("dense", 7): len(dense) / len(zlib.compress(dense, 6)),
+        ("sparse", 1): len(sparse) / len(lzf_compress(sparse)),
+    }
+    for (name, lvl), got in measured.items():
+        model = profile_by_name(name).cost(lvl).ratio
+        assert model == pytest.approx(got, rel=0.25), (name, lvl, got, model)

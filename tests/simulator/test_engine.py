@@ -1,0 +1,259 @@
+"""Discrete-event engine: clock, processes, stores, deadlock detection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulator import Environment, SimulationError, Store, Timeout
+
+
+class TestTimeouts:
+    def test_clock_advances(self):
+        env = Environment()
+        log = []
+
+        def proc():
+            yield Timeout(1.5)
+            log.append(env.now)
+            yield Timeout(0.5)
+            log.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert log == [1.5, 2.0]
+
+    def test_processes_interleave_by_time(self):
+        env = Environment()
+        log = []
+
+        def a():
+            yield Timeout(1.0)
+            log.append("a1")
+            yield Timeout(2.0)
+            log.append("a3")
+
+        def b():
+            yield Timeout(2.0)
+            log.append("b2")
+
+        env.process(a())
+        env.process(b())
+        env.run()
+        assert log == ["a1", "b2", "a3"]
+
+    def test_zero_timeout_is_legal(self):
+        env = Environment()
+
+        def proc():
+            yield Timeout(0.0)
+
+        env.process(proc())
+        env.run()
+        assert env.now == 0.0
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            Timeout(-1.0)
+
+    def test_run_until_stops_early(self):
+        env = Environment()
+
+        def proc():
+            for _ in range(10):
+                yield Timeout(1.0)
+
+        env.process(proc())
+        env.run(until=3.5)
+        assert env.now == 3.5
+
+
+class TestStore:
+    def test_put_get_fifo(self):
+        env = Environment()
+        store = Store(env, capacity=10)
+        got = []
+
+        def producer():
+            for i in range(5):
+                yield store.put(i)
+            store.close()
+
+        def consumer():
+            while True:
+                item = yield store.get()
+                if item is None:
+                    return
+                got.append(item)
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_capacity_blocks_producer(self):
+        env = Environment()
+        store = Store(env, capacity=1)
+        times = []
+
+        def producer():
+            yield store.put("a")
+            yield store.put("b")
+            times.append(("b-queued", env.now))
+            store.close()
+
+        def consumer():
+            yield Timeout(5.0)
+            assert (yield store.get()) == "a"
+            assert (yield store.get()) == "b"
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        # "b" could only be queued once "a" was taken at t=5.
+        assert times[0][1] == 5.0
+
+    def test_weighted_capacity(self):
+        env = Environment()
+        store = Store(env, capacity=100.0)
+        order = []
+
+        def producer():
+            yield store.put("big", weight=80)
+            order.append(("big-in", env.now))
+            yield store.put("big2", weight=80)  # must wait for drain
+            order.append(("big2-in", env.now))
+            store.close()
+
+        def consumer():
+            yield Timeout(2.0)
+            while (yield store.get()) is not None:
+                pass
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert order[0][1] == 0.0
+        assert order[1][1] == 2.0
+
+    def test_oversized_item_admitted_when_empty(self):
+        env = Environment()
+        store = Store(env, capacity=10.0)
+        ok = []
+
+        def producer():
+            yield store.put("huge", weight=1000)
+            ok.append(True)
+            store.close()
+
+        def consumer():
+            while (yield store.get()) is not None:
+                pass
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert ok == [True]
+
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        store = Store(env, capacity=10)
+        got = []
+
+        def consumer():
+            item = yield store.get()
+            got.append((item, env.now))
+
+        def producer():
+            yield Timeout(3.0)
+            yield store.put("late")
+            store.close()
+
+        env.process(consumer())
+        env.process(producer())
+        env.run()
+        assert got == [("late", 3.0)]
+
+    def test_close_drains_then_none(self):
+        env = Environment()
+        store = Store(env, capacity=10)
+        got = []
+
+        def producer():
+            yield store.put(1)
+            store.close()
+
+        def consumer():
+            got.append((yield store.get()))
+            got.append((yield store.get()))
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert got == [1, None]
+
+    def test_peak_and_total_counters(self):
+        env = Environment()
+        store = Store(env, capacity=10)
+
+        def producer():
+            for i in range(4):
+                yield store.put(i)
+            store.close()
+
+        def consumer():
+            yield Timeout(1.0)
+            while (yield store.get()) is not None:
+                pass
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert store.total_put == 4
+        assert store.peak_size == 4
+
+
+class TestErrors:
+    def test_deadlock_detected(self):
+        env = Environment()
+        store = Store(env, capacity=10)
+
+        def starved():
+            yield store.get()  # nobody ever puts or closes
+
+        env.process(starved())
+        with pytest.raises(SimulationError, match="deadlock"):
+            env.run()
+
+    def test_process_exception_surfaces(self):
+        env = Environment()
+
+        def bad():
+            yield Timeout(1.0)
+            raise RuntimeError("model bug")
+
+        env.process(bad())
+        with pytest.raises(SimulationError, match="model bug"):
+            env.run()
+
+    def test_unknown_effect_rejected(self):
+        env = Environment()
+
+        def weird():
+            yield "not-an-effect"
+
+        env.process(weird())
+        with pytest.raises(SimulationError, match="unknown effect"):
+            env.run()
+
+
+class TestRunawayGuard:
+    def test_event_budget_enforced(self):
+        env = Environment()
+
+        def spinner():
+            while True:
+                yield Timeout(0.0)
+
+        env.process(spinner())
+        with pytest.raises(SimulationError, match="budget"):
+            env.run(max_events=1000)

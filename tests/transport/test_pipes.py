@@ -1,0 +1,138 @@
+"""In-memory pipes: stream semantics, backpressure, EOF."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.transport import (
+    ByteConduit,
+    TransportClosed,
+    pipe_pair,
+    recv_exact,
+    sendall,
+)
+
+
+class TestConduit:
+    def test_write_read(self):
+        c = ByteConduit()
+        assert c.write(b"hello") == 5
+        assert c.read(5) == b"hello"
+
+    def test_read_respects_limit_and_splits_segments(self):
+        c = ByteConduit()
+        c.write(b"abcdef")
+        assert c.read(2) == b"ab"
+        assert c.read(10) == b"cdef"
+
+    def test_capacity_limits_single_write(self):
+        c = ByteConduit(capacity=4)
+        assert c.write(b"abcdef") == 4  # short write
+        assert c.read(10) == b"abcd"
+
+    def test_eof_after_close_write(self):
+        c = ByteConduit()
+        c.write(b"tail")
+        c.close_write()
+        assert c.read(10) == b"tail"
+        assert c.read(10) == b""
+        assert c.read(1) == b""
+
+    def test_write_after_close_raises(self):
+        c = ByteConduit()
+        c.close_write()
+        with pytest.raises(TransportClosed):
+            c.write(b"x")
+
+    def test_close_read_breaks_writer(self):
+        c = ByteConduit()
+        c.close_read()
+        with pytest.raises(TransportClosed):
+            c.write(b"x")
+
+    def test_delayed_availability(self):
+        c = ByteConduit()
+        t_avail = time.monotonic() + 0.15
+        c.write(b"later", avail_time=t_avail)
+        t0 = time.monotonic()
+        assert c.read(5) == b"later"
+        assert time.monotonic() - t0 >= 0.10
+
+    def test_invalid_read_size(self):
+        c = ByteConduit()
+        with pytest.raises(ValueError):
+            c.read(0)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            ByteConduit(capacity=0)
+
+    def test_blocked_writer_resumes_after_read(self):
+        c = ByteConduit(capacity=4)
+        c.write(b"abcd")
+        state = {}
+
+        def writer():
+            state["n"] = c.write(b"ef")
+
+        t = threading.Thread(target=writer, daemon=True)
+        t.start()
+        time.sleep(0.05)
+        assert "n" not in state
+        assert c.read(4) == b"abcd"
+        t.join(timeout=5)
+        assert state["n"] == 2
+
+    def test_buffered_property(self):
+        c = ByteConduit()
+        c.write(b"abc")
+        assert c.buffered == 3
+        c.read(2)
+        assert c.buffered == 1
+
+
+class TestPipePair:
+    def test_duplex(self):
+        a, b = pipe_pair()
+        a.send(b"ping")
+        assert b.recv(4) == b"ping"
+        b.send(b"pong")
+        assert a.recv(4) == b"pong"
+
+    def test_sendall_recv_exact(self):
+        a, b = pipe_pair()
+        data = bytes(range(256)) * 100
+        t = threading.Thread(target=sendall, args=(a, data), daemon=True)
+        t.start()
+        assert recv_exact(b, len(data)) == data
+        t.join(timeout=5)
+
+    def test_eof_propagates(self):
+        a, b = pipe_pair()
+        a.send(b"bye")
+        a.shutdown_write()
+        assert b.recv(3) == b"bye"
+        assert b.recv(1) == b""
+
+    def test_recv_exact_raises_on_short_stream(self):
+        a, b = pipe_pair()
+        a.send(b"abc")
+        a.shutdown_write()
+        with pytest.raises(TransportClosed):
+            recv_exact(b, 10)
+
+    def test_close_is_idempotent(self):
+        a, b = pipe_pair()
+        a.close()
+        a.close()
+        assert b.recv(1) == b""
+
+    def test_half_close_keeps_reverse_path(self):
+        a, b = pipe_pair()
+        a.shutdown_write()
+        assert b.recv(1) == b""
+        b.send(b"still works")
+        assert a.recv(11) == b"still works"

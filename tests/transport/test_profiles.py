@@ -1,0 +1,77 @@
+"""Network profiles: the paper's four experimental networks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.transport import (
+    ALL_PROFILES,
+    GBIT,
+    INTERNET,
+    LAN100,
+    RENATER,
+    recv_exact,
+    sendall,
+)
+
+
+def test_all_four_networks_present():
+    assert set(ALL_PROFILES) == {"lan100", "gbit", "renater", "internet"}
+
+
+def test_rtts_match_table2_posix_column():
+    """Table 2's POSIX ping-pong times are the profiles' RTTs."""
+    assert LAN100.rtt_s == pytest.approx(0.18e-3)
+    assert GBIT.rtt_s == pytest.approx(0.030e-3)
+    assert RENATER.rtt_s == pytest.approx(9.2e-3)
+    assert INTERNET.rtt_s == pytest.approx(80e-3)
+
+
+def test_bandwidth_ordering():
+    assert GBIT.bandwidth_bps > LAN100.bandwidth_bps > RENATER.bandwidth_bps
+    assert RENATER.bandwidth_bps > INTERNET.bandwidth_bps
+
+
+def test_wans_have_jitter_and_congestion():
+    for p in (RENATER, INTERNET):
+        assert p.jitter is not None
+        assert p.congestion is not None
+    for p in (LAN100, GBIT):
+        assert p.jitter is None
+        assert p.congestion is None
+
+
+def test_internet_receiver_slower():
+    """Paper: the Tennessee machine was slower than the French ones."""
+    assert INTERNET.receiver_cpu_scale < 1.0
+
+
+def test_lan_buffers_below_probe_size():
+    """The 256 KB probe must overflow the socket buffer to measure the
+    line rate (section 5, 'Fast Networks')."""
+    assert LAN100.buffer_bytes < 256 * 1024
+    assert RENATER.buffer_bytes < 256 * 1024
+    assert INTERNET.buffer_bytes < 256 * 1024
+
+
+def test_scaled_copies_bandwidth_only():
+    fast = RENATER.scaled(10)
+    assert fast.bandwidth_bps == pytest.approx(RENATER.bandwidth_bps * 10)
+    assert fast.latency_s == RENATER.latency_s
+    assert RENATER.bandwidth_bps == pytest.approx(5.5e6)  # original intact
+
+
+def test_make_pair_is_usable():
+    a, b = LAN100.make_pair(seed=1)
+    sendall(a, b"probe")
+    assert recv_exact(b, 5) == b"probe"
+    a.close()
+    b.close()
+
+
+def test_make_pair_deterministic_seeding():
+    # Two pairs with the same seed shape identically (no shared state).
+    a1, b1 = RENATER.make_pair(seed=7)
+    a2, b2 = RENATER.make_pair(seed=7)
+    for ep in (a1, b1, a2, b2):
+        ep.close()

@@ -1,0 +1,67 @@
+"""Real-socket endpoints: loopback TCP and socketpair."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.transport import (
+    recv_exact,
+    sendall,
+    socketpair_endpoints,
+    tcp_pair,
+)
+
+
+class TestSocketpair:
+    def test_roundtrip(self):
+        a, b = socketpair_endpoints()
+        sendall(a, b"hello")
+        assert recv_exact(b, 5) == b"hello"
+        a.close()
+        b.close()
+
+    def test_eof_on_close(self):
+        a, b = socketpair_endpoints()
+        a.close()
+        assert b.recv(1) == b""
+        b.close()
+
+    def test_shutdown_write_half_close(self):
+        a, b = socketpair_endpoints()
+        sendall(a, b"fin")
+        a.shutdown_write()
+        assert recv_exact(b, 3) == b"fin"
+        assert b.recv(1) == b""
+        sendall(b, b"reply")
+        assert recv_exact(a, 5) == b"reply"
+        a.close()
+        b.close()
+
+
+class TestTcpPair:
+    def test_roundtrip_large(self):
+        a, b = tcp_pair()
+        data = bytes(range(256)) * 2000  # 512 KB
+        t = threading.Thread(target=sendall, args=(a, data), daemon=True)
+        t.start()
+        assert recv_exact(b, len(data)) == data
+        t.join(timeout=10)
+        a.close()
+        b.close()
+
+    def test_nodelay_set(self):
+        import socket
+
+        a, b = tcp_pair(nodelay=True)
+        assert a.socket.getsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY) != 0
+        a.close()
+        b.close()
+
+    def test_duplex(self):
+        a, b = tcp_pair()
+        sendall(a, b"c2s")
+        assert recv_exact(b, 3) == b"c2s"
+        sendall(b, b"s2c")
+        assert recv_exact(a, 3) == b"s2c"
+        a.close()
+        b.close()

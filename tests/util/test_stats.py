@@ -1,0 +1,59 @@
+"""Measurement statistics helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util import percentile, summarize
+
+
+class TestPercentile:
+    def test_median_odd(self):
+        assert percentile([3.0, 1.0, 2.0], 50) == 2.0
+
+    def test_median_even_interpolates(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50) == 2.5
+
+    def test_extremes(self):
+        xs = [5.0, 1.0, 9.0]
+        assert percentile(xs, 0) == 1.0
+        assert percentile(xs, 100) == 9.0
+
+    def test_single_sample(self):
+        assert percentile([7.0], 95) == 7.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+
+class TestSummary:
+    def test_basic(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.n == 4
+        assert s.best == 1.0
+        assert s.worst == 4.0
+        assert s.mean == 2.5
+        assert s.median == 2.5
+
+    def test_cv_zero_mean(self):
+        assert summarize([0.0, 0.0]).cv == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.floats(min_value=0.001, max_value=1e6), min_size=1, max_size=50))
+def test_summary_invariants(xs):
+    s = summarize(xs)
+    eps = 1e-9 * max(abs(s.worst), 1.0)  # interpolation/mean ulp slack
+    assert s.best - eps <= s.median <= s.worst + eps
+    assert s.best - eps <= s.mean <= s.worst + eps
+    assert s.best - eps <= s.p95 <= s.worst + eps
+    assert s.stdev >= 0

@@ -1,0 +1,73 @@
+"""Unit formatting and parsing helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util import format_bytes, format_rate, parse_size
+
+
+class TestFormatBytes:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [
+            (0, "0 B"),
+            (512, "512 B"),
+            (1024, "1.0 KB"),
+            (1536, "1.5 KB"),
+            (1024**2, "1.0 MB"),
+            (32 * 1024**2, "32.0 MB"),
+            (3 * 1024**3, "3.0 GB"),
+        ],
+    )
+    def test_values(self, n, expected):
+        assert format_bytes(n) == expected
+
+    def test_negative(self):
+        assert format_bytes(-2048) == "-2.0 KB"
+
+
+class TestFormatRate:
+    @pytest.mark.parametrize(
+        "bps,expected",
+        [
+            (500, "500.00 bit/s"),
+            (94_000_000, "94.00 Mbit/s"),
+            (1_000_000_000, "1.00 Gbit/s"),
+        ],
+    )
+    def test_values(self, bps, expected):
+        assert format_rate(bps) == expected
+
+
+class TestParseSize:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("100", 100),
+            ("100B", 100),
+            ("1KB", 1024),
+            ("1 kb", 1024),
+            ("1KiB", 1024),
+            ("32MB", 32 * 1024**2),
+            ("2.5MB", int(2.5 * 1024**2)),
+            ("1G", 1024**3),
+        ],
+    )
+    def test_values(self, text, expected):
+        assert parse_size(text) == expected
+
+    @pytest.mark.parametrize("bad", ["", "MB", "abc", "-5MB"])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError):
+            parse_size(bad)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(min_value=0, max_value=10 * 1024**3))
+def test_parse_format_roundtrip_order_of_magnitude(n):
+    """parse(format(n)) stays within the formatting precision (~5%)."""
+    back = parse_size(format_bytes(n))
+    assert abs(back - n) <= max(0.06 * n, 1)
