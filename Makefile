@@ -1,0 +1,24 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test lockcheck lint adoclint bench
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+lockcheck:
+	REPRO_LOCKCHECK=1 $(PYTHON) -m pytest -x -q
+
+# Repo-specific rules always run; ruff/mypy run when installed
+# (pip install -e .[lint]) and are skipped gracefully otherwise.
+lint: adoclint
+	@if $(PYTHON) -c "import ruff" 2>/dev/null || command -v ruff >/dev/null; \
+		then ruff check .; else echo "ruff not installed -- skipped"; fi
+	@if command -v mypy >/dev/null; \
+		then mypy; else echo "mypy not installed -- skipped"; fi
+
+adoclint:
+	$(PYTHON) -m repro.analysis -v
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -1,0 +1,41 @@
+"""Correctness tooling for the AdOC reproduction.
+
+Two halves:
+
+* **adoclint** — an AST-based static analyzer with repo-specific
+  concurrency and wire-protocol rules (ADOC101..ADOC107, plus ADOC100
+  for suppression hygiene).  Run it with ``adoc lint``, ``adoc-lint``
+  or ``python -m repro.analysis``; rules are documented in
+  ``docs/LINTING.md``.
+* **lockgraph** — a runtime lock-order/deadlock detector enabled by
+  ``REPRO_LOCKCHECK=1``; every lock-owning class in the tree creates
+  its primitives through :func:`make_lock`/:func:`make_condition` so
+  the whole test suite can run instrumented.
+"""
+
+from .findings import RULES, Finding
+from .linter import LintReport, lint_sources, run_lint
+from .lockgraph import (
+    GLOBAL_GRAPH,
+    CheckedCondition,
+    CheckedLock,
+    LockGraph,
+    LockOrderError,
+    make_condition,
+    make_lock,
+)
+
+__all__ = [
+    "RULES",
+    "Finding",
+    "LintReport",
+    "lint_sources",
+    "run_lint",
+    "GLOBAL_GRAPH",
+    "CheckedCondition",
+    "CheckedLock",
+    "LockGraph",
+    "LockOrderError",
+    "make_condition",
+    "make_lock",
+]

@@ -1,0 +1,62 @@
+"""``python -m repro.analysis`` — run adoclint from the command line.
+
+Also installed as the ``adoc-lint`` console script and reachable as
+``adoc lint``.  Exit status: 0 clean, 1 findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from .findings import RULES
+from .linter import run_lint
+
+__all__ = ["main"]
+
+
+def _default_target() -> Path:
+    """The installed ``repro`` package tree (self-lint default)."""
+    return Path(__file__).resolve().parents[1]
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="adoclint",
+        description="AdOC concurrency & wire-protocol static analyzer",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule table and exit"
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="also show suppressed findings",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, desc in sorted(RULES.items()):
+            print(f"{rule_id}  {desc}")
+        return 0
+
+    paths = args.paths or [_default_target()]
+    try:
+        report = run_lint(paths)
+    except FileNotFoundError as exc:
+        print(f"adoclint: {exc}", file=sys.stderr)
+        return 2
+    print(report.render(verbose=args.verbose))
+    return report.exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,43 @@
+"""Finding records and the ADOC rule registry.
+
+Every rule ``adoclint`` can emit is listed here with a one-line
+description; :mod:`repro.analysis.rules` and
+:mod:`repro.analysis.wirecheck` implement the detection logic and
+``docs/LINTING.md`` documents each rule with bad/good examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Finding", "RULES"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One lint violation, pointing at a source location.
+
+    Ordering is (path, line, col, rule) so reports are deterministic.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+#: Rule ID -> short description (the long form lives in docs/LINTING.md).
+RULES: dict[str, str] = {
+    "ADOC100": "adoclint suppression without an inline justification",
+    "ADOC101": "blocking call made while a lock/condition is held",
+    "ADOC102": "Condition.wait() not guarded by a while-predicate loop",
+    "ADOC103": "notify()/notify_all() outside the owning lock",
+    "ADOC104": "threading.Thread created without name=",
+    "ADOC105": "threading.Thread without a daemon= decision or a join()",
+    "ADOC106": "thread body swallows exceptions without recording them",
+    "ADOC107": "struct format packed but never unpacked (wire asymmetry)",
+}

@@ -1,0 +1,180 @@
+"""The ``adoclint`` driver: file discovery, suppressions, reporting.
+
+Usage from code::
+
+    from repro.analysis import run_lint
+    report = run_lint(["src/repro"])
+    print(report.render())
+    sys.exit(report.exit_code)
+
+Suppressions are inline comments on the line the finding points at::
+
+    with conn.write_lock:
+        conn.sender.send(buf)  # adoclint: disable=ADOC101 -- lock exists to serialise sends
+
+The justification after ``--`` is mandatory: a bare
+``# adoclint: disable=ADOC101`` suppresses the finding but raises
+ADOC100 instead, so unexplained suppressions cannot accumulate.
+``disable=all`` is accepted for generated code.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .findings import RULES, Finding
+from .rules import check_file
+from .wirecheck import StructUsage, check_struct_symmetry, collect_struct_usage
+
+__all__ = ["LintReport", "lint_sources", "run_lint", "iter_python_files"]
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*adoclint:\s*disable=([A-Za-z0-9,\s]+?)\s*(?:--\s*(\S.*))?$"
+)
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings else 0
+
+    def render(self, verbose: bool = False) -> str:
+        lines = [f.render() for f in sorted(self.findings)]
+        if verbose:
+            for f in sorted(self.suppressed):
+                lines.append(f"{f.render()}  [suppressed]")
+        summary = (
+            f"adoclint: {self.files_checked} file(s), "
+            f"{len(self.findings)} finding(s), "
+            f"{len(self.suppressed)} suppressed"
+        )
+        lines.append(summary)
+        return "\n".join(lines)
+
+
+def _parse_suppressions(
+    source: str, path: str
+) -> tuple[dict[int, set[str]], list[Finding]]:
+    """Per-line suppressed rule IDs, plus ADOC100 findings.
+
+    A suppression with no ``-- justification`` still suppresses (the
+    author clearly meant to) but earns an ADOC100 so it cannot pass a
+    clean run; so does one naming an unknown rule ID.
+    """
+    suppressions: dict[int, set[str]] = {}
+    meta: list[Finding] = []
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        m = _SUPPRESS_RE.search(line)
+        if m is None:
+            continue
+        ids = {part.strip().upper() for part in m.group(1).split(",") if part.strip()}
+        justification = m.group(2)
+        if "ALL" in ids:
+            ids = set(RULES)
+        unknown = ids - set(RULES)
+        if unknown:
+            meta.append(
+                Finding(
+                    path,
+                    lineno,
+                    line.index("#"),
+                    "ADOC100",
+                    f"suppression names unknown rule(s) {sorted(unknown)}",
+                )
+            )
+        if not justification:
+            meta.append(
+                Finding(
+                    path,
+                    lineno,
+                    line.index("#"),
+                    "ADOC100",
+                    "suppression without justification — append "
+                    "' -- <why this is safe here>'",
+                )
+            )
+        suppressions[lineno] = ids & set(RULES)
+    return suppressions, meta
+
+
+def lint_sources(sources: Iterable[tuple[str, str]]) -> LintReport:
+    """Lint (path, source-text) pairs as one closed analysis set.
+
+    The set is closed for the cross-file wire check: a format counts as
+    "unpacked" only if some *listed* source unpacks it.
+    """
+    report = LintReport()
+    struct_usage = StructUsage()
+    suppress_by_path: dict[str, dict[int, set[str]]] = {}
+
+    for path, text in sources:
+        report.files_checked += 1
+        try:
+            tree = ast.parse(text, filename=path)
+        except SyntaxError as exc:
+            report.findings.append(
+                Finding(
+                    path,
+                    exc.lineno or 1,
+                    exc.offset or 0,
+                    "ADOC100",
+                    f"file does not parse: {exc.msg}",
+                )
+            )
+            continue
+        line_suppress, meta = _parse_suppressions(text, path)
+        suppress_by_path[path] = line_suppress
+        report.findings.extend(meta)
+        _bucket(report, check_file(tree, path), line_suppress)
+        struct_usage.merge(collect_struct_usage(tree, path))
+
+    for finding in check_struct_symmetry(struct_usage):
+        _bucket(report, [finding], suppress_by_path.get(finding.path, {}))
+    return report
+
+
+def _bucket(
+    report: LintReport,
+    findings: Sequence[Finding],
+    line_suppress: dict[int, set[str]],
+) -> None:
+    for f in findings:
+        if f.rule in line_suppress.get(f.line, ()):
+            report.suppressed.append(f)
+        else:
+            report.findings.append(f)
+
+
+def iter_python_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: set[Path] = set()
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            out.update(
+                f
+                for f in p.rglob("*.py")
+                if "__pycache__" not in f.parts and ".egg-info" not in str(f)
+            )
+        elif p.suffix == ".py":
+            out.add(p)
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {p}")
+    return sorted(out)
+
+
+def run_lint(paths: Sequence[str | Path]) -> LintReport:
+    """Lint files/directories from disk (the CLI entry point's core)."""
+    files = iter_python_files(paths)
+    return lint_sources((str(f), f.read_text(encoding="utf-8")) for f in files)

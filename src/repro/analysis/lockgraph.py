@@ -1,0 +1,333 @@
+"""Runtime lock-order and deadlock detector.
+
+AdOC's pipeline correctness rests on a small set of locks and condition
+variables (the FIFO queue, the receiver's output buffer, the conduit
+pairs, the per-connection write lock).  A deadlock between them would
+not show up as a test failure — it shows up as a hung suite.  This
+module makes lock ordering *observable*:
+
+* :func:`make_lock` / :func:`make_condition` are drop-in factories used
+  by every lock-owning class in the tree.  With ``REPRO_LOCKCHECK``
+  unset they return plain :class:`threading.Lock` /
+  :class:`threading.Condition` objects — zero overhead.
+* With ``REPRO_LOCKCHECK=1`` they return :class:`CheckedLock` /
+  :class:`CheckedCondition` wrappers that record, per thread, which
+  locks are held whenever another is acquired.  Each "held A while
+  acquiring B" event adds the edge ``A -> B`` to a global directed
+  graph (:data:`GLOBAL_GRAPH`).  A cycle in that graph is a potential
+  deadlock *even if the run never actually deadlocked* — the classic
+  lock-order-inversion argument.
+* The graph also records locks held longer than a threshold
+  (``REPRO_LOCKCHECK_HOLD_S``, default 1.0 s) and condition waits
+  longer than the same threshold, which flag emission stalls.
+
+Edges are keyed by lock *instance*, so two queues of the same class
+never produce a false self-cycle; the report aggregates by the
+human-readable name passed to the factory.  The tier-1 suite runs once
+under ``REPRO_LOCKCHECK=1`` in CI and fails if any cycle is observed
+(see ``tests/conftest.py``).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+
+__all__ = [
+    "enabled",
+    "make_lock",
+    "make_condition",
+    "CheckedLock",
+    "CheckedCondition",
+    "LockGraph",
+    "LockOrderError",
+    "GLOBAL_GRAPH",
+]
+
+
+def enabled() -> bool:
+    """True when the environment opts into lock checking."""
+    return os.environ.get("REPRO_LOCKCHECK", "") not in ("", "0")
+
+
+class LockOrderError(RuntimeError):
+    """Raised by :meth:`LockGraph.assert_clean` when cycles exist."""
+
+
+@dataclass
+class _Edge:
+    """One observed 'held A while acquiring B' ordering."""
+
+    src: str
+    dst: str
+    count: int = 0
+    thread: str = ""
+
+
+@dataclass
+class _HoldRecord:
+    name: str
+    seconds: float
+    thread: str
+    kind: str = "hold"  # "hold" or "wait"
+
+
+@dataclass
+class LockGraph:
+    """Global acquisition graph shared by all checked locks."""
+
+    hold_threshold_s: float = field(
+        default_factory=lambda: float(os.environ.get("REPRO_LOCKCHECK_HOLD_S", "1.0"))
+    )
+    max_records: int = 1000
+
+    def __post_init__(self) -> None:
+        self._mu = threading.Lock()
+        self._held = threading.local()  # per-thread stack of CheckedLock
+        self._next_key = 0
+        # instance key -> name, and instance-level edges (key, key).
+        self._names: dict[int, str] = {}
+        self._edges: dict[tuple[int, int], _Edge] = {}
+        self.long_holds: list[_HoldRecord] = []
+
+    # -- registration ------------------------------------------------------
+
+    def register(self, lock: "CheckedLock") -> int:
+        with self._mu:
+            key = self._next_key
+            self._next_key += 1
+            self._names[key] = lock.name
+            return key
+
+    def _stack(self) -> list["CheckedLock"]:
+        stack = getattr(self._held, "stack", None)
+        if stack is None:
+            stack = []
+            self._held.stack = stack
+        return stack
+
+    # -- acquisition hooks (called by CheckedLock) -------------------------
+
+    def note_acquire_start(self, lock: "CheckedLock") -> None:
+        """Record ordering edges *before* blocking on ``lock``.
+
+        Recording before the acquire means a run that actually
+        deadlocks has already published the offending edge.
+        """
+        stack = self._stack()
+        if not stack:
+            return
+        tname = threading.current_thread().name
+        for held in stack:
+            edge_key = (held.key, lock.key)
+            edge = self._edges.get(edge_key)
+            if edge is not None:
+                edge.count += 1  # racy count; diagnostics only
+                continue
+            with self._mu:
+                self._edges.setdefault(
+                    edge_key, _Edge(held.name, lock.name, 0, tname)
+                ).count += 1
+
+    def note_acquired(self, lock: "CheckedLock") -> None:
+        self._stack().append(lock)
+
+    def note_released(self, lock: "CheckedLock", held_s: float) -> None:
+        stack = self._stack()
+        # Out-of-order release is legal (rare, but hand-over-hand code
+        # exists); remove by identity wherever it sits.
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i] is lock:
+                del stack[i]
+                break
+        if held_s > self.hold_threshold_s:
+            self._record_hold(lock.name, held_s, "hold")
+
+    def note_long_wait(self, name: str, waited_s: float) -> None:
+        if waited_s > self.hold_threshold_s:
+            self._record_hold(name, waited_s, "wait")
+
+    def _record_hold(self, name: str, seconds: float, kind: str) -> None:
+        with self._mu:
+            if len(self.long_holds) < self.max_records:
+                self.long_holds.append(
+                    _HoldRecord(name, seconds, threading.current_thread().name, kind)
+                )
+
+    # -- analysis ----------------------------------------------------------
+
+    def edges(self) -> list[_Edge]:
+        """Snapshot of observed ordering edges (aggregated by name)."""
+        with self._mu:
+            return [
+                _Edge(e.src, e.dst, e.count, e.thread)
+                for e in self._edges.values()
+            ]
+
+    def find_cycles(self) -> list[list[str]]:
+        """Cycles in the instance-level graph, as lists of lock names.
+
+        Instance-level keying means a cycle is a genuine ordering
+        inversion between *these* locks, not an artifact of two objects
+        sharing a class.  Each cycle is reported once, rotated so the
+        smallest key leads (deterministic output).
+        """
+        with self._mu:
+            adj: dict[int, list[int]] = {}
+            for (a, b) in self._edges:
+                adj.setdefault(a, []).append(b)
+            names = dict(self._names)
+        cycles: list[list[int]] = []
+        seen_cycles: set[tuple[int, ...]] = set()
+        WHITE, GREY, BLACK = 0, 1, 2
+        color: dict[int, int] = {}
+
+        def dfs(node: int, path: list[int]) -> None:
+            color[node] = GREY
+            path.append(node)
+            for nxt in sorted(adj.get(node, ())):
+                state = color.get(nxt, WHITE)
+                if state == GREY:
+                    cycle = path[path.index(nxt):]
+                    lead = cycle.index(min(cycle))
+                    canon = tuple(cycle[lead:] + cycle[:lead])
+                    if canon not in seen_cycles:
+                        seen_cycles.add(canon)
+                        cycles.append(list(canon))
+                elif state == WHITE:
+                    dfs(nxt, path)
+            path.pop()
+            color[node] = BLACK
+
+        for start in sorted(adj):
+            if color.get(start, WHITE) == WHITE:
+                dfs(start, [])
+        return [[names.get(k, f"lock#{k}") for k in cyc] for cyc in cycles]
+
+    def assert_clean(self) -> None:
+        cycles = self.find_cycles()
+        if cycles:
+            pretty = "; ".join(" -> ".join(c + [c[0]]) for c in cycles)
+            raise LockOrderError(f"lock-order cycles detected: {pretty}")
+
+    def report(self) -> str:
+        lines = [f"lockgraph: {len(self.edges())} ordering edge(s) observed"]
+        for e in sorted(self.edges(), key=lambda e: (e.src, e.dst)):
+            lines.append(f"  {e.src} -> {e.dst}  (x{e.count}, first on {e.thread})")
+        cycles = self.find_cycles()
+        if cycles:
+            for c in cycles:
+                lines.append("  CYCLE: " + " -> ".join(c + [c[0]]))
+        else:
+            lines.append("  no cycles")
+        for h in self.long_holds:
+            lines.append(
+                f"  long {h.kind}: {h.name} {h.seconds:.3f}s on {h.thread}"
+            )
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        with self._mu:
+            self._edges.clear()
+            self.long_holds.clear()
+
+
+#: Process-wide graph used by the make_lock/make_condition factories.
+GLOBAL_GRAPH = LockGraph()
+
+
+class CheckedLock:
+    """A :class:`threading.Lock` that reports to a :class:`LockGraph`.
+
+    API-compatible with ``threading.Lock`` for the subset the codebase
+    uses (``acquire``/``release``/``locked``/context manager) and for
+    what ``threading.Condition`` needs (``_is_owned``), so conditions
+    built over a checked lock route every release/re-acquire through
+    the graph — including the implicit ones inside ``wait()``.
+    """
+
+    __slots__ = ("_inner", "name", "key", "_graph", "_owner", "_acquired_at")
+
+    def __init__(self, name: str, graph: LockGraph | None = None) -> None:
+        self._inner = threading.Lock()
+        self.name = name
+        self._graph = graph if graph is not None else GLOBAL_GRAPH
+        self.key = self._graph.register(self)
+        self._owner: int | None = None
+        self._acquired_at = 0.0
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        if blocking:
+            self._graph.note_acquire_start(self)
+        ok = self._inner.acquire(blocking, timeout)
+        if ok:
+            self._owner = threading.get_ident()
+            self._acquired_at = time.monotonic()
+            self._graph.note_acquired(self)
+        return ok
+
+    def release(self) -> None:
+        held = time.monotonic() - self._acquired_at
+        self._owner = None
+        self._graph.note_released(self, held)
+        self._inner.release()
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def _is_owned(self) -> bool:
+        # threading.Condition probes ownership through this hook; without
+        # it the fallback does a spurious acquire(False) round trip.
+        return self._owner == threading.get_ident()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CheckedLock {self.name!r} locked={self.locked()}>"
+
+
+class CheckedCondition(threading.Condition):
+    """A Condition over a :class:`CheckedLock` that times waits.
+
+    The base class already releases/re-acquires through the checked
+    lock's own methods, so ordering edges are captured for free; the
+    only addition is long-wait accounting.
+    """
+
+    def __init__(self, lock: CheckedLock, name: str) -> None:
+        super().__init__(lock)
+        self.name = name
+
+    def wait(self, timeout: float | None = None) -> bool:
+        graph = self._lock._graph  # type: ignore[attr-defined]
+        t0 = time.monotonic()
+        try:
+            return super().wait(timeout)
+        finally:
+            graph.note_long_wait(self.name, time.monotonic() - t0)
+
+
+def make_lock(name: str) -> "threading.Lock | CheckedLock":
+    """A lock, instrumented iff ``REPRO_LOCKCHECK`` is set.
+
+    ``name`` should identify the owning structure, e.g.
+    ``"PacketQueue.lock"`` — it is what cycle reports print.
+    """
+    if enabled():
+        return CheckedLock(name)
+    return threading.Lock()
+
+
+def make_condition(
+    lock: "threading.Lock | CheckedLock", name: str
+) -> "threading.Condition":
+    """A condition over ``lock``, matching :func:`make_lock`'s choice."""
+    if isinstance(lock, CheckedLock):
+        return CheckedCondition(lock, name)
+    return threading.Condition(lock)

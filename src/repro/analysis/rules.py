@@ -1,0 +1,437 @@
+"""AST-based concurrency lint rules (ADOC101..ADOC106).
+
+The rules encode the thread discipline the AdOC pipeline depends on
+(paper section 3.1: compression thread -> FIFO -> emission thread):
+
+* critical sections stay small and never do I/O (ADOC101);
+* condition waits re-check their predicate (ADOC102) and notifies
+  happen under the owning lock (ADOC103);
+* threads are nameable in stack dumps (ADOC104) and have an explicit
+  lifecycle decision (ADOC105);
+* thread bodies never swallow exceptions silently — they record them
+  for re-raise on ``join()``/``close()``, the pattern the core
+  sender/receiver already follow (ADOC106).
+
+Everything here is a *heuristic* over names and shapes — that is what
+makes it cheap and dependency-free (stdlib ``ast`` only).  False
+positives are expected occasionally and are suppressed inline with a
+``disable=<rule-id> -- justification`` comment (see
+:mod:`repro.analysis.linter` for the exact syntax).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from .findings import Finding
+
+__all__ = ["check_file", "FileContext"]
+
+#: Attribute calls that (can) block regardless of receiver name: socket
+#: I/O, sleeps, and CPU-heavy codec work.
+_BLOCKING_ATTRS = {
+    "send",
+    "sendall",
+    "sendto",
+    "recv",
+    "recv_into",
+    "recv_exact",
+    "accept",
+    "connect",
+    "sleep",
+    "compress",
+    "decompress",
+}
+
+#: Attribute calls that block only when the receiver looks like a
+#: queue/thread (``.get`` is also a dict method, ``.join`` a str one).
+_RECEIVER_GATED_ATTRS = {"put", "get", "join"}
+_QUEUEISH_FRAGMENTS = ("queue", "fifo", "thread", "worker")
+_QUEUEISH_NAMES = {"q", "t", "w"}
+
+_LOCK_FACTORIES = {"Lock", "RLock", "make_lock"}
+_COND_FACTORIES = {"Condition", "make_condition"}
+
+
+def _dotted(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _last_name(node: ast.AST) -> str | None:
+    """The final identifier of a Name/Attribute chain."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _receiver_name(func: ast.Attribute) -> str | None:
+    """For ``x.y.put`` the receiver identifier is ``y``."""
+    return _last_name(func.value)
+
+
+def _annotate_parents(tree: ast.AST) -> None:
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            child._adoc_parent = node  # type: ignore[attr-defined]
+
+
+def _ancestors(node: ast.AST):
+    cur = getattr(node, "_adoc_parent", None)
+    while cur is not None:
+        yield cur
+        cur = getattr(cur, "_adoc_parent", None)
+
+
+_FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _enclosing_scope(node: ast.AST) -> ast.AST | None:
+    """Innermost enclosing function (or None for module level)."""
+    for anc in _ancestors(node):
+        if isinstance(anc, _FUNC_NODES):
+            return anc
+    return None
+
+
+@dataclass
+class FileContext:
+    """Names-of-interest collected in a prescan of one file."""
+
+    lock_names: set[str] = field(default_factory=set)
+    cond_names: set[str] = field(default_factory=set)
+    #: All function definitions by name (methods and nested included).
+    functions: dict[str, list[ast.FunctionDef]] = field(default_factory=dict)
+    thread_calls: list[ast.Call] = field(default_factory=list)
+
+    def is_lockish(self, expr: ast.AST) -> bool:
+        """Does ``with <expr>:`` look like it holds a lock?"""
+        name = _last_name(expr)
+        if name is None:
+            return False
+        return (
+            "lock" in name.lower()
+            or name in self.lock_names
+            or name in self.cond_names
+        )
+
+
+def _target_names(target: ast.AST):
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, ast.Attribute):
+        yield target.attr
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            yield from _target_names(elt)
+
+
+def _prescan(tree: ast.AST) -> FileContext:
+    ctx = FileContext()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            value = node.value
+            if isinstance(value, ast.Call):
+                factory = _last_name(value.func)
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                if factory in _LOCK_FACTORIES:
+                    for t in targets:
+                        ctx.lock_names.update(_target_names(t))
+                elif factory in _COND_FACTORIES:
+                    for t in targets:
+                        ctx.cond_names.update(_target_names(t))
+        elif isinstance(node, ast.FunctionDef):
+            ctx.functions.setdefault(node.name, []).append(node)
+        elif isinstance(node, ast.Call):
+            chain = _dotted(node.func)
+            if chain is not None and (
+                chain == "Thread" or chain.endswith(".Thread")
+            ):
+                ctx.thread_calls.append(node)
+    return ctx
+
+
+# -- ADOC101: blocking call while a lock is held ---------------------------
+
+
+def _blocking_reason(call: ast.Call, ctx: FileContext) -> str | None:
+    """Name of the blocking operation, or None if not blocking."""
+    func = call.func
+    name = _last_name(func)
+    if name is None:
+        return None
+    if name == "wait":
+        return None  # Condition.wait is the sanctioned in-lock block
+    if name in _BLOCKING_ATTRS:
+        # Module-level helpers count too: sendall(ep, ...), recv_exact(...).
+        return name
+    if name in _RECEIVER_GATED_ATTRS and isinstance(func, ast.Attribute):
+        recv = _receiver_name(func)
+        if recv is not None:
+            low = recv.lower()
+            if low in _QUEUEISH_NAMES or any(
+                frag in low for frag in _QUEUEISH_FRAGMENTS
+            ):
+                return name
+    return None
+
+
+def _check_blocking_under_lock(
+    tree: ast.AST, ctx: FileContext, path: str
+) -> list[Finding]:
+    findings = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        op = _blocking_reason(node, ctx)
+        if op is None:
+            continue
+        # Only With blocks between the call and its innermost function
+        # matter: a nested def inside a with-block runs later, lock-free.
+        for anc in _ancestors(node):
+            if isinstance(anc, _FUNC_NODES):
+                break
+            if isinstance(anc, ast.With):
+                held = [
+                    item.context_expr
+                    for item in anc.items
+                    if ctx.is_lockish(item.context_expr)
+                ]
+                if held:
+                    lock = _dotted(held[0]) or "<lock>"
+                    findings.append(
+                        Finding(
+                            path,
+                            node.lineno,
+                            node.col_offset,
+                            "ADOC101",
+                            f"blocking call '{op}' while holding '{lock}' — "
+                            "move I/O/CPU work outside the critical section "
+                            "(copy under the lock, act outside it)",
+                        )
+                    )
+                    break
+    return findings
+
+
+# -- ADOC102: wait() outside a while-predicate loop ------------------------
+
+
+def _check_wait_in_while(tree: ast.AST, ctx: FileContext, path: str) -> list[Finding]:
+    findings = []
+    for node in ast.walk(tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "wait"
+        ):
+            continue
+        recv = _receiver_name(node.func)
+        if recv not in ctx.cond_names:
+            continue  # Event.wait()/thread.join-style waits are fine bare
+        in_while = False
+        for anc in _ancestors(node):
+            if isinstance(anc, _FUNC_NODES):
+                break
+            if isinstance(anc, ast.While):
+                in_while = True
+                break
+        if not in_while:
+            findings.append(
+                Finding(
+                    path,
+                    node.lineno,
+                    node.col_offset,
+                    "ADOC102",
+                    f"'{_dotted(node.func)}()' outside a while loop — wrap as "
+                    "'while not <predicate>: cond.wait()' (wakeups can be "
+                    "spurious or stolen)",
+                )
+            )
+    return findings
+
+
+# -- ADOC103: notify outside the owning lock -------------------------------
+
+
+def _check_notify_under_lock(
+    tree: ast.AST, ctx: FileContext, path: str
+) -> list[Finding]:
+    findings = []
+    for node in ast.walk(tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("notify", "notify_all")
+        ):
+            continue
+        recv = _receiver_name(node.func)
+        if recv not in ctx.cond_names:
+            continue
+        under_lock = False
+        for anc in _ancestors(node):
+            if isinstance(anc, _FUNC_NODES):
+                break
+            if isinstance(anc, ast.With) and any(
+                ctx.is_lockish(item.context_expr) for item in anc.items
+            ):
+                under_lock = True
+                break
+        if not under_lock:
+            findings.append(
+                Finding(
+                    path,
+                    node.lineno,
+                    node.col_offset,
+                    "ADOC103",
+                    f"'{_dotted(node.func)}()' outside the owning lock — "
+                    "notify inside 'with <lock>:' or the waiter can miss it",
+                )
+            )
+    return findings
+
+
+# -- ADOC104/ADOC105: Thread construction hygiene --------------------------
+
+
+def _kwarg(call: ast.Call, name: str) -> bool:
+    return any(kw.arg == name for kw in call.keywords)
+
+
+def _scope_has_join(scope: ast.AST) -> bool:
+    for node in ast.walk(scope):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "join"
+        ):
+            return True
+    return False
+
+
+def _check_thread_calls(tree: ast.AST, ctx: FileContext, path: str) -> list[Finding]:
+    findings = []
+    for call in ctx.thread_calls:
+        if not _kwarg(call, "name"):
+            findings.append(
+                Finding(
+                    path,
+                    call.lineno,
+                    call.col_offset,
+                    "ADOC104",
+                    "Thread created without name= — anonymous threads make "
+                    "stack dumps and lockgraph reports unreadable",
+                )
+            )
+        if not _kwarg(call, "daemon"):
+            scope = _enclosing_scope(call) or tree
+            if not _scope_has_join(scope):
+                findings.append(
+                    Finding(
+                        path,
+                        call.lineno,
+                        call.col_offset,
+                        "ADOC105",
+                        "Thread without daemon= and no join() in scope — "
+                        "decide the lifecycle: daemon=True, or join it",
+                    )
+                )
+    return findings
+
+
+# -- ADOC106: thread bodies must record exceptions -------------------------
+
+
+def _thread_target_functions(ctx: FileContext) -> list[ast.FunctionDef]:
+    """FunctionDefs reachable as ``target=`` of a Thread in this file."""
+    out: list[ast.FunctionDef] = []
+    seen: set[int] = set()
+    for call in ctx.thread_calls:
+        for kw in call.keywords:
+            if kw.arg != "target":
+                continue
+            name = _last_name(kw.value)
+            for fn in ctx.functions.get(name or "", []):
+                if id(fn) not in seen:
+                    seen.add(id(fn))
+                    out.append(fn)
+    # run() methods of Thread subclasses are thread bodies too.
+    return out
+
+
+def _is_broad_handler(handler: ast.ExceptHandler) -> bool:
+    def broad(expr: ast.AST) -> bool:
+        return _last_name(expr) in ("Exception", "BaseException")
+
+    t = handler.type
+    if t is None:
+        return True  # bare except
+    if isinstance(t, ast.Tuple):
+        return any(broad(e) for e in t.elts)
+    return broad(t)
+
+
+def _handler_records_error(handler: ast.ExceptHandler) -> bool:
+    for node in handler.body:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Raise):
+                return True
+            if (
+                handler.name is not None
+                and isinstance(sub, ast.Name)
+                and sub.id == handler.name
+                and isinstance(sub.ctx, ast.Load)
+            ):
+                return True  # exc flows somewhere: append/assign/call
+    return False
+
+
+def _check_swallowed_thread_errors(
+    tree: ast.AST, ctx: FileContext, path: str
+) -> list[Finding]:
+    findings = []
+    for fn in _thread_target_functions(ctx):
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _is_broad_handler(node):
+                continue  # narrow except (QueueClosed, ...) is a decision
+            if _handler_records_error(node):
+                continue
+            findings.append(
+                Finding(
+                    path,
+                    node.lineno,
+                    node.col_offset,
+                    "ADOC106",
+                    f"thread body '{fn.name}' swallows exceptions — record "
+                    "them (errors.append(exc) / self._error = exc) and "
+                    "re-raise on join()/close(), as core sender/receiver do",
+                )
+            )
+    return findings
+
+
+def check_file(tree: ast.AST, path: str) -> list[Finding]:
+    """Run every single-file rule over a parsed module."""
+    _annotate_parents(tree)
+    ctx = _prescan(tree)
+    findings: list[Finding] = []
+    findings += _check_blocking_under_lock(tree, ctx, path)
+    findings += _check_wait_in_while(tree, ctx, path)
+    findings += _check_notify_under_lock(tree, ctx, path)
+    findings += _check_thread_calls(tree, ctx, path)
+    findings += _check_swallowed_thread_errors(tree, ctx, path)
+    return findings

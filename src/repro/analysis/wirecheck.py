@@ -1,0 +1,128 @@
+"""Wire-framing symmetry check (ADOC107).
+
+AdOC's framing bugs are asymmetric by nature: the sender packs a header
+with one ``struct`` format and the receiver unpacks with another (or
+never unpacks at all), and the failure shows up as a hung
+``recv_exact`` or a corrupted payload three layers away.  This pass
+collects every ``struct`` format literal used in the analyzed tree —
+via ``struct.pack``/``struct.unpack`` directly or through
+``X = struct.Struct("...")`` aliases — and reports any format that is
+packed somewhere but unpacked nowhere.
+
+The check is cross-file: ``core/packets.py`` packs what
+``core/receiver.py`` (via the same Struct object) unpacks, and
+``mover/striped.py`` packs a control header its own receive half
+unpacks.  Formats are compared literally; two formats of equal width
+but different field layout are still a mismatch, which is exactly the
+bug class this catches.
+"""
+
+from __future__ import annotations
+
+import ast
+import struct
+from dataclasses import dataclass, field
+
+from .findings import Finding
+
+__all__ = ["StructUsage", "collect_struct_usage", "check_struct_symmetry"]
+
+_PACK_METHODS = {"pack", "pack_into"}
+_UNPACK_METHODS = {"unpack", "unpack_from", "iter_unpack"}
+
+
+@dataclass
+class StructUsage:
+    """Format-string usage collected from one file."""
+
+    #: (path, line, col, fmt) for every pack call site.
+    packs: list[tuple[str, int, int, str]] = field(default_factory=list)
+    #: Formats that are unpacked somewhere.
+    unpacked: set[str] = field(default_factory=set)
+
+    def merge(self, other: "StructUsage") -> None:
+        self.packs.extend(other.packs)
+        self.unpacked.update(other.unpacked)
+
+
+def _last_name(node: ast.AST) -> str | None:
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _str_const(node: ast.AST) -> str | None:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def collect_struct_usage(tree: ast.AST, path: str) -> StructUsage:
+    """Gather pack/unpack format literals from one parsed module."""
+    usage = StructUsage()
+
+    # Pass 1: alias names bound to struct.Struct("fmt").
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+            continue
+        value = node.value
+        if not (isinstance(value, ast.Call) and _last_name(value.func) == "Struct"):
+            continue
+        if not value.args:
+            continue
+        fmt = _str_const(value.args[0])
+        if fmt is None:
+            continue
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for t in targets:
+            name = _last_name(t)
+            if name is not None:
+                aliases[name] = fmt
+
+    # Pass 2: pack/unpack call sites.
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+            continue
+        method = node.func.attr
+        if method not in _PACK_METHODS and method not in _UNPACK_METHODS:
+            continue
+        recv = _last_name(node.func.value)
+        fmt: str | None = None
+        if recv == "struct":
+            fmt = _str_const(node.args[0]) if node.args else None
+        elif recv in aliases:
+            fmt = aliases[recv]
+        if fmt is None:
+            continue
+        if method in _PACK_METHODS:
+            usage.packs.append((path, node.lineno, node.col_offset, fmt))
+        else:
+            usage.unpacked.add(fmt)
+    return usage
+
+
+def check_struct_symmetry(usage: StructUsage) -> list[Finding]:
+    """Findings for formats packed somewhere but unpacked nowhere."""
+    findings: list[Finding] = []
+    for path, line, col, fmt in usage.packs:
+        if fmt in usage.unpacked:
+            continue
+        try:
+            width = f"{struct.calcsize(fmt)} bytes"
+        except struct.error:
+            width = "unknown width"
+        findings.append(
+            Finding(
+                path,
+                line,
+                col,
+                "ADOC107",
+                f"struct format {fmt!r} ({width}) is packed here but never "
+                "unpacked in the analyzed tree — the receive side is "
+                "missing or disagrees on the format",
+            )
+        )
+    return findings

@@ -83,7 +83,7 @@ def live_echo_transfer(
             tx_back.write(data)
             done.set()
 
-        t = threading.Thread(target=echo, daemon=True)
+        t = threading.Thread(target=echo, name="bench-echo", daemon=True)
         t.start()
         t0 = time.monotonic()
         tx.write(payload)
@@ -100,7 +100,7 @@ def live_echo_transfer(
             sendall(b, data)
             done.set()
 
-        t = threading.Thread(target=echo, daemon=True)
+        t = threading.Thread(target=echo, name="bench-echo", daemon=True)
         t.start()
         t0 = time.monotonic()
         sendall(a, payload)
@@ -145,7 +145,7 @@ def live_pingpong(
                     return
                 rx.write(data)
 
-        t = threading.Thread(target=pong, daemon=True)
+        t = threading.Thread(target=pong, name="bench-pong", daemon=True)
         t.start()
         for _ in range(repeats):
             t0 = time.monotonic()
@@ -164,7 +164,7 @@ def live_pingpong(
                     return
                 sendall(b, data)
 
-        t = threading.Thread(target=pong, daemon=True)
+        t = threading.Thread(target=pong, name="bench-pong", daemon=True)
         t.start()
         for _ in range(repeats):
             t0 = time.monotonic()

@@ -18,6 +18,11 @@ Subcommands:
 
 ``adoc trace``
     Print a per-buffer adaptation trace for a simulated transfer.
+
+``adoc lint [PATH...]``
+    Run the adoclint static analyzer (concurrency + wire-protocol
+    rules) over the given files/directories, defaulting to the
+    installed ``repro`` package.  See ``docs/LINTING.md``.
 """
 
 from __future__ import annotations
@@ -226,6 +231,17 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis.__main__ import main as lint_main
+
+    argv: list[str] = list(args.paths)
+    if args.list_rules:
+        argv.append("--list-rules")
+    if args.verbose:
+        argv.append("--verbose")
+    return lint_main(argv)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="adoc", description="AdOC adaptive online compression toolkit"
@@ -262,6 +278,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_trace.add_argument("--size-mb", type=int, default=8)
     p_trace.add_argument("--seed", type=int, default=0)
+
+    p_lint = sub.add_parser("lint", help="run the adoclint static analyzer")
+    p_lint.add_argument("paths", nargs="*",
+                        help="files/directories (default: the repro package)")
+    p_lint.add_argument("--list-rules", action="store_true",
+                        help="print the rule table and exit")
+    p_lint.add_argument("-v", "--verbose", action="store_true",
+                        help="also show suppressed findings")
     return parser
 
 
@@ -273,6 +297,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "send": _cmd_send,
         "bench": _cmd_bench,
         "trace": _cmd_trace,
+        "lint": _cmd_lint,
     }
     return handlers[args.cmd](args)
 

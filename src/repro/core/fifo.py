@@ -18,9 +18,10 @@ produced each packet (the divergence guard's input).
 
 from __future__ import annotations
 
-import threading
 from collections import deque
 from dataclasses import dataclass
+
+from ..analysis.lockgraph import make_condition, make_lock
 
 __all__ = ["QueuedPacket", "PacketQueue", "QueueClosed"]
 
@@ -57,9 +58,9 @@ class PacketQueue:
         self.capacity = capacity
         self._items: deque[QueuedPacket] = deque()
         self._closed = False
-        self._lock = threading.Lock()
-        self._not_empty = threading.Condition(self._lock)
-        self._not_full = threading.Condition(self._lock)
+        self._lock = make_lock("PacketQueue.lock")
+        self._not_empty = make_condition(self._lock, "PacketQueue.not_empty")
+        self._not_full = make_condition(self._lock, "PacketQueue.not_full")
         #: Monotonic counters for diagnostics and tests.
         self.total_put = 0
         self.peak_size = 0

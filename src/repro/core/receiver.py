@@ -25,6 +25,7 @@ import threading
 from collections import deque
 from typing import BinaryIO, Callable
 
+from ..analysis.lockgraph import make_condition, make_lock
 from ..compress.registry import codec_for_level
 from ..transport.base import Endpoint, TransportClosed, recv_exact
 from .config import AdocConfig, DEFAULT_CONFIG
@@ -58,9 +59,9 @@ class OutputBuffer:
         self._eof = False
         self._error: BaseException | None = None
         self._skip_next_marker = False
-        self._lock = threading.Lock()
-        self._readable = threading.Condition(self._lock)
-        self._writable = threading.Condition(self._lock)
+        self._lock = make_lock("OutputBuffer.lock")
+        self._readable = make_condition(self._lock, "OutputBuffer.readable")
+        self._writable = make_condition(self._lock, "OutputBuffer.writable")
 
     # producer side (decompression thread) ---------------------------------
 

@@ -15,8 +15,9 @@ after every send and are thread-safe to read at any time.
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass, field
+
+from ..analysis.lockgraph import make_lock
 
 __all__ = ["ConnectionStats"]
 
@@ -50,7 +51,7 @@ class ConnectionStats:
     """Thread-safe accumulator of send-side accounting."""
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = make_lock("ConnectionStats.lock")
         self._data = _Snapshot()
 
     def record_send(self, result) -> None:

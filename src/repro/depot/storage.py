@@ -16,8 +16,9 @@ side lives in :mod:`repro.depot.service`.
 from __future__ import annotations
 
 import secrets
-import threading
 from dataclasses import dataclass, field
+
+from ..analysis.lockgraph import make_lock
 
 __all__ = ["Allocation", "DepotError", "ByteArrayDepot"]
 
@@ -49,7 +50,7 @@ class ByteArrayDepot:
         self._allocations: dict[str, Allocation] = {}
         self._by_read_cap: dict[str, Allocation] = {}
         self._by_write_cap: dict[str, Allocation] = {}
-        self._lock = threading.Lock()
+        self._lock = make_lock("ByteArrayDepot.lock")
 
     # -- management ------------------------------------------------------
 

@@ -17,6 +17,7 @@ import secrets
 import threading
 from typing import Callable
 
+from ..analysis.lockgraph import make_lock
 from ..core.config import AdocConfig, DEFAULT_CONFIG
 from ..transport.base import Endpoint, TransportClosed, sendall
 from .protocol import ProtocolViolation, format_reply, parse_command, read_line
@@ -34,7 +35,7 @@ class ChannelBroker:
 
     def __init__(self) -> None:
         self._pending: dict[str, Endpoint] = {}
-        self._lock = threading.Lock()
+        self._lock = make_lock("ChannelBroker.lock")
 
     def offer(self, endpoint: Endpoint) -> str:
         token = secrets.token_hex(8)
@@ -64,7 +65,7 @@ class FileServer:
         self.chunk_size = chunk_size
         self.broker = ChannelBroker()
         self.files: dict[str, bytes] = {}
-        self._files_lock = threading.Lock()
+        self._files_lock = make_lock("FileServer.files_lock")
         self.transfers = 0  # diagnostic counter
 
     # -- connection management ------------------------------------------------
@@ -73,7 +74,10 @@ class FileServer:
         """Open a control connection; returns the client's end."""
         client_end, server_end = self.transport_factory()
         threading.Thread(
-            target=self._control_loop, args=(server_end,), daemon=True
+            target=self._control_loop,
+            args=(server_end,),
+            name="gridftp-control",
+            daemon=True,
         ).start()
         return client_end
 

@@ -68,7 +68,12 @@ def send_data(
     else:
         raise ValueError(f"unknown data mode {mode!r}")
 
-    threads = [threading.Thread(target=worker, args=(i,), daemon=True) for i in range(n)]
+    threads = [
+        threading.Thread(
+            target=worker, args=(i,), name=f"gridftp-send-{i}", daemon=True
+        )
+        for i in range(n)
+    ]
     for t in threads:
         t.start()
     for t in threads:
@@ -120,7 +125,12 @@ def receive_data(
     else:
         raise ValueError(f"unknown data mode {mode!r}")
 
-    threads = [threading.Thread(target=worker, args=(i,), daemon=True) for i in range(n)]
+    threads = [
+        threading.Thread(
+            target=worker, args=(i,), name=f"gridftp-recv-{i}", daemon=True
+        )
+        for i in range(n)
+    ]
     for t in threads:
         t.start()
     for t in threads:

@@ -16,10 +16,10 @@ service, a simplified version of NetSolve's load-aware choice.
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass
 from typing import Callable
 
+from ..analysis.lockgraph import make_lock
 from ..transport.base import Endpoint
 from .server import Server
 
@@ -42,7 +42,7 @@ class Agent:
     def __init__(self) -> None:
         self._registrations: list[Registration] = []
         self._rr = 0
-        self._lock = threading.Lock()
+        self._lock = make_lock("Agent.lock")
 
     def register(self, server: Server, factory: TransportFactory) -> None:
         """A server announces itself (NetSolve server start-up)."""

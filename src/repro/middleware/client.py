@@ -114,5 +114,5 @@ class Client:
             except BaseException as exc:  # noqa: BLE001 - delivered via future
                 future.set_exception(exc)
 
-        Thread(target=run, daemon=True).start()
+        Thread(target=run, name="netsolve-async", daemon=True).start()
         return future

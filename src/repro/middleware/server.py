@@ -12,6 +12,7 @@ import threading
 import traceback
 from dataclasses import dataclass, field
 
+from ..analysis.lockgraph import make_lock
 from ..transport.base import Endpoint, TransportClosed
 from .communicator import Communicator, PlainCommunicator
 from .protocol import MsgType, RpcError, RpcMessage, read_message, write_message
@@ -27,7 +28,9 @@ class ServerStats:
     requests: int = 0
     errors: int = 0
     busy: int = 0
-    lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    lock: threading.Lock = field(
+        default_factory=lambda: make_lock("ServerStats.lock"), repr=False
+    )
 
     def begin(self) -> None:
         with self.lock:

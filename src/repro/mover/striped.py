@@ -79,7 +79,9 @@ def send_striped(
             errors.append(exc)
 
     threads = [
-        threading.Thread(target=stream_worker, args=(i,), daemon=True)
+        threading.Thread(
+            target=stream_worker, args=(i,), name=f"stripe-send-{i}", daemon=True
+        )
         for i in range(n)
     ]
     for t in threads:
@@ -130,7 +132,9 @@ def receive_striped(
             errors.append(exc)
 
     threads = [
-        threading.Thread(target=stream_worker, args=(i,), daemon=True)
+        threading.Thread(
+            target=stream_worker, args=(i,), name=f"stripe-recv-{i}", daemon=True
+        )
         for i in range(n)
     ]
     for t in threads:

@@ -12,10 +12,10 @@ are used by unit tests and by the middleware's loopback mode.
 
 from __future__ import annotations
 
-import threading
 import time
 from collections import deque
 
+from ..analysis.lockgraph import make_condition, make_lock
 from .base import Endpoint, TransportClosed
 
 __all__ = ["ByteConduit", "PipeEndpoint", "pipe_pair"]
@@ -44,9 +44,9 @@ class ByteConduit:
         self._buffered = 0
         self._eof = False
         self._broken = False
-        self._lock = threading.Lock()
-        self._readable = threading.Condition(self._lock)
-        self._writable = threading.Condition(self._lock)
+        self._lock = make_lock("ByteConduit.lock")
+        self._readable = make_condition(self._lock, "ByteConduit.readable")
+        self._writable = make_condition(self._lock, "ByteConduit.writable")
 
     def write(self, data: bytes, avail_time: float | None = None) -> int:
         """Queue up to capacity-limited prefix of ``data``; return count.

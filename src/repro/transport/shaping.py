@@ -27,10 +27,10 @@ for shaping *real* sockets in live demos.
 from __future__ import annotations
 
 import random
-import threading
 import time
 from dataclasses import dataclass, field
 
+from ..analysis.lockgraph import make_lock
 from .base import Endpoint
 from .pipes import ByteConduit, PipeEndpoint
 
@@ -102,7 +102,7 @@ class LinkScheduler:
         self._rng = random.Random(seed)
         self._congested = False
         self._next_free = 0.0
-        self._lock = threading.Lock()
+        self._lock = make_lock("LinkScheduler.lock")
 
     def schedule(self, nbytes: int, now: float | None = None) -> float:
         """Return the absolute monotonic time at which ``nbytes`` written
@@ -214,7 +214,7 @@ class TokenBucket:
         self.burst = burst_bytes if burst_bytes is not None else max(1, int(self.rate / 10))
         self._tokens = float(self.burst)
         self._stamp = time.monotonic()
-        self._lock = threading.Lock()
+        self._lock = make_lock("TokenBucket.lock")
 
     def acquire(self, n: int) -> None:
         # Requests larger than the burst are admitted once a full burst

@@ -1,0 +1,406 @@
+"""Positive/negative fixtures for every adoclint rule.
+
+Each rule gets at least one seeded violation (the rule must fire) and
+one compliant variant (the rule must stay quiet) — the acceptance bar
+for the analyzer is that the *shape* of the violation is detected, not
+the exact program.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import lint_sources
+
+
+def lint(source: str, path: str = "fixture.py"):
+    return lint_sources([(path, textwrap.dedent(source))])
+
+
+def fired(source: str) -> set[str]:
+    return {f.rule for f in lint(source).findings}
+
+
+# -- ADOC101: blocking call under a lock -----------------------------------
+
+
+def test_adoc101_socket_send_under_lock_fires():
+    src = """
+        import threading
+
+        class Box:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def poke(self, sock):
+                with self._lock:
+                    sock.sendall(b"x")
+    """
+    assert "ADOC101" in fired(src)
+
+
+def test_adoc101_sleep_and_compress_under_lock_fire():
+    src = """
+        import threading, time, zlib
+
+        lock = threading.Lock()
+
+        def slowpath(data):
+            with lock:
+                time.sleep(0.1)
+                return zlib.compress(data)
+    """
+    report = lint(src)
+    assert sum(f.rule == "ADOC101" for f in report.findings) == 2
+
+
+def test_adoc101_queue_put_under_lock_fires_but_dict_get_does_not():
+    src = """
+        import threading
+
+        class Box:
+            def __init__(self, queue):
+                self._lock = threading.Lock()
+                self._queue = queue
+                self.files = {}
+
+            def bad(self, item):
+                with self._lock:
+                    self._queue.put(item)
+
+            def fine(self, key):
+                with self._lock:
+                    return self.files.get(key)
+    """
+    report = lint(src)
+    assert sum(f.rule == "ADOC101" for f in report.findings) == 1
+
+
+def test_adoc101_io_outside_lock_is_clean():
+    src = """
+        import threading
+
+        class Box:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def poke(self, sock):
+                with self._lock:
+                    payload = self.buf
+                sock.sendall(payload)
+    """
+    assert "ADOC101" not in fired(src)
+
+
+def test_adoc101_nested_def_inside_with_is_clean():
+    # The nested function runs later, lock-free.
+    src = """
+        import threading
+
+        lock = threading.Lock()
+
+        def make(sock):
+            with lock:
+                def sender():
+                    sock.sendall(b"x")
+                return sender
+    """
+    assert "ADOC101" not in fired(src)
+
+
+# -- ADOC102: wait() must sit in a while loop ------------------------------
+
+
+def test_adoc102_if_guarded_wait_fires():
+    src = """
+        import threading
+
+        class Box:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._ready = threading.Condition(self._lock)
+                self.items = []
+
+            def take(self):
+                with self._lock:
+                    if not self.items:
+                        self._ready.wait()
+                    return self.items.pop()
+    """
+    assert "ADOC102" in fired(src)
+
+
+def test_adoc102_while_guarded_wait_is_clean():
+    src = """
+        import threading
+
+        class Box:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._ready = threading.Condition(self._lock)
+                self.items = []
+
+            def take(self):
+                with self._lock:
+                    while not self.items:
+                        self._ready.wait()
+                    return self.items.pop()
+    """
+    assert "ADOC102" not in fired(src)
+
+
+def test_adoc102_event_wait_is_not_a_condition_wait():
+    src = """
+        import threading
+
+        done = threading.Event()
+
+        def block():
+            done.wait(timeout=5)
+    """
+    assert "ADOC102" not in fired(src)
+
+
+# -- ADOC103: notify under the owning lock ---------------------------------
+
+
+def test_adoc103_notify_outside_lock_fires():
+    src = """
+        import threading
+
+        class Box:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._ready = threading.Condition(self._lock)
+
+            def close(self):
+                self._closed = True
+                self._ready.notify_all()
+    """
+    assert "ADOC103" in fired(src)
+
+
+def test_adoc103_notify_under_lock_is_clean():
+    src = """
+        import threading
+
+        class Box:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._ready = threading.Condition(self._lock)
+
+            def close(self):
+                with self._lock:
+                    self._closed = True
+                    self._ready.notify_all()
+    """
+    assert "ADOC103" not in fired(src)
+
+
+# -- ADOC104/ADOC105: Thread construction hygiene --------------------------
+
+
+def test_adoc104_anonymous_thread_fires():
+    src = """
+        import threading
+
+        def go(fn):
+            threading.Thread(target=fn, daemon=True).start()
+    """
+    assert "ADOC104" in fired(src)
+
+
+def test_adoc105_no_daemon_no_join_fires():
+    src = """
+        import threading
+
+        def go(fn):
+            threading.Thread(target=fn, name="worker").start()
+    """
+    assert "ADOC105" in fired(src)
+
+
+def test_adoc105_joined_thread_is_clean():
+    src = """
+        import threading
+
+        def go(fn):
+            t = threading.Thread(target=fn, name="worker")
+            t.start()
+            t.join()
+    """
+    assert fired(src) == set()
+
+
+def test_named_daemon_thread_is_clean():
+    src = """
+        import threading
+
+        def go(fn):
+            threading.Thread(target=fn, name="worker", daemon=True).start()
+    """
+    assert fired(src) == set()
+
+
+# -- ADOC106: thread bodies must record exceptions -------------------------
+
+
+def test_adoc106_swallowed_exception_fires():
+    src = """
+        import threading
+
+        def worker():
+            try:
+                do_work()
+            except Exception:
+                pass
+
+        threading.Thread(target=worker, name="w", daemon=True).start()
+    """
+    assert "ADOC106" in fired(src)
+
+
+def test_adoc106_recorded_exception_is_clean():
+    src = """
+        import threading
+
+        errors = []
+
+        def worker():
+            try:
+                do_work()
+            except Exception as exc:
+                errors.append(exc)
+
+        threading.Thread(target=worker, name="w", daemon=True).start()
+    """
+    assert "ADOC106" not in fired(src)
+
+
+def test_adoc106_narrow_except_is_a_decision_not_a_violation():
+    src = """
+        import threading
+
+        def worker():
+            try:
+                do_work()
+            except KeyError:
+                pass
+
+        threading.Thread(target=worker, name="w", daemon=True).start()
+    """
+    assert "ADOC106" not in fired(src)
+
+
+def test_adoc106_ignores_non_thread_functions():
+    src = """
+        def helper():
+            try:
+                do_work()
+            except Exception:
+                pass
+    """
+    assert "ADOC106" not in fired(src)
+
+
+# -- ADOC107: struct pack/unpack symmetry ----------------------------------
+
+
+def test_adoc107_pack_without_unpack_fires():
+    src = """
+        import struct
+
+        def frame(n):
+            return struct.pack(">HH", n, n)
+    """
+    assert "ADOC107" in fired(src)
+
+
+def test_adoc107_struct_alias_roundtrip_is_clean():
+    src = """
+        import struct
+
+        _HDR = struct.Struct(">BI")
+
+        def frame(level, size):
+            return _HDR.pack(level, size)
+
+        def parse(data):
+            return _HDR.unpack(data)
+    """
+    assert "ADOC107" not in fired(src)
+
+
+def test_adoc107_cross_file_unpack_counts():
+    sender = """
+        import struct
+
+        def frame(n):
+            return struct.pack(">Q", n)
+    """
+    receiver = """
+        import struct
+
+        def parse(data):
+            return struct.unpack(">Q", data)
+    """
+    report = lint_sources(
+        [
+            ("sender.py", textwrap.dedent(sender)),
+            ("receiver.py", textwrap.dedent(receiver)),
+        ]
+    )
+    assert {f.rule for f in report.findings} == set()
+
+
+def test_adoc107_mismatched_formats_fire():
+    sender = "import struct\n\ndef f(n):\n    return struct.pack('>HH', n, n)\n"
+    receiver = "import struct\n\ndef g(d):\n    return struct.unpack('>I', d)\n"
+    report = lint_sources([("s.py", sender), ("r.py", receiver)])
+    assert {f.rule for f in report.findings} == {"ADOC107"}
+
+
+# -- suppressions (ADOC100) ------------------------------------------------
+
+
+def test_justified_suppression_silences_the_finding():
+    src = """
+        import threading
+
+        def go(fn):
+            threading.Thread(target=fn, daemon=True).start()  # adoclint: disable=ADOC104 -- ephemeral probe thread, named by its pool
+    """
+    report = lint(src)
+    assert report.findings == []
+    assert [f.rule for f in report.suppressed] == ["ADOC104"]
+
+
+def test_unjustified_suppression_earns_adoc100():
+    src = """
+        import threading
+
+        def go(fn):
+            threading.Thread(target=fn, daemon=True).start()  # adoclint: disable=ADOC104
+    """
+    report = lint(src)
+    assert [f.rule for f in report.findings] == ["ADOC100"]
+    assert [f.rule for f in report.suppressed] == ["ADOC104"]
+
+
+def test_unknown_rule_in_suppression_earns_adoc100():
+    src = """
+        x = 1  # adoclint: disable=ADOC999 -- no such rule
+    """
+    assert fired(src) == {"ADOC100"}
+
+
+def test_report_renders_location_and_rule():
+    src = """
+        import threading
+
+        def go(fn):
+            threading.Thread(target=fn, daemon=True).start()
+    """
+    report = lint(src, path="pkg/mod.py")
+    line = report.render().splitlines()[0]
+    assert line.startswith("pkg/mod.py:5:") and "ADOC104" in line

@@ -9,6 +9,29 @@ import pytest
 from repro.transport import pipe_pair
 
 
+def pytest_sessionfinish(session, exitstatus):
+    """Under ``REPRO_LOCKCHECK=1``, fail the run on lock-order cycles.
+
+    The whole suite doubles as a lock-ordering workload: every checked
+    lock acquisition recorded an edge in the global lock graph, and a
+    cycle there is a potential deadlock even though no run hung.
+    """
+    from repro.analysis.lockgraph import GLOBAL_GRAPH, enabled
+
+    if not enabled():
+        return
+    report = GLOBAL_GRAPH.report()
+    cycles = GLOBAL_GRAPH.find_cycles()
+    tr = session.config.pluginmanager.get_plugin("terminalreporter")
+    write = tr._tw.line if tr is not None else print
+    write("")
+    for line in report.splitlines():
+        write(line)
+    if cycles:
+        write("REPRO_LOCKCHECK: lock-order cycles detected — failing the run")
+        session.exitstatus = 3
+
+
 @pytest.fixture
 def pipes():
     """A connected in-memory endpoint pair, closed on teardown."""
