@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lockcheck lint adoclint bench
+.PHONY: test lockcheck lint adoclint bench bench-smoke bench-paper
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -20,5 +20,15 @@ lint: adoclint
 adoclint:
 	$(PYTHON) -m repro.analysis -v
 
+# Send-path engine benchmark (legacy vs streaming): full matrix writes
+# BENCH_send_path.json and enforces the perf acceptance bars; smoke is
+# the seconds-long CI variant.
 bench:
+	$(PYTHON) benchmarks/send_path.py
+
+bench-smoke:
+	$(PYTHON) benchmarks/send_path.py --smoke
+
+# The paper-figure benchmarks (tables/figures of RR-5500).
+bench-paper:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

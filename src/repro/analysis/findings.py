@@ -40,4 +40,5 @@ RULES: dict[str, str] = {
     "ADOC105": "threading.Thread without a daemon= decision or a join()",
     "ADOC106": "thread body swallows exceptions without recording them",
     "ADOC107": "struct format packed but never unpacked (wire asymmetry)",
+    "ADOC108": "whole-payload copy (bytes()/b''.join) on the core hot path",
 }

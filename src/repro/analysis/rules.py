@@ -22,6 +22,7 @@ positives are expected occasionally and are suppressed inline with a
 from __future__ import annotations
 
 import ast
+import re
 from dataclasses import dataclass, field
 
 from .findings import Finding
@@ -34,6 +35,9 @@ _BLOCKING_ATTRS = {
     "send",
     "sendall",
     "sendto",
+    "sendmsg",
+    "send_vectors",
+    "sendall_vectors",
     "recv",
     "recv_into",
     "recv_exact",
@@ -52,6 +56,24 @@ _QUEUEISH_NAMES = {"q", "t", "w"}
 
 _LOCK_FACTORIES = {"Lock", "RLock", "make_lock"}
 _COND_FACTORIES = {"Condition", "make_condition"}
+
+#: Identifier fragments that mark a variable as (potentially) a message
+#: payload for ADOC108.  Deliberately broad: the rule only runs on hot
+#: path files, where a false positive costs one justified suppression.
+_PAYLOADISH_FRAGMENTS = (
+    "data",
+    "payload",
+    "buf",
+    "chunk",
+    "view",
+    "body",
+    "blob",
+    "wire",
+)
+
+#: ADOC108 applies only to the send/receive hot path, where the
+#: zero-copy discipline is load-bearing.
+_HOT_PATH_PART = "core"
 
 
 def _dotted(node: ast.AST) -> str | None:
@@ -424,6 +446,77 @@ def _check_swallowed_thread_errors(
     return findings
 
 
+# -- ADOC108: whole-payload copies on the zero-copy hot path ----------------
+
+
+def _is_payloadish(name: str | None) -> bool:
+    if not name:
+        return False
+    low = name.lower()
+    return any(frag in low for frag in _PAYLOADISH_FRAGMENTS)
+
+
+def _in_hot_path(path: str) -> bool:
+    return _HOT_PATH_PART in re.split(r"[\\/]", path)
+
+
+def _check_payload_copies(tree: ast.AST, ctx: FileContext, path: str) -> list[Finding]:
+    """Flag O(payload) copies in ``core/``: ``bytes(<payloadish>)`` and
+    ``b"".join(...)``.
+
+    The streaming send engine's contract is that payload bytes travel
+    as ``memoryview`` slices from the source to the socket; a ``bytes``
+    materialisation or a join re-introduces a copy per message.  Both
+    shapes are occasionally legitimate (a compat serializer, assembling
+    *compressed* output) — those carry a justified suppression.
+    """
+    if not _in_hot_path(path):
+        return []
+    findings = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if (
+            isinstance(func, ast.Name)
+            and func.id == "bytes"
+            and len(node.args) == 1
+            and not node.keywords
+            and isinstance(node.args[0], (ast.Name, ast.Attribute))
+            and _is_payloadish(_last_name(node.args[0]))
+        ):
+            arg = _dotted(node.args[0]) or "<payload>"
+            findings.append(
+                Finding(
+                    path,
+                    node.lineno,
+                    node.col_offset,
+                    "ADOC108",
+                    f"'bytes({arg})' copies a whole payload on the hot path "
+                    "— pass the buffer/memoryview through, or justify with "
+                    "a suppression",
+                )
+            )
+        elif (
+            isinstance(func, ast.Attribute)
+            and func.attr == "join"
+            and isinstance(func.value, ast.Constant)
+            and func.value.value == b""
+        ):
+            findings.append(
+                Finding(
+                    path,
+                    node.lineno,
+                    node.col_offset,
+                    "ADOC108",
+                    "b\"\".join(...) materialises an O(payload) buffer on "
+                    "the hot path — emit the fragments individually "
+                    "(vectored send), or justify with a suppression",
+                )
+            )
+    return findings
+
+
 def check_file(tree: ast.AST, path: str) -> list[Finding]:
     """Run every single-file rule over a parsed module."""
     _annotate_parents(tree)
@@ -434,4 +527,5 @@ def check_file(tree: ast.AST, path: str) -> list[Finding]:
     findings += _check_notify_under_lock(tree, ctx, path)
     findings += _check_thread_calls(tree, ctx, path)
     findings += _check_swallowed_thread_errors(tree, ctx, path)
+    findings += _check_payload_copies(tree, ctx, path)
     return findings

@@ -53,7 +53,7 @@ def _hash3(a: int, b: int, c: int) -> int:
     return ((v * 2654435761) >> (32 - _HLOG)) & (_HSIZE - 1)
 
 
-def lzf_compress(data: bytes) -> bytes:
+def lzf_compress(data: bytes | bytearray | memoryview) -> bytes:
     """Compress ``data`` into an LZF chunk.
 
     Unlike liblzf's C API this never "fails": input that would expand is
@@ -62,6 +62,11 @@ def lzf_compress(data: bytes) -> bytes:
     form when that happens, matching the paper's guarantee that
     incompressible data is not inflated on the wire.
     """
+    if not isinstance(data, bytes):
+        # bytes indexing is measurably faster than memoryview indexing
+        # in the hot loop, and the slice-sized copy is unavoidable here
+        # anyway (the encoder re-reads every position many times).
+        data = bytes(data)
     n = len(data)
     if n == 0:
         return b""

@@ -39,7 +39,7 @@ _MIN_CONSUMED_FOR_GUARD = 16 * 1024
 
 
 def compress_buffer(
-    data: bytes,
+    data: bytes | memoryview,
     level: int,
     guard: IncompressibleGuard | None = None,
     config: AdocConfig = DEFAULT_CONFIG,
@@ -51,11 +51,16 @@ def compress_buffer(
     form when that actually saved bytes, otherwise the raw form is used
     (the paper's guarantee that data is never inflated on the wire
     beyond the fixed header overhead).
+
+    ``data`` may be a ``memoryview``: raw records (level 0, guard
+    fallbacks, LZF slices that did not shrink) keep zero-copy slices of
+    it as their payload, so the caller's buffer must stay alive until
+    the records are emitted.
     """
-    if not data:
+    if not len(data):
         return [], False
     if level == 0:
-        return [Record(0, len(data), bytes(data))], False
+        return [Record(0, len(data), data)], False
 
     if level == 1:
         return _compress_lzf(data, guard, config)
@@ -63,7 +68,7 @@ def compress_buffer(
 
 
 def _compress_lzf(
-    data: bytes,
+    data: bytes | memoryview,
     guard: IncompressibleGuard | None,
     config: AdocConfig,
 ) -> tuple[list[Record], bool]:
@@ -89,7 +94,7 @@ def _compress_lzf(
 
 
 def _compress_zlib(
-    data: bytes,
+    data: bytes | memoryview,
     level: int,
     guard: IncompressibleGuard | None,
     config: AdocConfig,
@@ -122,7 +127,7 @@ def _compress_zlib(
         produced_len += len(tail)
 
     records: list[Record] = []
-    wire = b"".join(produced)
+    wire = b"".join(produced)  # adoclint: disable=ADOC108 -- joins *compressed* fragments (already a fresh allocation, typically much smaller than the input) into the one contiguous record the framing needs
     if produced_len < consumed:
         records.append(Record(level, consumed, wire))
     else:

@@ -41,12 +41,25 @@ class QueuedPacket:
     bandwidth per (buffer, level) window for the divergence guard
     (per-packet gaps are meaningless while the socket buffer absorbs a
     burst; per-buffer windows measure the sustained rate).
+
+    ``payload`` may be a ``memoryview`` over the compression side's
+    buffer (zero-copy hot path); ``prefix`` carries framing bytes — the
+    9-byte record header rides on the record's first packet — so the
+    emission side can send header and payload as separate vectors
+    instead of copying them into one buffer.  On the wire a packet is
+    ``prefix + payload``.
     """
 
-    payload: bytes
+    payload: bytes | memoryview
     level: int
     original_bytes: int
     buffer_id: int = 0
+    prefix: bytes = b""
+
+    @property
+    def wire_length(self) -> int:
+        """Bytes this packet contributes to the wire."""
+        return len(self.prefix) + len(self.payload)
 
 
 class PacketQueue:
@@ -83,6 +96,20 @@ class PacketQueue:
         with self._lock:
             while not self._items and not self._closed:
                 self._not_empty.wait()
+            if not self._items:
+                return None
+            item = self._items.popleft()
+            self._not_full.notify()
+            return item
+
+    def poll(self) -> QueuedPacket | None:
+        """Pop the oldest packet without blocking; ``None`` if empty.
+
+        Lets the emission side coalesce everything already queued into
+        one vectored send, then fall back to a blocking :meth:`get`.
+        Note ``None`` means *empty right now*, not closed.
+        """
+        with self._lock:
             if not self._items:
                 return None
             item = self._items.popleft()

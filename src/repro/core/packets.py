@@ -102,17 +102,39 @@ class RecordHeader:
 
 @dataclass(frozen=True)
 class Record:
-    """A complete record: header fields plus wire payload."""
+    """A complete record: header fields plus wire payload.
+
+    ``payload`` may be a ``memoryview`` over caller-owned memory: the
+    send engine keeps payloads as views end to end and only ever
+    materialises the 9-byte header (:meth:`header_bytes`).  The view's
+    base object must stay alive and unchanged until the record has been
+    emitted — which the engine guarantees, since views hold a reference
+    to their base.
+    """
 
     level: int
     original_size: int
-    payload: bytes
+    payload: bytes | memoryview
+
+    def header_bytes(self) -> bytes:
+        """The 9-byte record header framing :attr:`payload`."""
+        return RecordHeader(self.level, self.original_size, len(self.payload)).pack()
+
+    def serialize_into(self, out: bytearray) -> None:
+        """Append header + payload to ``out`` without intermediates."""
+        out += self.header_bytes()
+        out += self.payload
 
     def serialize(self) -> bytes:
-        return (
-            RecordHeader(self.level, self.original_size, len(self.payload)).pack()
-            + self.payload
-        )
+        """Header + payload as one new buffer.
+
+        Compatibility/diagnostic form — the hot path sends
+        :meth:`header_bytes` and :attr:`payload` as separate vectors
+        instead of paying this copy.
+        """
+        buf = bytearray()
+        self.serialize_into(buf)
+        return bytes(buf)  # adoclint: disable=ADOC108 -- compat/diagnostic serializer; the engine sends header_bytes() + payload as separate vectors instead
 
 
 def pack_message_header(total_length: int, length_known: bool = True) -> bytes:

@@ -21,6 +21,25 @@ Forcing compression (``min_level > 0``) skips steps 1 and 2 — that is
 what the paper's Table 2 "AdOC with forced compression" column
 measures: the full thread/queue/mutex start-up cost on a tiny message.
 Disabling compression (``max_level == 0``) short-circuits to raw.
+
+Every entry point feeds one streaming engine (:meth:`_send_source`)
+through a :class:`~repro.core.sources.ChunkSource`: in-memory payloads
+become zero-copy ``memoryview`` slices, seekable files stream in
+``buffer_size`` chunks under a known-length header, and pipes stream as
+END-terminated unknown-length messages.  Peak resident payload is
+O(buffer_size) regardless of message size, and the hot path never
+copies payload bytes: record headers ride as packet *prefixes* and the
+emission loop coalesces queued packets into vectored sends
+(:func:`~repro.transport.base.sendall_vectors`).
+
+The wire format is unchanged — a packet is ``prefix + payload`` and the
+receiver sees the same byte stream the pre-streaming sender produced
+(pinned by the golden fixtures in ``tests/golden``).  The only visible
+shift is internal accounting: packets now hold ``packet_size`` payload
+bytes plus the 9-byte header prefix (the header no longer displaces
+payload from the first packet), so queue lengths — a heuristic signal
+to the adapter — can differ by one packet per record from the old
+serialization.
 """
 
 from __future__ import annotations
@@ -30,7 +49,7 @@ import time
 from dataclasses import dataclass, field
 from typing import BinaryIO, Callable
 
-from ..transport.base import Endpoint, sendall
+from ..transport.base import Endpoint, sendall, sendall_vectors
 from .adaptation import LevelAdapter
 from .compressor import compress_buffer
 from .config import AdocConfig, DEFAULT_CONFIG
@@ -38,9 +57,16 @@ from .divergence import DivergenceGuard
 from .fifo import PacketQueue, QueueClosed, QueuedPacket
 from .guards import IncompressibleGuard
 from .packets import Record, end_record_bytes, pack_message_header
+from .sources import BytesSource, ChunkSource, source_for_stream, stream_size
 from .stats import ConnectionStats
 
 __all__ = ["SendResult", "MessageSender"]
+
+#: Upper bound on packets coalesced into one vectored send.  Each
+#: packet contributes at most two vectors (prefix + payload), so a
+#: batch stays well under the transport's IOV_MAX while still amortising
+#: the per-send cost across a full queue burst.
+_MAX_BATCH = 64
 
 
 @dataclass
@@ -91,58 +117,74 @@ class MessageSender:
     # -- public entry points -------------------------------------------------
 
     def send(self, data: bytes | bytearray | memoryview, config: AdocConfig | None = None) -> SendResult:
-        """Send one in-memory message; blocks until fully emitted."""
-        result = self._send(data, config)
+        """Send one in-memory message; blocks until fully emitted.
+
+        The buffer is *borrowed*, never copied: it must stay unchanged
+        until the call returns (the same contract as ``writev``).
+        """
+        result = self._send_source(BytesSource(data), config or self.config)
         self.stats.record_send(result)
         return result
 
-    def _send(self, data: bytes | bytearray | memoryview, config: AdocConfig | None = None) -> SendResult:
-        cfg = config or self.config
-        data = bytes(data)
-        start = self.clock()
-        header = pack_message_header(len(data), length_known=True)
+    def send_stream(self, stream: BinaryIO, config: AdocConfig | None = None) -> SendResult:
+        """Send a file object, streaming it in ``buffer_size`` chunks.
 
-        if self._should_bypass(len(data), cfg):
-            wire = self._send_raw(header, data)
-            return SendResult(len(data), wire, self.clock() - start)
+        Seekable streams get a known-length message (and the small/probe
+        fast paths); pipes fall back to an END-terminated message
+        through the adaptive pipeline.  Either way only one chunk of the
+        stream is resident at a time.
+        """
+        result = self._send_source(source_for_stream(stream), config or self.config)
+        self.stats.record_send(result)
+        return result
+
+    # -- the streaming engine ------------------------------------------------
+
+    def _send_source(self, source: ChunkSource, cfg: AdocConfig) -> SendResult:
+        """One message from any source: the unified decision ladder."""
+        start = self.clock()
+        total = source.length
+
+        if total is None:
+            # Unknown length: no bypass, no probe (there is nothing to
+            # slice a probe from without buffering), END-terminated.
+            header = pack_message_header(0, length_known=False)
+            sendall(self.endpoint, header)
+            result, consumed = self._run_pipeline(source, cfg)
+            end = end_record_bytes()
+            sendall(self.endpoint, end)
+            result.payload_bytes = consumed
+            result.wire_bytes += len(header) + len(end)
+            result.elapsed_s = self.clock() - start
+            return result
+
+        header = pack_message_header(total, length_known=True)
+        if self._should_bypass(total, cfg):
+            wire = self._send_raw(header, source, total, cfg)
+            return SendResult(total, wire, self.clock() - start)
 
         wire_bytes = len(header)
         sendall(self.endpoint, header)
-        offset = 0
         probe_bps: float | None = None
         if not cfg.compression_forced:
-            probe_bps, probe_wire = self._probe(data, cfg)
-            offset = min(cfg.probe_size, len(data))
+            probe_bps, probe_wire = self._probe(source, total, cfg)
             wire_bytes += probe_wire
             if probe_bps > cfg.fast_network_bps:
                 # Very fast network: ship the rest raw.
-                wire_bytes += self._send_raw_records(data, offset, cfg)
+                wire_bytes += self._send_raw_records(source, cfg)
                 return SendResult(
-                    len(data),
+                    total,
                     wire_bytes,
                     self.clock() - start,
                     probe_bps=probe_bps,
                     fast_path=True,
                 )
 
-        result = self._run_pipeline(data, offset, cfg)
-        result.payload_bytes = len(data)
+        result, _ = self._run_pipeline(source, cfg)
+        result.payload_bytes = total
         result.wire_bytes += wire_bytes
         result.elapsed_s = self.clock() - start
         result.probe_bps = probe_bps
-        return result
-
-    def send_stream(self, stream: BinaryIO, config: AdocConfig | None = None) -> SendResult:
-        """Send a file object.  Seekable streams get a known-length
-        message (and the small/probe fast paths); pipes fall back to an
-        END-terminated message through the adaptive pipeline."""
-        cfg = config or self.config
-        size = _stream_size(stream)
-        if size is not None:
-            data = stream.read()
-            return self.send(data, cfg)
-        result = self._send_unknown_length(stream, cfg)
-        self.stats.record_send(result)
         return result
 
     # -- fast paths ----------------------------------------------------------
@@ -154,16 +196,35 @@ class MessageSender:
             return False
         return total < cfg.small_message_threshold
 
-    def _send_raw(self, header: bytes, data: bytes) -> int:
-        """Inline raw send of a whole message (no threads)."""
-        if data:
-            rec = Record(0, len(data), data).serialize()
-            sendall(self.endpoint, header + rec)
-            return len(header) + len(rec)
-        sendall(self.endpoint, header)
-        return len(header)
+    def _send_raw(self, header: bytes, source: ChunkSource, total: int, cfg: AdocConfig) -> int:
+        """Inline raw send of a whole message (no threads).
 
-    def _probe(self, data: bytes, cfg: AdocConfig) -> tuple[float, int]:
+        Zero-copy sources cover the message with a single record, the
+        header and payload going out as one vectored send.  Chunked
+        sources (files) are streamed as ``buffer_size`` records so peak
+        memory stays bounded — protocol-equivalent, since records simply
+        sum to ``total``.
+        """
+        if total == 0:
+            sendall(self.endpoint, header)
+            return len(header)
+        if source.zero_copy:
+            payload = source.read(total)
+            rec = Record(0, total, payload)
+            return sendall_vectors(
+                self.endpoint, [header, rec.header_bytes(), payload]
+            )
+        wire = len(header)
+        sendall(self.endpoint, header)
+        while True:
+            chunk = source.read(cfg.buffer_size)
+            if not len(chunk):
+                break
+            rec = Record(0, len(chunk), chunk)
+            wire += sendall_vectors(self.endpoint, [rec.header_bytes(), chunk])
+        return wire
+
+    def _probe(self, source: ChunkSource, total: int, cfg: AdocConfig) -> tuple[float, int]:
         """Send the first ``probe_size`` bytes raw, timing them.
 
         The sender has no feedback channel, so the estimate is
@@ -171,9 +232,9 @@ class MessageSender:
         reflect the line rate the probe must exceed the send-buffer
         capacity, which 256 KB does on the kernels the paper targets.
         """
-        probe = data[: cfg.probe_size]
+        probe = source.read_exact(min(cfg.probe_size, total))
         t0 = self.clock()
-        wire = self._send_records_chunked(probe, cfg)
+        wire = self._emit_raw_chunked(probe, cfg)
         elapsed = max(self.clock() - t0, 1e-9)
         # The probe is itself a measured level-0 transfer: feed it to
         # the divergence guard as two windows so raw throughput has a
@@ -184,32 +245,53 @@ class MessageSender:
         self.divergence.observe(0, len(probe) - len(probe) // 2, elapsed / 2)
         return len(probe) * 8.0 / elapsed, wire
 
-    def _send_raw_records(self, data: bytes, offset: int, cfg: AdocConfig) -> int:
-        return self._send_records_chunked(data[offset:], cfg)
+    def _send_raw_records(self, source: ChunkSource, cfg: AdocConfig) -> int:
+        """Fast path: stream the rest of the source as raw records.
 
-    def _send_records_chunked(self, data: bytes, cfg: AdocConfig) -> int:
-        """Emit raw level-0 records, chunked at buffer size."""
+        Record boundaries continue sequentially from the source cursor
+        (the probe offset), exactly as the resident-buffer sender
+        chunked ``data[offset:]`` — intentionally not re-aligned to a
+        global buffer grid.
+        """
+        wire = 0
+        while True:
+            chunk = source.read(cfg.buffer_size)
+            if not len(chunk):
+                break
+            rec = Record(0, len(chunk), chunk)
+            wire += sendall_vectors(self.endpoint, [rec.header_bytes(), chunk])
+        return wire
+
+    def _emit_raw_chunked(self, data: bytes | memoryview, cfg: AdocConfig) -> int:
+        """Emit one resident span as raw records chunked at buffer size."""
         wire = 0
         for off in range(0, len(data), cfg.buffer_size):
             chunk = data[off : off + cfg.buffer_size]
-            rec = Record(0, len(chunk), chunk).serialize()
-            sendall(self.endpoint, rec)
-            wire += len(rec)
+            rec = Record(0, len(chunk), chunk)
+            wire += sendall_vectors(self.endpoint, [rec.header_bytes(), chunk])
         return wire
 
     # -- the adaptive pipeline -----------------------------------------------
 
-    def _run_pipeline(self, data: bytes, offset: int, cfg: AdocConfig) -> SendResult:
+    def _run_pipeline(self, source: ChunkSource, cfg: AdocConfig) -> tuple[SendResult, int]:
+        """Compression thread + emission loop over the source's remainder.
+
+        Returns ``(result, consumed_bytes)`` where ``consumed_bytes`` is
+        how much payload the pipeline pulled from the source (the whole
+        message for unknown-length sends, the post-probe remainder
+        otherwise).
+        """
         queue: PacketQueue = PacketQueue(cfg.queue_capacity)
         inc_guard = IncompressibleGuard(
             cfg.incompressible_ratio, cfg.incompressible_holdoff
         )
         adapter = LevelAdapter(cfg, self.divergence, inc_guard)
         error: list[BaseException] = []
+        consumed = [0]
 
         worker = threading.Thread(
             target=self._compression_thread,
-            args=(data, offset, cfg, queue, adapter, inc_guard, error),
+            args=(source, cfg, queue, adapter, inc_guard, error, consumed),
             name="adoc-compress",
             daemon=True,
         )
@@ -220,28 +302,31 @@ class MessageSender:
             raise error[0]
         result.pipeline_used = True
         result.guard_trips = inc_guard.trips
-        return result
+        return result, consumed[0]
 
     def _compression_thread(
         self,
-        data: bytes,
-        offset: int,
+        source: ChunkSource,
         cfg: AdocConfig,
         queue: PacketQueue,
         adapter: LevelAdapter,
         inc_guard: IncompressibleGuard,
         error: list[BaseException],
+        consumed: list[int],
     ) -> None:
         try:
-            total = len(data)
             buffer_id = 0
-            while offset < total:
+            while True:
                 level = adapter.next_level(queue.size(), self.clock())
-                buf = data[offset : offset + cfg.buffer_size]
+                if cfg.compression_disabled:
+                    level = 0
+                buf = source.read(cfg.buffer_size)
+                if not len(buf):
+                    break
+                consumed[0] += len(buf)
                 records, _ = compress_buffer(buf, level, inc_guard, cfg)
                 for rec in records:
                     self._enqueue_record(rec, cfg, queue, inc_guard, buffer_id)
-                offset += len(buf)
                 buffer_id += 1
         except QueueClosed:
             pass  # emission side failed; it carries the real error
@@ -258,15 +343,31 @@ class MessageSender:
         inc_guard: IncompressibleGuard,
         buffer_id: int = 0,
     ) -> None:
-        """Frame a record and push it as packet-size chunks."""
-        wire = rec.serialize()
-        n = len(wire)
+        """Push a record as packet-size payload slices, header as prefix.
+
+        The 9-byte record header rides on the first packet's ``prefix``
+        instead of being copied into a serialized buffer; payload slices
+        stay views of the record's payload.  Original bytes are
+        attributed to slices pro rata, remainder to the last slice, so
+        the per-level bandwidth accounting sums exactly.
+        """
+        payload = rec.payload
+        n = len(payload)
+        prefix = rec.header_bytes()
+        if n == 0:
+            queue.put(QueuedPacket(b"", rec.level, 0, buffer_id, prefix))
+            inc_guard.note_packet_emitted()
+            return
+        assigned = 0
         for off in range(0, n, cfg.packet_size):
-            chunk = wire[off : off + cfg.packet_size]
-            # Attribute original bytes to chunks pro rata so the
-            # per-level bandwidth accounting stays exact in total.
-            orig = rec.original_size * len(chunk) // n
-            queue.put(QueuedPacket(chunk, rec.level, orig, buffer_id))
+            chunk = payload[off : off + cfg.packet_size]
+            if off + len(chunk) >= n:
+                orig = rec.original_size - assigned
+            else:
+                orig = rec.original_size * len(chunk) // n
+            assigned += orig
+            queue.put(QueuedPacket(chunk, rec.level, orig, buffer_id, prefix))
+            prefix = b""
             inc_guard.note_packet_emitted()
 
     def _emission_loop(self, queue: PacketQueue) -> SendResult:
@@ -278,15 +379,21 @@ class MessageSender:
         run while the buffer has room (which then poisons the
         divergence guard); a 200 KB window measures the sustained
         pipeline rate at that level.
+
+        Packets already queued under the same window are coalesced into
+        one vectored send (up to :data:`_MAX_BATCH` packets), so a burst
+        of framed packets costs one syscall instead of one per packet.
         """
         wire_bytes = 0
         levels_used: dict[int, int] = {}
         window_start = self.clock()
         window_key: tuple[int, int] | None = None  # (buffer_id, level)
         window_orig = 0
+        pending: QueuedPacket | None = None
         try:
             while True:
-                pkt = queue.get()
+                pkt = pending if pending is not None else queue.get()
+                pending = None
                 if pkt is None:
                     break
                 key = (pkt.buffer_id, pkt.level)
@@ -299,10 +406,28 @@ class MessageSender:
                     window_start = now
                     window_orig = 0
                 window_key = key
-                sendall(self.endpoint, pkt.payload)
-                window_orig += pkt.original_bytes
-                wire_bytes += len(pkt.payload)
-                levels_used[pkt.level] = levels_used.get(pkt.level, 0) + 1
+
+                vectors: list[bytes | memoryview] = []
+                count = 0
+                while True:
+                    if pkt.prefix:
+                        vectors.append(pkt.prefix)
+                    if len(pkt.payload):
+                        vectors.append(pkt.payload)
+                    window_orig += pkt.original_bytes
+                    wire_bytes += pkt.wire_length
+                    levels_used[key[1]] = levels_used.get(key[1], 0) + 1
+                    count += 1
+                    if count >= _MAX_BATCH:
+                        break
+                    nxt = queue.poll()
+                    if nxt is None:
+                        break
+                    if (nxt.buffer_id, nxt.level) != key:
+                        pending = nxt
+                        break
+                    pkt = nxt
+                sendall_vectors(self.endpoint, vectors)
             if window_key is not None and window_orig > 0:
                 self.divergence.observe(
                     window_key[1], window_orig, self.clock() - window_start
@@ -312,69 +437,6 @@ class MessageSender:
             raise
         return SendResult(0, wire_bytes, 0.0, levels_used=levels_used)
 
-    # -- unknown-length streaming ---------------------------------------------
 
-    def _send_unknown_length(self, stream: BinaryIO, cfg: AdocConfig) -> SendResult:
-        start = self.clock()
-        header = pack_message_header(0, length_known=False)
-        sendall(self.endpoint, header)
-        wire_bytes = len(header)
-        payload_bytes = 0
-
-        queue: PacketQueue = PacketQueue(cfg.queue_capacity)
-        inc_guard = IncompressibleGuard(
-            cfg.incompressible_ratio, cfg.incompressible_holdoff
-        )
-        adapter = LevelAdapter(cfg, self.divergence, inc_guard)
-        error: list[BaseException] = []
-        counter = [0]
-
-        def produce() -> None:
-            buffer_id = 0
-            try:
-                while True:
-                    level = adapter.next_level(queue.size(), self.clock())
-                    if cfg.compression_disabled:
-                        level = 0
-                    buf = stream.read(cfg.buffer_size)
-                    if not buf:
-                        break
-                    counter[0] += len(buf)
-                    records, _ = compress_buffer(buf, level, inc_guard, cfg)
-                    for rec in records:
-                        self._enqueue_record(rec, cfg, queue, inc_guard, buffer_id)
-                    buffer_id += 1
-            except QueueClosed:
-                pass
-            except BaseException as exc:  # noqa: BLE001
-                error.append(exc)
-            finally:
-                queue.close()
-
-        worker = threading.Thread(target=produce, name="adoc-compress", daemon=True)
-        worker.start()
-        result = self._emission_loop(queue)
-        worker.join()
-        if error:
-            raise error[0]
-        end = end_record_bytes()
-        sendall(self.endpoint, end)
-        payload_bytes = counter[0]
-        result.payload_bytes = payload_bytes
-        result.wire_bytes += wire_bytes + len(end)
-        result.elapsed_s = self.clock() - start
-        result.pipeline_used = True
-        result.guard_trips = inc_guard.trips
-        return result
-
-
-def _stream_size(stream: BinaryIO) -> int | None:
-    """Remaining byte count of a seekable stream, else ``None``."""
-    try:
-        pos = stream.tell()
-        stream.seek(0, 2)
-        end = stream.tell()
-        stream.seek(pos)
-        return end - pos
-    except (OSError, ValueError, AttributeError):
-        return None
+#: Compatibility alias — the helper moved to :mod:`repro.core.sources`.
+_stream_size = stream_size

@@ -1,0 +1,235 @@
+"""Chunk sources: one abstraction feeding the streaming send engine.
+
+The seed sender had three entry shapes (in-memory bytes, seekable file,
+unseekable pipe) and two near-duplicate pipelines behind them — and the
+file shape read the *whole* file into memory first.  :class:`ChunkSource`
+collapses the shapes into one contract the engine consumes:
+
+* :meth:`ChunkSource.read` hands out up to ``n`` bytes at a time, so the
+  engine's peak resident memory is O(buffer_size) regardless of message
+  size;
+* :attr:`ChunkSource.length` tells the engine whether the total is known
+  up front (known-length header + small/probe fast paths) or not
+  (END-terminated message);
+* sources that can do so return ``memoryview`` slices instead of copies
+  (:attr:`ChunkSource.zero_copy`), which the engine propagates untouched
+  through compression framing, the packet queue, and the vectored
+  emission path — the hot path never copies the payload.
+
+:class:`RangeSource` is the sibling contract for the striping layers
+(gridftp, mover): thread-safe *positional* reads, so N stream workers
+can pull their round-robin chunks from one payload — bytes or file —
+without materializing it.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import BinaryIO
+
+from ..analysis.lockgraph import make_lock
+
+__all__ = [
+    "ChunkSource",
+    "BytesSource",
+    "FileSource",
+    "StreamSource",
+    "RangeSource",
+    "source_for_stream",
+    "stream_size",
+]
+
+
+def stream_size(stream: BinaryIO) -> int | None:
+    """Remaining byte count of a seekable stream, else ``None``."""
+    try:
+        pos = stream.tell()
+        stream.seek(0, 2)
+        end = stream.tell()
+        stream.seek(pos)
+        return end - pos
+    except (OSError, ValueError, AttributeError):
+        return None
+
+
+class ChunkSource(abc.ABC):
+    """Sequential supplier of message payload, one bounded chunk at a time."""
+
+    #: True when :meth:`read` returns views over caller-owned memory
+    #: (no allocation per chunk, and the whole payload is addressable).
+    zero_copy: bool = False
+
+    @property
+    @abc.abstractmethod
+    def length(self) -> int | None:
+        """Total payload bytes when known up front, else ``None``."""
+
+    @abc.abstractmethod
+    def read(self, n: int) -> bytes | memoryview:
+        """Up to ``n`` payload bytes; ``b""`` at end of payload.
+
+        Known-length sources return exactly ``n`` bytes until the tail
+        (chunk boundaries are part of the wire contract for raw
+        records); unknown-length sources pass short reads through, as a
+        pipe would.
+        """
+
+    def read_exact(self, n: int) -> bytes | memoryview:
+        """Exactly ``n`` bytes unless the payload ends first.
+
+        Used by the bandwidth probe, so the result is bounded by
+        ``probe_size``.
+        """
+        first = self.read(n)
+        if len(first) >= n or not first:
+            return first
+        out = bytearray(first)
+        while len(out) < n:
+            chunk = self.read(n - len(out))
+            if not chunk:
+                break
+            out += chunk
+        return bytes(out)
+
+
+class BytesSource(ChunkSource):
+    """In-memory payload: every chunk is a zero-copy ``memoryview`` slice.
+
+    The buffer must stay unchanged until the send returns (the same
+    contract as ``writev``); the engine never copies it.
+    """
+
+    zero_copy = True
+
+    def __init__(self, data: bytes | bytearray | memoryview) -> None:
+        view = memoryview(data)
+        if view.ndim != 1 or view.format != "B":
+            view = view.cast("B")
+        self._view = view
+        self._pos = 0
+
+    @property
+    def length(self) -> int:
+        return len(self._view)
+
+    def read(self, n: int) -> memoryview:
+        chunk = self._view[self._pos : self._pos + n]
+        self._pos += len(chunk)
+        return chunk
+
+
+class FileSource(ChunkSource):
+    """Seekable stream with a known remaining length.
+
+    Reads are loop-filled to the requested size so buffer boundaries are
+    deterministic (full ``buffer_size`` chunks until the tail), exactly
+    as if the payload had been resident — but only one chunk is ever
+    allocated at a time.
+    """
+
+    def __init__(self, stream: BinaryIO, size: int) -> None:
+        self._stream = stream
+        self._size = size
+        #: Largest single chunk handed out (diagnostics and the
+        #: bounded-memory regression test).
+        self.peak_chunk = 0
+
+    @property
+    def length(self) -> int:
+        return self._size
+
+    def read(self, n: int) -> bytes:
+        first = self._stream.read(n) or b""
+        if len(first) < n and first:
+            filled = bytearray(first)
+            while len(filled) < n:
+                more = self._stream.read(n - len(filled))
+                if not more:
+                    break
+                filled += more
+            first = bytes(filled)
+        if len(first) > self.peak_chunk:
+            self.peak_chunk = len(first)
+        return first
+
+
+class StreamSource(ChunkSource):
+    """Unseekable stream: unknown length, short reads pass through.
+
+    Each ``read`` result becomes one input buffer, preserving the
+    pipe-like behaviour of the seed's unknown-length path (a short read
+    is a buffer of its own, not accumulated).
+    """
+
+    def __init__(self, stream: BinaryIO) -> None:
+        self._stream = stream
+
+    @property
+    def length(self) -> None:
+        return None
+
+    def read(self, n: int) -> bytes:
+        return self._stream.read(n) or b""
+
+
+def source_for_stream(stream: BinaryIO) -> ChunkSource:
+    """The right source for a file object: sized if seekable, else piped."""
+    size = stream_size(stream)
+    if size is not None:
+        return FileSource(stream, size)
+    return StreamSource(stream)
+
+
+class RangeSource:
+    """Thread-safe positional reads over an in-memory or file payload.
+
+    The striping layers fan one payload out to N workers, each pulling
+    its own round-robin chunks.  For bytes-likes, :meth:`pread` returns
+    zero-copy views; for a seekable file it serialises ``seek``+``read``
+    under a lock, so peak memory is O(chunk) per worker instead of
+    O(payload).
+    """
+
+    def __init__(self, payload: bytes | bytearray | memoryview | BinaryIO) -> None:
+        if hasattr(payload, "read"):
+            size = stream_size(payload)  # type: ignore[arg-type]
+            if size is None:
+                raise ValueError(
+                    "striped transfers need random access: pass bytes or a "
+                    "seekable file, not a pipe"
+                )
+            self._stream: BinaryIO | None = payload  # type: ignore[assignment]
+            self._base = payload.tell()  # type: ignore[union-attr]
+            self._view: memoryview | None = None
+            self._total = size
+            self._lock = make_lock("RangeSource.lock")
+        else:
+            view = memoryview(payload)  # type: ignore[arg-type]
+            if view.ndim != 1 or view.format != "B":
+                view = view.cast("B")
+            self._stream = None
+            self._view = view
+            self._total = len(view)
+            self._lock = None
+
+    @property
+    def total(self) -> int:
+        return self._total
+
+    def pread(self, offset: int, n: int) -> bytes | memoryview:
+        """Up to ``n`` bytes starting at ``offset`` (clamped to the end)."""
+        if offset < 0 or n < 0:
+            raise ValueError("offset and size must be non-negative")
+        if self._view is not None:
+            return self._view[offset : offset + n]
+        assert self._stream is not None and self._lock is not None
+        with self._lock:
+            self._stream.seek(self._base + offset)
+            want = min(n, max(self._total - offset, 0))
+            out = bytearray()
+            while len(out) < want:
+                chunk = self._stream.read(want - len(out))
+                if not chunk:
+                    break
+                out += chunk
+            return bytes(out)

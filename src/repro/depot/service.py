@@ -15,6 +15,7 @@ communicator can compress it as one message.
 from __future__ import annotations
 
 import struct
+from typing import BinaryIO
 
 from ..middleware.agent import Agent
 from ..middleware.client import CallResult, Client
@@ -92,6 +93,18 @@ class DepotClient:
     def store(self, write_cap: str, data: bytes, offset: int = 0) -> int:
         res = self._call(
             "ibp.store", [write_cap.encode(), offset.to_bytes(8, "big"), data]
+        )
+        return _U64.unpack(res.results[0])[0]
+
+    def store_stream(self, write_cap: str, f: BinaryIO, offset: int = 0) -> int:
+        """Store a seekable file object's contents without buffering it.
+
+        The file is streamed through the communicator (one AdOC message
+        over the AdOC communicator), so client-side peak memory is
+        O(chunk) regardless of file size.
+        """
+        res = self._call(
+            "ibp.store", [write_cap.encode(), offset.to_bytes(8, "big"), f]
         )
         return _U64.unpack(res.results[0])[0]
 

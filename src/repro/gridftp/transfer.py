@@ -12,9 +12,11 @@ compression option: ``"ADOC"`` wraps every channel in an
 from __future__ import annotations
 
 import threading
+from typing import BinaryIO
 
 from ..core.api import AdocSocket
 from ..core.config import AdocConfig, DEFAULT_CONFIG
+from ..core.sources import RangeSource
 from ..transport.base import Endpoint, recv_exact, sendall
 
 __all__ = ["send_data", "receive_data", "DEFAULT_CHUNK"]
@@ -30,16 +32,23 @@ def _chunk_indices(total: int, chunk: int, stripe: int, n: int):
 
 def send_data(
     endpoints: list[Endpoint],
-    data: bytes,
+    data: bytes | bytearray | memoryview | BinaryIO,
     mode: str,
     chunk_size: int = DEFAULT_CHUNK,
     config: AdocConfig = DEFAULT_CONFIG,
 ) -> int:
     """Send ``data`` across the channels; returns wire bytes (ADOC mode)
-    or payload bytes (PLAIN — raw bytes are their own wire size)."""
+    or payload bytes (PLAIN — raw bytes are their own wire size).
+
+    ``data`` may be bytes-like (striped as zero-copy views) or a
+    seekable file object (each worker reads only its own chunks, so
+    peak memory is O(chunk_size) per channel, not O(file)).
+    """
     n = len(endpoints)
     if n == 0:
         raise ValueError("need at least one data channel")
+    src = RangeSource(data)
+    total = src.total
     wire_totals = [0] * n
     errors: list[BaseException] = []
 
@@ -48,8 +57,8 @@ def send_data(
 
         def worker(i: int) -> None:
             try:
-                for k in _chunk_indices(len(data), chunk_size, i, n):
-                    _, slen = sockets[i].write(data[k * chunk_size : (k + 1) * chunk_size])
+                for k in _chunk_indices(total, chunk_size, i, n):
+                    _, slen = sockets[i].write(src.pread(k * chunk_size, chunk_size))
                     wire_totals[i] += slen
             except BaseException as exc:  # noqa: BLE001
                 errors.append(exc)
@@ -58,8 +67,8 @@ def send_data(
 
         def worker(i: int) -> None:
             try:
-                for k in _chunk_indices(len(data), chunk_size, i, n):
-                    chunk = data[k * chunk_size : (k + 1) * chunk_size]
+                for k in _chunk_indices(total, chunk_size, i, n):
+                    chunk = src.pread(k * chunk_size, chunk_size)
                     sendall(endpoints[i], chunk)
                     wire_totals[i] += len(chunk)
             except BaseException as exc:  # noqa: BLE001

@@ -19,7 +19,14 @@ import numpy as np
 from ..data.matrices import decode_matrix_ascii, encode_matrix_ascii
 from .agent import Agent
 from .communicator import Communicator, PlainCommunicator
-from .protocol import MsgType, RpcError, RpcMessage, read_message, write_message
+from .protocol import (
+    MsgType,
+    RpcError,
+    RpcMessage,
+    arg_length,
+    read_message,
+    write_message,
+)
 
 __all__ = ["Client", "CallResult"]
 
@@ -60,13 +67,17 @@ class Client:
         self.communicator_factory = communicator_factory
         self.clock = clock
 
-    def call_raw(self, service: str, args: list[bytes]) -> CallResult:
-        """One RPC with pre-marshalled argument payloads."""
+    def call_raw(self, service: str, args: list) -> CallResult:
+        """One RPC with pre-marshalled argument payloads.
+
+        Arguments are bytes-like, or seekable file objects to stream a
+        large payload without holding it in memory.
+        """
         start = self.clock()
         endpoint = self.agent.connect(service)
         comm: Communicator = self.communicator_factory(endpoint)
         try:
-            payload = sum(len(a) for a in args)
+            payload = sum(arg_length(a) for a in args)
             write_message(comm, RpcMessage(MsgType.REQUEST, service, args))
             wire = comm.bytes_written
             reply = read_message(comm)

@@ -17,12 +17,17 @@ or :class:`repro.middleware.server.Server` with one or the other.
 from __future__ import annotations
 
 import abc
+from typing import BinaryIO
 
 from ..core.api import AdocSocket
 from ..core.config import AdocConfig, DEFAULT_CONFIG
 from ..transport.base import Endpoint, sendall
 
 __all__ = ["Communicator", "PlainCommunicator", "AdocCommunicator"]
+
+#: Chunk size for the default file-streaming path: large enough to
+#: amortise per-call overhead, small enough to keep memory bounded.
+_STREAM_CHUNK = 256 * 1024
 
 
 class Communicator(abc.ABC):
@@ -47,6 +52,22 @@ class Communicator(abc.ABC):
             parts.append(chunk)
             got += len(chunk)
         return b"".join(parts)
+
+    def write_stream(self, f: BinaryIO) -> int:
+        """Write a file object's remaining bytes; returns payload count.
+
+        Peak memory is O(chunk), never O(file).  The default loops
+        bounded reads through :meth:`write`; implementations with a
+        native streaming path override it.
+        """
+        total = 0
+        while True:
+            chunk = f.read(_STREAM_CHUNK)
+            if not chunk:
+                break
+            self.write(chunk)
+            total += len(chunk)
+        return total
 
     @abc.abstractmethod
     def close(self) -> None:
@@ -84,6 +105,15 @@ class AdocCommunicator(Communicator):
     def write(self, data: bytes) -> None:
         _, wire = self.socket.write(data)
         self.bytes_written += wire
+
+    def write_stream(self, f: BinaryIO) -> int:
+        # One AdOC message for the whole file: the sender streams it in
+        # buffer_size chunks (known-length for seekable files,
+        # END-terminated for pipes), and adoc_read spans message
+        # boundaries so readers see the same byte stream either way.
+        size, wire = self.socket.send_file(f)
+        self.bytes_written += wire
+        return size
 
     def read(self, n: int) -> bytes:
         return self.socket.read(n)

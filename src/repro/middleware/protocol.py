@@ -29,6 +29,9 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass, field
+from typing import BinaryIO
+
+from ..core.sources import stream_size
 
 __all__ = ["MsgType", "RpcMessage", "write_message", "read_message", "RpcError"]
 
@@ -50,19 +53,39 @@ class RpcError(Exception):
 
 @dataclass
 class RpcMessage:
-    """One request or response travelling over a communicator."""
+    """One request or response travelling over a communicator.
+
+    An argument may be a *seekable file object* instead of bytes: it is
+    marshalled by streaming (``comm.write_stream``), so a large payload
+    never has to be resident on the sending side.  The wire layout is
+    identical — length prefix, then the bytes — and the receiving side
+    always sees ``bytes``.
+    """
 
     type: int
     name: str
-    args: list[bytes] = field(default_factory=list)
+    args: list[bytes | BinaryIO] = field(default_factory=list)
     status: int = 0
+
+
+def arg_length(arg: bytes | BinaryIO) -> int:
+    """Payload length of one argument (bytes-like or seekable file)."""
+    if hasattr(arg, "read"):
+        size = stream_size(arg)  # type: ignore[arg-type]
+        if size is None:
+            raise RpcError(
+                "streamed RPC arguments must be seekable (the wire format "
+                "is length-prefixed)"
+            )
+        return size
+    return len(arg)  # type: ignore[arg-type]
 
 
 def write_message(comm, msg: RpcMessage) -> int:
     """Marshal ``msg`` through ``comm``; returns payload bytes written.
 
     The header and each argument go through separate ``write`` calls
-    (see module docstring).
+    (see module docstring); file-object arguments are streamed.
     """
     name_b = msg.name.encode("utf-8")
     header = (
@@ -74,10 +97,18 @@ def write_message(comm, msg: RpcMessage) -> int:
     comm.write(header)
     total = len(header)
     for arg in msg.args:
-        comm.write(_U64.pack(len(arg)))
-        if arg:
+        alen = arg_length(arg)
+        comm.write(_U64.pack(alen))
+        if hasattr(arg, "read"):
+            written = comm.write_stream(arg)
+            if written != alen:
+                raise RpcError(
+                    f"streamed argument changed size: declared {alen}, "
+                    f"read {written}"
+                )
+        elif alen:
             comm.write(arg)
-        total += 8 + len(arg)
+        total += 8 + alen
     return total
 
 

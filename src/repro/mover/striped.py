@@ -22,9 +22,11 @@ from __future__ import annotations
 import struct
 import threading
 from dataclasses import dataclass
+from typing import BinaryIO
 
 from ..core.api import AdocSocket
 from ..core.config import AdocConfig, DEFAULT_CONFIG
+from ..core.sources import RangeSource
 from ..transport.base import Endpoint
 
 __all__ = ["StripeStats", "send_striped", "receive_striped"]
@@ -48,32 +50,37 @@ class StripeStats:
 
 def send_striped(
     endpoints: list[Endpoint],
-    data: bytes,
+    data: bytes | bytearray | memoryview | BinaryIO,
     chunk_size: int = 1024 * 1024,
     config: AdocConfig = DEFAULT_CONFIG,
 ) -> StripeStats:
     """Send ``data`` across ``endpoints`` (one AdOC connection each).
 
-    Blocks until every stream has finished.  Raises the first stream
-    error encountered.
+    ``data`` may be bytes-like or a seekable file object; either way
+    each stream pulls its own round-robin chunks positionally
+    (zero-copy views for bytes, O(chunk_size) resident per stream for
+    files).  Blocks until every stream has finished.  Raises the first
+    stream error encountered.
     """
     if not endpoints:
         raise ValueError("need at least one endpoint")
     if chunk_size <= 0:
         raise ValueError("chunk size must be positive")
     n = len(endpoints)
+    src = RangeSource(data)
+    total = src.total
+    n_chunks = (total + chunk_size - 1) // chunk_size
     sockets = [AdocSocket(ep, config) for ep in endpoints]
     # Control header on stream 0.
-    sockets[0].write(_CTRL.pack(len(data), chunk_size, n))
+    sockets[0].write(_CTRL.pack(total, chunk_size, n))
 
-    chunks = [data[off : off + chunk_size] for off in range(0, len(data), chunk_size)]
     wire_totals = [0] * n
     errors: list[BaseException] = []
 
     def stream_worker(i: int) -> None:
         try:
-            for k in range(i, len(chunks), n):
-                _, slen = sockets[i].write(chunks[k])
+            for k in range(i, n_chunks, n):
+                _, slen = sockets[i].write(src.pread(k * chunk_size, chunk_size))
                 wire_totals[i] += slen
         except BaseException as exc:  # noqa: BLE001 - surfaced below
             errors.append(exc)
@@ -92,7 +99,7 @@ def send_striped(
         s.close()
     if errors:
         raise errors[0]
-    return StripeStats(len(data), sum(wire_totals), n, chunk_size)
+    return StripeStats(total, sum(wire_totals), n, chunk_size)
 
 
 def receive_striped(

@@ -20,8 +20,19 @@ paper's networks (:mod:`repro.transport.shaping`).
 from __future__ import annotations
 
 import abc
+from typing import Sequence
 
-__all__ = ["Endpoint", "TransportClosed", "sendall", "recv_exact"]
+__all__ = [
+    "Endpoint",
+    "TransportClosed",
+    "sendall",
+    "sendall_vectors",
+    "recv_exact",
+]
+
+#: Portable bound on buffers per scatter-gather call (POSIX guarantees
+#: ``IOV_MAX`` >= 16; every mainstream kernel allows 1024).
+IOV_MAX = 1024
 
 
 class TransportClosed(Exception):
@@ -38,6 +49,25 @@ class Endpoint(abc.ABC):
         Blocks while the transmit path is full.  Raises
         :class:`TransportClosed` if the stream can no longer carry data.
         """
+
+    def send_vectors(self, buffers: Sequence[bytes | bytearray | memoryview]) -> int:
+        """Scatter-gather send: queue bytes from ``buffers`` in order.
+
+        Returns how many bytes were taken in total — possibly short,
+        stopping anywhere (even mid-buffer), like ``writev(2)``.  The
+        default walks the buffers through :meth:`send`; transports with
+        a real vectored syscall override it so a batch of framed
+        packets costs one syscall instead of one per packet.
+        """
+        total = 0
+        for buf in buffers:
+            if not len(buf):
+                continue
+            sent = self.send(buf)
+            total += sent
+            if sent < len(buf):
+                break
+        return total
 
     @abc.abstractmethod
     def recv(self, n: int) -> bytes:
@@ -65,6 +95,41 @@ def sendall(ep: Endpoint, data: bytes | bytearray | memoryview) -> None:
     while view:
         sent = ep.send(view)
         view = view[sent:]
+
+
+def sendall_vectors(
+    ep: Endpoint, buffers: Sequence[bytes | bytearray | memoryview]
+) -> int:
+    """Send every byte of every buffer, looping over short writes.
+
+    The vectored analogue of :func:`sendall`: empty buffers are
+    skipped, short writes resume mid-buffer, and oversized batches are
+    fed to the endpoint :data:`IOV_MAX` buffers at a time.  Returns the
+    total byte count sent.
+
+    Duck-typed endpoints that only implement ``send`` (test doubles,
+    older integrations) are handled by falling back to per-buffer
+    :func:`sendall`.
+    """
+    if not hasattr(ep, "send_vectors"):
+        total = 0
+        for buf in buffers:
+            if len(buf):
+                sendall(ep, buf)
+                total += len(buf)
+        return total
+    views = [memoryview(b) for b in buffers if len(b)]
+    total = 0
+    i = 0
+    while i < len(views):
+        sent = ep.send_vectors(views[i : i + IOV_MAX])
+        total += sent
+        while i < len(views) and sent >= len(views[i]):
+            sent -= len(views[i])
+            i += 1
+        if sent and i < len(views):
+            views[i] = views[i][sent:]
+    return total
 
 
 def recv_exact(ep: Endpoint, n: int) -> bytes:

@@ -48,13 +48,20 @@ class ByteConduit:
         self._readable = make_condition(self._lock, "ByteConduit.readable")
         self._writable = make_condition(self._lock, "ByteConduit.writable")
 
-    def write(self, data: bytes, avail_time: float | None = None) -> int:
+    def write(
+        self,
+        data: bytes | bytearray | memoryview,
+        avail_time: float | None = None,
+    ) -> int:
         """Queue up to capacity-limited prefix of ``data``; return count.
 
         ``avail_time`` is an absolute ``time.monotonic`` timestamp before
         which readers will not see the segment (``None`` = immediately).
+        Views are accepted; the accepted prefix is copied once into the
+        segment queue (delivery is asynchronous, so the conduit cannot
+        borrow the caller's buffer).
         """
-        if not data:
+        if not len(data):
             return 0
         with self._lock:
             while True:
@@ -128,7 +135,7 @@ class PipeEndpoint(Endpoint):
         self._in = inn
 
     def send(self, data: bytes | bytearray | memoryview) -> int:
-        return self._out.write(bytes(data))
+        return self._out.write(data)
 
     def recv(self, n: int) -> bytes:
         return self._in.read(n)

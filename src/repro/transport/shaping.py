@@ -143,13 +143,19 @@ class ShapedConduit(ByteConduit):
         self._scheduler = scheduler
         self._mtu = mtu
 
-    def write(self, data: bytes, avail_time: float | None = None) -> int:
+    def write(
+        self,
+        data: bytes | bytearray | memoryview,
+        avail_time: float | None = None,
+    ) -> int:
         total = 0
         view = memoryview(data)
         # Write one MTU at a time; stop as soon as backpressure trims a
-        # write short, honouring the Endpoint short-write contract.
-        while total < len(data):
-            frag = bytes(view[total : total + self._mtu])
+        # write short, honouring the Endpoint short-write contract.  The
+        # fragment stays a view — the base conduit copies the accepted
+        # prefix itself.
+        while total < len(view):
+            frag = view[total : total + self._mtu]
             when = self._scheduler.schedule(len(frag))
             n = super().write(frag, when)
             total += n

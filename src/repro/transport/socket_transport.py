@@ -34,6 +34,13 @@ class SocketEndpoint(Endpoint):
         except (BrokenPipeError, ConnectionResetError, OSError) as exc:
             raise TransportClosed(str(exc)) from exc
 
+    def send_vectors(self, buffers) -> int:
+        """Scatter-gather via ``sendmsg(2)``: one syscall per batch."""
+        try:
+            return self._sock.sendmsg(buffers)
+        except (BrokenPipeError, ConnectionResetError, OSError) as exc:
+            raise TransportClosed(str(exc)) from exc
+
     def recv(self, n: int) -> bytes:
         try:
             return self._sock.recv(n)

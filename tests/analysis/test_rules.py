@@ -360,6 +360,63 @@ def test_adoc107_mismatched_formats_fire():
     assert {f.rule for f in report.findings} == {"ADOC107"}
 
 
+# -- ADOC108: whole-payload copies on the hot path -------------------------
+
+CORE_PATH = "src/repro/core/fixture.py"
+
+
+def test_adoc108_bytes_of_payload_in_core_fires():
+    src = """
+        def emit(endpoint, payload):
+            endpoint.send(bytes(payload))
+    """
+    assert "ADOC108" in {f.rule for f in lint(src, path=CORE_PATH).findings}
+
+
+def test_adoc108_bytes_of_attribute_payload_fires():
+    src = """
+        def emit(endpoint, record):
+            endpoint.send(bytes(record.payload))
+    """
+    assert "ADOC108" in {f.rule for f in lint(src, path=CORE_PATH).findings}
+
+
+def test_adoc108_empty_bytes_join_fires():
+    src = """
+        def frame(parts):
+            return b"".join(parts)
+    """
+    assert "ADOC108" in {f.rule for f in lint(src, path=CORE_PATH).findings}
+
+
+def test_adoc108_non_payloadish_bytes_is_clean():
+    src = """
+        def widen(count):
+            return bytes(count)
+    """
+    assert "ADOC108" not in {f.rule for f in lint(src, path=CORE_PATH).findings}
+
+
+def test_adoc108_outside_core_is_exempt():
+    src = """
+        def emit(endpoint, payload):
+            endpoint.send(bytes(payload))
+            return b"".join([payload])
+    """
+    for path in ("src/repro/gridftp/fixture.py", "tests/fixture.py", "benchmarks/fixture.py"):
+        assert "ADOC108" not in {f.rule for f in lint(src, path=path).findings}
+
+
+def test_adoc108_justified_suppression_is_honored():
+    src = """
+        def reassemble(parts):
+            return b"".join(parts)  # adoclint: disable=ADOC108 -- caller asked for bytes
+    """
+    report = lint(src, path=CORE_PATH)
+    assert "ADOC108" not in {f.rule for f in report.findings}
+    assert "ADOC108" in {f.rule for f in report.suppressed}
+
+
 # -- suppressions (ADOC100) ------------------------------------------------
 
 

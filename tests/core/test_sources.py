@@ -1,0 +1,175 @@
+"""ChunkSource / RangeSource: the streaming engine's input contract."""
+
+from __future__ import annotations
+
+import io
+import threading
+
+import pytest
+
+from repro.core.sources import (
+    BytesSource,
+    FileSource,
+    RangeSource,
+    StreamSource,
+    source_for_stream,
+    stream_size,
+)
+
+
+class _Dribble(io.RawIOBase):
+    """Readable stream that returns at most ``trickle`` bytes per read."""
+
+    def __init__(self, payload: bytes, trickle: int, seekable: bool = False) -> None:
+        self._buf = io.BytesIO(payload)
+        self._trickle = trickle
+        self._seekable = seekable
+
+    def readable(self) -> bool:
+        return True
+
+    def read(self, n: int = -1) -> bytes:
+        if n is None or n < 0:
+            return self._buf.read()
+        return self._buf.read(min(n, self._trickle))
+
+    def seekable(self) -> bool:
+        return self._seekable
+
+    def tell(self) -> int:
+        if not self._seekable:
+            raise OSError("not seekable")
+        return self._buf.tell()
+
+    def seek(self, pos: int, whence: int = 0) -> int:
+        if not self._seekable:
+            raise OSError("not seekable")
+        return self._buf.seek(pos, whence)
+
+
+class TestStreamSize:
+    def test_seekable(self):
+        f = io.BytesIO(b"x" * 100)
+        f.read(30)
+        assert stream_size(f) == 70
+        assert f.tell() == 30  # position restored
+
+    def test_unseekable(self):
+        assert stream_size(_Dribble(b"abc", 1)) is None
+
+
+class TestBytesSource:
+    def test_zero_copy_views(self):
+        payload = b"hello world" * 100
+        src = BytesSource(payload)
+        assert src.zero_copy
+        assert src.length == len(payload)
+        chunk = src.read(64)
+        assert isinstance(chunk, memoryview)
+        assert chunk.obj is payload  # borrows, never copies
+        assert bytes(chunk) == payload[:64]
+
+    def test_sequential_and_exhaustion(self):
+        src = BytesSource(b"0123456789")
+        assert bytes(src.read(4)) == b"0123"
+        assert bytes(src.read(4)) == b"4567"
+        assert bytes(src.read(4)) == b"89"
+        assert len(src.read(4)) == 0
+
+    def test_accepts_any_buffer(self):
+        assert bytes(BytesSource(bytearray(b"ab")).read(2)) == b"ab"
+        assert bytes(BytesSource(memoryview(b"cd")).read(2)) == b"cd"
+
+
+class TestFileSource:
+    def test_loop_fills_short_reads(self):
+        payload = bytes(range(256)) * 40  # 10240 bytes
+        src = FileSource(_Dribble(payload, trickle=700, seekable=True), len(payload))
+        assert src.length == len(payload)
+        first = src.read(4096)
+        assert first == payload[:4096]  # filled despite 700-byte trickle
+        rest = bytearray(first)
+        while True:
+            chunk = src.read(4096)
+            if not chunk:
+                break
+            assert len(chunk) <= 4096
+            rest += chunk
+        assert bytes(rest) == payload
+        assert src.peak_chunk <= 4096
+
+    def test_not_zero_copy(self):
+        assert not FileSource(io.BytesIO(b"x"), 1).zero_copy
+
+
+class TestStreamSource:
+    def test_short_reads_pass_through(self):
+        src = StreamSource(_Dribble(b"a" * 1000, trickle=100))
+        assert src.length is None
+        assert len(src.read(4096)) == 100  # pipe-like: not accumulated
+
+    def test_read_exact_accumulates(self):
+        src = StreamSource(_Dribble(b"a" * 1000, trickle=100))
+        assert len(src.read_exact(350)) == 350
+        assert len(src.read_exact(10_000)) == 650  # bounded by EOF
+
+
+class TestSourceForStream:
+    def test_seekable_gets_sized_source(self):
+        src = source_for_stream(io.BytesIO(b"x" * 50))
+        assert isinstance(src, FileSource)
+        assert src.length == 50
+
+    def test_pipe_gets_stream_source(self):
+        assert isinstance(source_for_stream(_Dribble(b"x", 1)), StreamSource)
+
+
+class TestRangeSource:
+    def test_bytes_pread_is_view(self):
+        payload = b"0123456789" * 10
+        src = RangeSource(payload)
+        assert src.total == len(payload)
+        chunk = src.pread(10, 10)
+        assert isinstance(chunk, memoryview)
+        assert bytes(chunk) == payload[10:20]
+        assert bytes(src.pread(95, 50)) == payload[95:]  # clamped
+
+    def test_file_pread(self):
+        payload = bytes(range(256)) * 16
+        src = RangeSource(io.BytesIO(payload))
+        assert src.total == len(payload)
+        assert src.pread(100, 50) == payload[100:150]
+        assert src.pread(len(payload) - 5, 50) == payload[-5:]
+        assert src.pread(len(payload) + 10, 50) == b""
+
+    def test_file_pread_concurrent(self):
+        payload = bytes(range(256)) * 256  # 64 KiB
+        src = RangeSource(io.BytesIO(payload))
+        errors: list[AssertionError] = []
+
+        def worker(start: int) -> None:
+            try:
+                for off in range(start, len(payload), 4096):
+                    assert src.pread(off, 1024) == payload[off : off + 1024]
+            except AssertionError as exc:
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i * 1024,)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+
+    def test_pipe_rejected(self):
+        with pytest.raises(ValueError, match="seekable"):
+            RangeSource(_Dribble(b"x", 1))
+
+    def test_negative_args_rejected(self):
+        src = RangeSource(b"abc")
+        with pytest.raises(ValueError):
+            src.pread(-1, 1)
+        with pytest.raises(ValueError):
+            src.pread(0, -1)

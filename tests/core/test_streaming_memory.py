@@ -1,0 +1,84 @@
+"""Bounded-memory regression tests for the streaming send path.
+
+The pre-streaming sender's ``send_stream`` read the whole file into
+memory (``stream.read()``) before sending.  These tests pin the fix: a
+10 MB file must move with peak buffering on the order of
+``buffer_size``, not the file size.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+
+import pytest
+
+from repro.core import AdocConfig, MessageSender
+from repro.core.sources import FileSource
+from repro.data import ascii_data
+
+FILE_SIZE = 10 * 1024 * 1024
+
+
+class NullEndpoint:
+    """Discards everything (isolates sender memory from transport)."""
+
+    def send(self, data) -> int:
+        return len(data)
+
+    def send_vectors(self, buffers) -> int:
+        return sum(len(b) for b in buffers)
+
+    def recv(self, n: int) -> bytes:
+        return b""
+
+    def close(self) -> None:
+        pass
+
+
+@pytest.fixture(scope="module")
+def payload_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("stream") / "payload.bin"
+    path.write_bytes(ascii_data(FILE_SIZE, seed=33))
+    return path
+
+
+@pytest.mark.parametrize(
+    "levels",
+    [(0, 0), (6, 6)],
+    ids=["raw-records", "pipeline-zlib6"],
+)
+def test_send_stream_peak_memory_is_o_buffer_size(payload_file, levels):
+    cfg = AdocConfig().with_levels(*levels)
+    sender = MessageSender(NullEndpoint(), cfg)
+    with open(payload_file, "rb") as f:
+        source = FileSource(f, FILE_SIZE)
+        tracemalloc.start()
+        try:
+            result = sender._send_source(source, cfg)
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+    assert result.payload_bytes == FILE_SIZE
+    # The contract: peak buffering scales with buffer_size, not file
+    # size.  The source never hands out more than one buffer at a time
+    # (<= 2x buffer_size covers any loop-fill transient) ...
+    assert 0 < source.peak_chunk <= 2 * cfg.buffer_size
+    # ... and the whole engine — chunk being compressed, compressed
+    # output, packets of the previous chunk still queued as views —
+    # stays within a few buffers (measured ~2.2x raw, ~3.4x zlib).
+    # Anything near FILE_SIZE means whole-file reads are back.
+    assert peak <= 4 * cfg.buffer_size, (
+        f"peak traced memory {peak} exceeds 4x buffer_size "
+        f"({4 * cfg.buffer_size}) for a {FILE_SIZE}-byte file"
+    )
+
+
+def test_send_stream_wire_is_decodable_and_sized(payload_file):
+    # Sanity companion: the streamed known-length message carries the
+    # advertised total and every payload byte.
+    cfg = AdocConfig().with_levels(0, 0)
+    sender = MessageSender(NullEndpoint(), cfg)
+    with open(payload_file, "rb") as f:
+        result = sender.send_stream(f)
+    n_records = -(-FILE_SIZE // cfg.buffer_size)
+    assert result.wire_bytes == 12 + 9 * n_records + FILE_SIZE

@@ -49,6 +49,15 @@ class TestRemoteOps:
         assert client.store(write_cap, blob) == len(blob)
         assert client.load(read_cap) == blob
 
+    def test_store_stream(self, stack):
+        import io
+
+        client, _ = stack
+        _, read_cap, write_cap = client.allocate(100_000)
+        blob = ascii_data(60_000, seed=9)
+        assert client.store_stream(write_cap, io.BytesIO(blob)) == len(blob)
+        assert client.load(read_cap) == blob
+
     def test_partial_range_load(self, stack):
         client, _ = stack
         _, read_cap, write_cap = client.allocate(1000)

@@ -1,0 +1,40 @@
+"""Regenerate the golden wire-format fixtures.
+
+Run from the repo root::
+
+    PYTHONPATH=src python tests/golden/generate_fixtures.py
+
+Only regenerate when the wire format changes *intentionally* (protocol
+version bump): the whole point of these fixtures is that refactors of
+the send path reproduce them byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from util import (  # type: ignore[import-not-found]
+    FIXTURE_DIR,
+    MANIFEST,
+    SHAPES,
+    capture_shape,
+    current_zlib_version,
+    fixture_path,
+)
+
+
+def main() -> None:
+    FIXTURE_DIR.mkdir(exist_ok=True)
+    lines = [f"zlib: {current_zlib_version()}"]
+    for shape in SHAPES:
+        wire = capture_shape(shape)
+        fixture_path(shape).write_bytes(wire)
+        digest = hashlib.sha256(wire).hexdigest()[:16]
+        lines.append(f"{shape.name}: {len(wire)} bytes sha256 {digest}")
+        print(lines[-1])
+    MANIFEST.write_text("\n".join(lines) + "\n")
+    print(f"wrote {len(SHAPES)} fixtures to {FIXTURE_DIR}")
+
+
+if __name__ == "__main__":
+    main()

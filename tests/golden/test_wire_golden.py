@@ -1,0 +1,79 @@
+"""Golden wire-format tests: the sender's bytes are frozen.
+
+Each fixture under ``fixtures/`` is the exact wire output the seed
+sender produced for one send shape (see ``util.SHAPES``).  Any change
+to the send path must reproduce them byte-for-byte; regenerating the
+fixtures (``generate_fixtures.py``) is only legitimate for an
+intentional protocol version bump.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ReceiverPipeline
+from repro.transport import pipe_pair
+
+from .util import (
+    GOLDEN_CFG,
+    SHAPES,
+    capture_shape,
+    current_zlib_version,
+    fixture_path,
+    recorded_zlib_version,
+)
+
+
+def _first_mismatch(a: bytes, b: bytes) -> int:
+    n = min(len(a), len(b))
+    for i in range(n):
+        if a[i] != b[i]:
+            return i
+    return n
+
+
+@pytest.mark.parametrize("shape", SHAPES, ids=[s.name for s in SHAPES])
+def test_wire_bytes_match_golden(shape):
+    fixture = fixture_path(shape)
+    assert fixture.exists(), (
+        f"missing fixture {fixture} — run tests/golden/generate_fixtures.py "
+        "(only for an intentional wire-format change)"
+    )
+    if shape.zlib_dependent and recorded_zlib_version() != current_zlib_version():
+        pytest.skip(
+            f"fixture generated with zlib {recorded_zlib_version()}, "
+            f"runtime is {current_zlib_version()}"
+        )
+    expected = fixture.read_bytes()
+    got = capture_shape(shape)
+    if got != expected:
+        i = _first_mismatch(got, expected)
+        pytest.fail(
+            f"wire bytes differ from golden fixture for shape {shape.name!r}: "
+            f"got {len(got)} bytes, expected {len(expected)}, "
+            f"first mismatch at offset {i}"
+        )
+
+
+@pytest.mark.parametrize("shape", SHAPES, ids=[s.name for s in SHAPES])
+def test_golden_fixture_decodes(shape):
+    """The frozen bytes must also *decode* — guards against freezing a
+    corrupt capture, and proves old receivers read the frozen format."""
+    if shape.zlib_dependent and recorded_zlib_version() != current_zlib_version():
+        pytest.skip("fixture from a different zlib build")
+    wire = fixture_path(shape).read_bytes()
+    a, b = pipe_pair(capacity=1 << 20)
+    receiver = ReceiverPipeline(b, GOLDEN_CFG)
+    view = memoryview(wire)
+    while view:
+        sent = a.send(view)
+        view = view[sent:]
+    a.close()
+    out = bytearray()
+    while True:
+        chunk = receiver.read(1 << 16)
+        if not chunk:
+            break
+        out += chunk
+    receiver.close()
+    assert bytes(out) == shape.payload()

@@ -1,0 +1,204 @@
+"""Shared definitions for the golden wire-format tests.
+
+The golden fixtures pin the exact byte sequence the seed sender put on
+the wire for every send *shape* the decision ladder can take.  The
+refactored streaming engine must reproduce them byte-for-byte — the
+wire format is an API-visible guarantee (a new sender must interoperate
+with an old receiver and vice versa).
+
+Every shape here is deterministic by construction:
+
+* raw shapes (small bypass, probe + fast path, disabled compression)
+  never consult the adapter, so thread scheduling cannot change the
+  records;
+* compressed shapes force ``min_level == max_level``, which pins the
+  adapter's output regardless of queue timing, and use compressible
+  data so the incompressible guard never trips;
+* the LZF shape is bit-deterministic everywhere (our own codec); the
+  zlib shape is deterministic for a fixed zlib build, so its fixture
+  records the zlib runtime version and the test skips on a different
+  build rather than fail spuriously.
+"""
+
+from __future__ import annotations
+
+import io
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+from repro.core import AdocConfig, MessageSender
+from repro.data import ascii_data
+
+FIXTURE_DIR = Path(__file__).parent / "fixtures"
+MANIFEST = FIXTURE_DIR / "MANIFEST.txt"
+
+#: Small sizes so fixtures stay a few tens of KB while every ladder
+#: branch (bypass / probe / pipeline / END-terminated) still engages.
+GOLDEN_CFG = AdocConfig(
+    buffer_size=16 * 1024,
+    packet_size=2 * 1024,
+    slice_size=2 * 1024,
+    small_message_threshold=8 * 1024,
+    probe_size=4 * 1024,
+)
+
+
+class CaptureEndpoint:
+    """Endpoint that records every wire byte and discards nothing.
+
+    Deliberately *not* an :class:`Endpoint` subclass and deliberately
+    without ``send_vectors``: capturing through the single-buffer
+    fallback keeps the recorded bytes a plain concatenation, so the
+    fixtures pin the wire stream independent of how sends are batched.
+    """
+
+    def __init__(self) -> None:
+        self.buffer = bytearray()
+
+    def send(self, data) -> int:
+        self.buffer += data
+        return len(data)
+
+    def recv(self, n: int) -> bytes:
+        return b""
+
+    def close(self) -> None:
+        pass
+
+
+class _Unseekable(io.RawIOBase):
+    """A pipe-like stream: readable, not seekable."""
+
+    def __init__(self, payload: bytes) -> None:
+        self._buf = io.BytesIO(payload)
+
+    def readable(self) -> bool:
+        return True
+
+    def read(self, n: int = -1) -> bytes:
+        return self._buf.read(n)
+
+    def seekable(self) -> bool:
+        return False
+
+    def tell(self) -> int:
+        raise OSError("not seekable")
+
+
+@dataclass(frozen=True)
+class Shape:
+    """One golden send shape: a name, how to run it, determinism class."""
+
+    name: str
+    run: Callable[[MessageSender], object]
+    #: The exact payload the shape sends (for decode round-trip checks).
+    payload: Callable[[], bytes]
+    #: Fixtures for zlib-bearing shapes are only comparable under the
+    #: zlib build that produced them.
+    zlib_dependent: bool = False
+
+
+def _send_small(sender: MessageSender) -> object:
+    # < small_message_threshold: raw bypass, no threads.
+    return sender.send(ascii_data(4_000, seed=11))
+
+
+def _send_empty(sender: MessageSender) -> object:
+    return sender.send(b"")
+
+
+def _send_fast_path(sender: MessageSender) -> object:
+    # fast_network_bps=0 makes any probed speed "very fast": probe
+    # records then raw records, chunked at buffer_size from the probe
+    # offset (boundaries intentionally not aligned to the buffer grid).
+    cfg = AdocConfig(
+        buffer_size=16 * 1024,
+        packet_size=2 * 1024,
+        slice_size=2 * 1024,
+        small_message_threshold=8 * 1024,
+        probe_size=4 * 1024,
+        fast_network_bps=0.0,
+    )
+    return sender.send(ascii_data(40_000, seed=12), cfg)
+
+
+def _send_forced_zlib(sender: MessageSender) -> object:
+    # min == max pins the adapter: every buffer compresses at level 6.
+    return sender.send(ascii_data(50_000, seed=13), GOLDEN_CFG.with_levels(6, 6))
+
+
+def _send_forced_lzf(sender: MessageSender) -> object:
+    # Level 1 is our own LZF codec: bit-deterministic on any host.
+    return sender.send(ascii_data(50_000, seed=14), GOLDEN_CFG.with_levels(1, 1))
+
+
+def _send_buffer_boundary(sender: MessageSender) -> object:
+    # Exactly two buffers with forced compression: exercises the
+    # buffer-edge record split without adapter freedom.
+    return sender.send(ascii_data(32 * 1024, seed=15), GOLDEN_CFG.with_levels(1, 1))
+
+
+def _send_unknown_raw(sender: MessageSender) -> object:
+    # Unseekable stream with compression disabled: END-terminated
+    # message of raw buffer-size records.
+    stream = _Unseekable(ascii_data(40_000, seed=16))
+    return sender.send_stream(stream, GOLDEN_CFG.with_levels(0, 0))
+
+
+def _send_unknown_forced_lzf(sender: MessageSender) -> object:
+    # Unseekable stream through the pipeline at a pinned level.
+    stream = _Unseekable(ascii_data(40_000, seed=17))
+    return sender.send_stream(stream, GOLDEN_CFG.with_levels(1, 1))
+
+
+SHAPES: list[Shape] = [
+    Shape("known_small", _send_small, lambda: ascii_data(4_000, seed=11)),
+    Shape("known_empty", _send_empty, lambda: b""),
+    Shape("probe_fast_path", _send_fast_path, lambda: ascii_data(40_000, seed=12)),
+    Shape(
+        "forced_zlib6",
+        _send_forced_zlib,
+        lambda: ascii_data(50_000, seed=13),
+        zlib_dependent=True,
+    ),
+    Shape("forced_lzf", _send_forced_lzf, lambda: ascii_data(50_000, seed=14)),
+    Shape(
+        "buffer_boundary_lzf",
+        _send_buffer_boundary,
+        lambda: ascii_data(32 * 1024, seed=15),
+    ),
+    Shape("unknown_length_raw", _send_unknown_raw, lambda: ascii_data(40_000, seed=16)),
+    Shape(
+        "unknown_length_lzf",
+        _send_unknown_forced_lzf,
+        lambda: ascii_data(40_000, seed=17),
+    ),
+]
+
+
+def capture_shape(shape: Shape) -> bytes:
+    """Run one shape against a fresh sender; return its wire bytes."""
+    endpoint = CaptureEndpoint()
+    sender = MessageSender(endpoint, GOLDEN_CFG)
+    shape.run(sender)
+    return bytes(endpoint.buffer)
+
+
+def fixture_path(shape: Shape) -> Path:
+    return FIXTURE_DIR / f"{shape.name}.bin"
+
+
+def recorded_zlib_version() -> str | None:
+    """The zlib build that generated the fixtures, from the manifest."""
+    if not MANIFEST.exists():
+        return None
+    for line in MANIFEST.read_text().splitlines():
+        if line.startswith("zlib:"):
+            return line.split(":", 1)[1].strip()
+    return None
+
+
+def current_zlib_version() -> str:
+    return zlib.ZLIB_RUNTIME_VERSION

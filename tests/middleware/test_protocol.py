@@ -28,6 +28,40 @@ def roundtrip(msg: RpcMessage) -> RpcMessage:
     return got
 
 
+class TestStreamedArgs:
+    def test_file_argument_streams(self):
+        import io
+
+        payload = bytes(range(256)) * 2000  # 512 000 bytes
+        msg = RpcMessage(
+            MsgType.REQUEST, "ibp.store", [b"cap", io.BytesIO(payload)]
+        )
+        got = roundtrip(msg)
+        assert got.args == [b"cap", payload]  # receiver always sees bytes
+
+    def test_unseekable_argument_rejected(self):
+        import io
+
+        class Pipe(io.RawIOBase):
+            def readable(self):
+                return True
+
+            def read(self, n=-1):
+                return b""
+
+            def seekable(self):
+                return False
+
+            def tell(self):
+                raise OSError("not seekable")
+
+        a, b = pipe_pair(capacity=1 << 20)
+        tx = PlainCommunicator(a)
+        with pytest.raises(RpcError, match="seekable"):
+            write_message(tx, RpcMessage(MsgType.REQUEST, "svc", [Pipe()]))
+        tx.close()
+
+
 class TestRoundTrip:
     def test_request(self):
         got = roundtrip(RpcMessage(MsgType.REQUEST, "dgemm", [b"arg1", b"arg2"]))

@@ -21,7 +21,7 @@ CFG = AdocConfig(
 )
 
 
-def striped_roundtrip(data: bytes, n_streams: int, chunk_size: int):
+def striped_roundtrip(data, n_streams: int, chunk_size: int):
     pairs = [pipe_pair() for _ in range(n_streams)]
     tx_ends = [p[0] for p in pairs]
     rx_ends = [p[1] for p in pairs]
@@ -75,6 +75,21 @@ class TestRoundTrip:
         _, stats = striped_roundtrip(data, 2, chunk_size=200 * 1024)
         assert 0 < stats.wire_bytes
         assert stats.compression_ratio > 1.0
+
+    def test_file_payload(self):
+        # A seekable file stripes positionally: each stream reads only
+        # its own chunks, so the payload is never resident in full.
+        import io
+
+        data = ascii_data(400_000, seed=5)
+        got, stats = striped_roundtrip(io.BytesIO(data), 3, chunk_size=48 * 1024)
+        assert got == data
+        assert stats.payload_bytes == len(data)
+
+    def test_memoryview_payload(self):
+        data = ascii_data(150_000, seed=6)
+        got, _ = striped_roundtrip(memoryview(data), 2, chunk_size=32 * 1024)
+        assert got == data
 
 
 class TestValidation:
