@@ -1,10 +1,15 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lockcheck lint adoclint bench bench-smoke bench-paper
+.PHONY: test chaos lockcheck lint adoclint bench bench-smoke bench-compare bench-paper
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Fault-injection suite: deterministic resets/stalls/corruption against
+# the deadline/retry/teardown machinery (tests/faults).
+chaos:
+	$(PYTHON) -m pytest tests/faults -q
 
 lockcheck:
 	REPRO_LOCKCHECK=1 $(PYTHON) -m pytest -x -q
@@ -28,6 +33,11 @@ bench:
 
 bench-smoke:
 	$(PYTHON) benchmarks/send_path.py --smoke
+
+# Gate a fresh smoke run against the committed baseline (>2x fails).
+bench-compare:
+	$(PYTHON) benchmarks/send_path.py --smoke --out BENCH_send_path.smoke.json
+	$(PYTHON) benchmarks/compare.py BENCH_send_path.json BENCH_send_path.smoke.json
 
 # The paper-figure benchmarks (tables/figures of RR-5500).
 bench-paper:

@@ -1,0 +1,99 @@
+"""Compare two send-path benchmark result files; fail on regressions.
+
+CI runs the smoke benchmark (``send_path.py --smoke``) on every push
+and gates it against the committed full-run baseline
+(``BENCH_send_path.json``): scenarios present in *both* files —
+matched on ``(impl, size_mb, level)`` — must not have slowed down by
+more than ``--max-regression`` (default 2x).  CI runners are noisy, so
+the bar is deliberately loose; it exists to catch catastrophic
+regressions (an accidental O(n^2), a lost zero-copy path), not to
+police single-digit percentages.
+
+Usage::
+
+    python benchmarks/compare.py BENCH_send_path.json BENCH_send_path.smoke.json
+    python benchmarks/compare.py baseline.json candidate.json --max-regression 1.5
+
+Exit status: 0 when every overlapping scenario is within bounds, 1 on
+any regression past the bar (or when the files share no scenarios —
+a silently-empty comparison must not read as a pass).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+Scenario = tuple[str, int, int]  # (impl, size_mb, level)
+
+
+def load_results(path: Path) -> dict[Scenario, dict]:
+    payload = json.loads(path.read_text())
+    out: dict[Scenario, dict] = {}
+    for row in payload.get("results", []):
+        out[(row["impl"], row["size_mb"], row["level"])] = row
+    return out
+
+
+def compare(
+    baseline: dict[Scenario, dict],
+    candidate: dict[Scenario, dict],
+    max_regression: float,
+) -> tuple[list[str], bool]:
+    """Returns (report lines, ok)."""
+    lines: list[str] = []
+    shared = sorted(set(baseline) & set(candidate))
+    if not shared:
+        return ["no overlapping scenarios between baseline and candidate"], False
+    ok = True
+    header = (
+        f"{'scenario':<24} {'baseline':>10} {'candidate':>10} {'ratio':>7}  verdict"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for key in shared:
+        impl, size_mb, level = key
+        base = baseline[key]["throughput_mb_s"]
+        cand = candidate[key]["throughput_mb_s"]
+        # ratio > 1 means the candidate is slower.
+        ratio = base / cand if cand else float("inf")
+        verdict = "ok"
+        if ratio > max_regression:
+            verdict = f"REGRESSION (> {max_regression:g}x)"
+            ok = False
+        lines.append(
+            f"{impl:>6} {size_mb:>3} MB lvl {level:<2}      "
+            f"{base:>8.1f} {cand:>10.1f} {ratio:>6.2f}x  {verdict}"
+        )
+    return lines, ok
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", type=Path, help="committed reference results")
+    ap.add_argument("candidate", type=Path, help="fresh results to gate")
+    ap.add_argument(
+        "--max-regression",
+        type=float,
+        default=2.0,
+        help="fail when baseline/candidate throughput exceeds this (default 2.0)",
+    )
+    args = ap.parse_args(argv)
+
+    lines, ok = compare(
+        load_results(args.baseline),
+        load_results(args.candidate),
+        args.max_regression,
+    )
+    print("\n".join(lines))
+    if not ok:
+        print("\nbench gate: FAILED", file=sys.stderr)
+        return 1
+    print("\nbench gate: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

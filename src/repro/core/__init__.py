@@ -22,6 +22,14 @@ from .api import (
 )
 from .compressor import compress_buffer
 from .config import DEFAULT_CONFIG, AdocConfig
+from .deadlines import (
+    DEFAULT_RETRY_POLICY,
+    Deadline,
+    DeadlineExceeded,
+    RetryPolicy,
+    TransferError,
+    reap_threads,
+)
 from .divergence import BandwidthRecord, DivergenceGuard
 from .fifo import PacketQueue, QueueClosed, QueuedPacket
 from .guards import IncompressibleGuard
@@ -50,6 +58,12 @@ __all__ = [
     "AdaptationTrace",
     "AdocConfig",
     "DEFAULT_CONFIG",
+    "Deadline",
+    "DeadlineExceeded",
+    "TransferError",
+    "RetryPolicy",
+    "DEFAULT_RETRY_POLICY",
+    "reap_threads",
     "PacketQueue",
     "QueuedPacket",
     "QueueClosed",

@@ -84,9 +84,15 @@ class _Connection:
 
     def close(self) -> None:
         with self._recv_lock:
-            if self._receiver is not None:
-                self._receiver.close()
+            receiver = self._receiver
+        if receiver is not None:
+            receiver.close()
         self.endpoint.close()
+        if receiver is not None:
+            # Closing the endpoint unblocks a reception thread parked in
+            # recv(); a bounded join guarantees teardown terminates even
+            # if a thread is wedged, instead of leaking it silently.
+            receiver.join(self.config.join_timeout_s)
 
 
 # The descriptor table.  A static, lock-protected map — the C library

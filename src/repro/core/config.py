@@ -95,6 +95,20 @@ class AdocConfig:
     #: guard needs sub-buffer granularity to abort mid-buffer).
     slice_size: int = 8 * KB
 
+    #: Per-operation I/O timeout for every blocking step of a transfer
+    #: (socket send/recv, queue put/get, output-buffer read).  ``None``
+    #: preserves the paper's unbounded-blocking semantics; set it and a
+    #: stalled peer surfaces a structured
+    #: :exc:`~repro.core.deadlines.DeadlineExceeded` instead of hanging
+    #: a pipeline thread forever.  See ``docs/ROBUSTNESS.md``.
+    io_timeout_s: float | None = None
+
+    #: Bound on joining pipeline threads during teardown (normal *and*
+    #: failure paths).  A worker still alive past this is reported as a
+    #: ``TransferError(stage="teardown")`` rather than waited on
+    #: forever.
+    join_timeout_s: float = 10.0
+
     def __post_init__(self) -> None:
         if self.buffer_size <= 0 or self.packet_size <= 0:
             raise ValueError("buffer and packet sizes must be positive")
@@ -112,6 +126,10 @@ class AdocConfig:
             raise ValueError("probe must fit below the small-message threshold")
         if not 0.0 < self.incompressible_ratio <= 1.0:
             raise ValueError("incompressible ratio must be in (0, 1]")
+        if self.io_timeout_s is not None and self.io_timeout_s <= 0:
+            raise ValueError("io_timeout_s must be positive or None")
+        if self.join_timeout_s <= 0:
+            raise ValueError("join_timeout_s must be positive")
 
     def with_levels(self, min_level: int, max_level: int) -> "AdocConfig":
         """Copy with narrowed level bounds (the ``*_levels`` API)."""

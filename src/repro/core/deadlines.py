@@ -1,0 +1,265 @@
+"""Deadlines, retry policies and structured transfer errors.
+
+AdOC's contract is "never worse than plain ``write``" — but a promise
+about *throughput* is worthless if one dropped socket or stalled peer
+parks a pipeline thread forever.  This module is the vocabulary the
+fault-tolerant transfer layer is written in:
+
+* :class:`Deadline` — an absolute point on the monotonic clock that
+  every blocking step of an operation can be checked against, so a
+  multi-step transfer has *one* overall bound rather than N independent
+  per-step timeouts that can add up unboundedly;
+* :class:`TransferError` — the structured failure every layer surfaces
+  instead of a hung thread: which stage failed, whether retrying can
+  help, and the causing exception;
+* :exc:`DeadlineExceeded` — the :class:`TransferError` raised when a
+  bounded wait expires;
+* :class:`RetryPolicy` — deterministic (seedable) exponential backoff
+  driving the reconnect loops in the middleware, gridftp and depot
+  clients and the striped mover's resume path;
+* :func:`reap_threads` — failure-path thread teardown: join worker
+  threads, and once an error is recorded, cancel the survivors and
+  join them *with a timeout* so no failure leaves a live thread behind.
+
+This module deliberately imports nothing from the rest of the package
+(only the standard library): the transport layer sits *below* the core
+pipeline in the import graph, and both need these primitives.  The
+transport layer's own timeout signal is
+:exc:`repro.transport.base.TransportTimeout`; the pipeline maps it into
+:exc:`DeadlineExceeded` at the core boundary.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Sequence
+
+__all__ = [
+    "Deadline",
+    "DeadlineExceeded",
+    "TransferError",
+    "RetryPolicy",
+    "DEFAULT_RETRY_POLICY",
+    "reap_threads",
+]
+
+
+class TransferError(Exception):
+    """A transfer failed in a structured, reportable way.
+
+    ``stage`` names the pipeline step that failed (``"send"``,
+    ``"recv"``, ``"decompress"``, ``"teardown"``, ...); ``retryable``
+    tells callers whether reconnecting and retrying can plausibly
+    succeed.  The causing exception, when any, rides on ``__cause__``
+    via the normal ``raise ... from ...`` chaining.
+    """
+
+    def __init__(
+        self, message: str, *, stage: str = "transfer", retryable: bool = False
+    ) -> None:
+        super().__init__(message)
+        self.stage = stage
+        self.retryable = retryable
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.stage}] {super().__str__()}"
+
+
+class DeadlineExceeded(TransferError):
+    """A bounded wait expired before the operation could complete.
+
+    Retryable by default: a timeout usually means the *path* stalled,
+    and a reconnect (fresh socket, different route, recovered peer) is
+    the standard remedy.
+    """
+
+    def __init__(
+        self, message: str, *, stage: str = "transfer", retryable: bool = True
+    ) -> None:
+        super().__init__(message, stage=stage, retryable=retryable)
+
+
+class Deadline:
+    """An absolute expiry on the monotonic clock.
+
+    A ``Deadline`` is shared across every blocking step of one logical
+    operation: each step asks :meth:`remaining` for its own bounded
+    wait, so the *sum* of the steps is bounded, not just each one.
+    ``Deadline.never()`` (or ``expires_at is None``) means unbounded —
+    the pre-fault-tolerance behaviour, still the default everywhere.
+    """
+
+    __slots__ = ("expires_at", "_clock")
+
+    def __init__(
+        self,
+        expires_at: float | None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.expires_at = expires_at
+        self._clock = clock
+
+    @classmethod
+    def after(
+        cls, seconds: float | None, clock: Callable[[], float] = time.monotonic
+    ) -> "Deadline":
+        """A deadline ``seconds`` from now (``None`` = never)."""
+        if seconds is None:
+            return cls(None, clock)
+        if seconds < 0:
+            raise ValueError("deadline seconds cannot be negative")
+        return cls(clock() + seconds, clock)
+
+    @classmethod
+    def never(cls) -> "Deadline":
+        return cls(None)
+
+    def remaining(self) -> float | None:
+        """Seconds left (clamped at 0.0), or ``None`` when unbounded."""
+        if self.expires_at is None:
+            return None
+        return max(0.0, self.expires_at - self._clock())
+
+    @property
+    def expired(self) -> bool:
+        return self.expires_at is not None and self._clock() >= self.expires_at
+
+    def check(self, stage: str = "transfer") -> None:
+        """Raise :exc:`DeadlineExceeded` if the deadline has passed."""
+        if self.expired:
+            raise DeadlineExceeded("deadline exceeded", stage=stage)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        rem = self.remaining()
+        return f"Deadline(remaining={'inf' if rem is None else f'{rem:.3f}s'})"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with bounded attempts and deterministic jitter.
+
+    Delays follow ``base_delay * multiplier**k``, capped at
+    ``max_delay``, with up to ``jitter`` fractional randomisation drawn
+    from a :class:`random.Random` seeded with ``seed`` — so a test (or
+    a reproduced incident) sees the exact same backoff schedule every
+    run.  ``attempts`` counts *total* tries, so ``attempts=1`` means no
+    retry at all.
+    """
+
+    attempts: int = 4
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.1
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("attempts must be at least 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays cannot be negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter is a fraction in [0, 1]")
+
+    def delays(self) -> Iterator[float]:
+        """The backoff delays between consecutive attempts."""
+        rng = random.Random(self.seed)
+        for k in range(self.attempts - 1):
+            delay = min(self.base_delay * self.multiplier**k, self.max_delay)
+            if self.jitter:
+                delay *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+            yield delay
+
+    def run(
+        self,
+        fn: Callable[[], object],
+        *,
+        retry_on: tuple[type[BaseException], ...],
+        sleep: Callable[[float], None] = time.sleep,
+        on_retry: Callable[[int, BaseException], None] | None = None,
+        deadline: Deadline | None = None,
+    ):
+        """Call ``fn`` until it succeeds, retries are exhausted, or the
+        deadline passes.
+
+        Exceptions outside ``retry_on`` — and :class:`TransferError`
+        instances explicitly marked non-retryable — propagate
+        immediately.  ``on_retry(attempt_number, error)`` is invoked
+        before each backoff sleep (logging, reconnect hooks).
+        """
+        last: BaseException | None = None
+        for attempt, delay in enumerate(self._delays_then_stop(), start=1):
+            try:
+                return fn()
+            except retry_on as exc:
+                if isinstance(exc, TransferError) and not exc.retryable:
+                    raise
+                last = exc
+                if delay is None:  # attempts exhausted
+                    raise
+                if deadline is not None and deadline.expired:
+                    raise
+                if on_retry is not None:
+                    on_retry(attempt, exc)
+                remaining = deadline.remaining() if deadline is not None else None
+                sleep(delay if remaining is None else min(delay, remaining))
+        raise last if last is not None else RuntimeError("unreachable")
+
+    def _delays_then_stop(self) -> Iterator[float | None]:
+        """Per-attempt backoff, ``None`` marking the final attempt."""
+        for delay in self.delays():
+            yield delay
+        yield None
+
+
+#: Shared default: 4 attempts, 50 ms -> 100 -> 200 ms, deterministic.
+DEFAULT_RETRY_POLICY = RetryPolicy(seed=0)
+
+
+def reap_threads(
+    threads: Sequence[threading.Thread],
+    errors: Iterable[BaseException],
+    cancel: Callable[[], None] | None = None,
+    join_timeout: float = 10.0,
+    poll_s: float = 0.05,
+) -> None:
+    """Join worker threads with guaranteed failure-path teardown.
+
+    While no error has been recorded this behaves like a plain join —
+    a healthy long transfer is never cut short.  The moment ``errors``
+    becomes non-empty, ``cancel()`` is invoked once (close the sockets
+    the survivors are blocked on), and the remaining threads are joined
+    with ``join_timeout``; any thread still alive after that raises
+    :exc:`TransferError` (stage ``teardown``) instead of hanging the
+    caller forever.
+    """
+    cancelled = False
+    while True:
+        alive = [t for t in threads if t.is_alive()]
+        if not alive:
+            return
+        if errors and not cancelled:
+            if cancel is not None:
+                try:
+                    cancel()
+                except Exception:  # noqa: BLE001 - teardown is best-effort
+                    pass
+            cancelled = True
+        if cancelled:
+            stop_at = time.monotonic() + join_timeout
+            for t in alive:
+                t.join(max(0.0, stop_at - time.monotonic()))
+            stuck = [t.name for t in threads if t.is_alive()]
+            if stuck:
+                raise TransferError(
+                    f"worker threads failed to stop: {', '.join(stuck)}",
+                    stage="teardown",
+                )
+            return
+        for t in alive:
+            t.join(poll_s)

@@ -18,10 +18,12 @@ produced each packet (the divergence guard's input).
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from dataclasses import dataclass
 
 from ..analysis.lockgraph import make_condition, make_lock
+from .deadlines import DeadlineExceeded
 
 __all__ = ["QueuedPacket", "PacketQueue", "QueueClosed"]
 
@@ -78,11 +80,27 @@ class PacketQueue:
         self.total_put = 0
         self.peak_size = 0
 
-    def put(self, packet: QueuedPacket) -> None:
-        """Append a packet, blocking while the queue is full."""
+    def put(self, packet: QueuedPacket, timeout: float | None = None) -> None:
+        """Append a packet, blocking while the queue is full.
+
+        ``timeout`` bounds the wait for room: a consumer that has
+        stalled (blocked on a dead socket, wedged downstream) surfaces
+        as :exc:`~repro.core.deadlines.DeadlineExceeded` instead of
+        parking the producer thread forever.
+        """
+        give_up = None if timeout is None else time.monotonic() + timeout
         with self._lock:
             while len(self._items) >= self.capacity and not self._closed:
-                self._not_full.wait()
+                if give_up is None:
+                    self._not_full.wait()
+                else:
+                    remaining = give_up - time.monotonic()
+                    if remaining <= 0:
+                        raise DeadlineExceeded(
+                            "packet queue stayed full past the deadline",
+                            stage="queue.put",
+                        )
+                    self._not_full.wait(remaining)
             if self._closed:
                 raise QueueClosed("queue closed")
             self._items.append(packet)
@@ -91,11 +109,25 @@ class PacketQueue:
                 self.peak_size = len(self._items)
             self._not_empty.notify()
 
-    def get(self) -> QueuedPacket | None:
-        """Pop the oldest packet; ``None`` once closed *and* drained."""
+    def get(self, timeout: float | None = None) -> QueuedPacket | None:
+        """Pop the oldest packet; ``None`` once closed *and* drained.
+
+        ``timeout`` bounds the wait for an item (a stalled producer),
+        raising :exc:`~repro.core.deadlines.DeadlineExceeded` on expiry.
+        """
+        give_up = None if timeout is None else time.monotonic() + timeout
         with self._lock:
             while not self._items and not self._closed:
-                self._not_empty.wait()
+                if give_up is None:
+                    self._not_empty.wait()
+                else:
+                    remaining = give_up - time.monotonic()
+                    if remaining <= 0:
+                        raise DeadlineExceeded(
+                            "packet queue stayed empty past the deadline",
+                            stage="queue.get",
+                        )
+                    self._not_empty.wait(remaining)
             if not self._items:
                 return None
             item = self._items.popleft()

@@ -22,13 +22,15 @@ and freed by ``adoc_close``.
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from typing import BinaryIO, Callable
 
 from ..analysis.lockgraph import make_condition, make_lock
 from ..compress.registry import codec_for_level
-from ..transport.base import Endpoint, TransportClosed, recv_exact
+from ..transport.base import Endpoint, TransportClosed, TransportTimeout, recv_exact
 from .config import AdocConfig, DEFAULT_CONFIG
+from .deadlines import DeadlineExceeded, TransferError
 from .fifo import PacketQueue, QueueClosed, QueuedPacket
 from .packets import (
     MESSAGE_HEADER_SIZE,
@@ -50,12 +52,22 @@ class OutputBuffer:
     ``read`` implements the byte-stream view (markers are transparent);
     ``read_until_marker`` implements the message view used by
     ``adoc_receive_file``.
+
+    ``timeout_s`` bounds every blocking wait (producer waiting for
+    room, consumer waiting for data) with
+    :exc:`~repro.core.deadlines.DeadlineExceeded`; a timed-out read
+    leaves the buffer consistent, so the caller may retry.
     """
 
-    def __init__(self, capacity_bytes: int = 4 * 1024 * 1024) -> None:
+    def __init__(
+        self,
+        capacity_bytes: int = 4 * 1024 * 1024,
+        timeout_s: float | None = None,
+    ) -> None:
         self._chunks: deque[object] = deque()
         self._buffered = 0
         self.capacity = capacity_bytes
+        self.timeout_s = timeout_s
         self._eof = False
         self._error: BaseException | None = None
         self._skip_next_marker = False
@@ -63,14 +75,30 @@ class OutputBuffer:
         self._readable = make_condition(self._lock, "OutputBuffer.readable")
         self._writable = make_condition(self._lock, "OutputBuffer.writable")
 
+    def _deadline(self) -> float | None:
+        return None if self.timeout_s is None else time.monotonic() + self.timeout_s
+
+    def _wait(self, cond, give_up: float | None, stage: str) -> None:
+        """One bounded wait on ``cond`` (caller holds the lock)."""
+        if give_up is None:
+            cond.wait()
+            return
+        remaining = give_up - time.monotonic()
+        if remaining <= 0:
+            raise DeadlineExceeded(
+                f"output buffer wait exceeded {self.timeout_s}s", stage=stage
+            )
+        cond.wait(remaining)
+
     # producer side (decompression thread) ---------------------------------
 
     def put(self, chunk: bytes) -> None:
         if not chunk:
             return
+        give_up = self._deadline()
         with self._lock:
             while self._buffered >= self.capacity and not self._eof:
-                self._writable.wait()
+                self._wait(self._writable, give_up, "output.put")
             if self._eof:
                 return  # reader closed; drop silently
             # More data for the message a byte-read drained mid-flight:
@@ -104,6 +132,7 @@ class OutputBuffer:
         """Up to ``n`` bytes; ``b""`` at EOF; raises a deferred error."""
         if n <= 0:
             return b""
+        give_up = self._deadline()
         with self._lock:
             while True:
                 # Skip any leading message markers: byte-stream view.
@@ -115,7 +144,7 @@ class OutputBuffer:
                     if self._error is not None:
                         raise self._error
                     return b""
-                self._readable.wait()
+                self._wait(self._readable, give_up, "output.read")
             out = bytearray()
             while self._chunks and len(out) < n:
                 head = self._chunks[0]
@@ -153,8 +182,12 @@ class OutputBuffer:
         total = 0
         while True:
             with self._lock:
+                # Bound each chunk wait rather than the whole message:
+                # a long message streaming steadily is progress, not a
+                # stall.
+                give_up = self._deadline()
                 while not self._chunks and not self._eof:
-                    self._readable.wait()
+                    self._wait(self._readable, give_up, "output.read")
                 if not self._chunks:
                     if self._error is not None:
                         raise self._error
@@ -191,7 +224,9 @@ class ReceiverPipeline:
     ) -> None:
         self.endpoint = endpoint
         self.config = config
-        self.output = OutputBuffer(output_capacity)
+        if config.io_timeout_s is not None and hasattr(endpoint, "settimeout"):
+            endpoint.settimeout(config.io_timeout_s)
+        self.output = OutputBuffer(output_capacity, timeout_s=config.io_timeout_s)
         self._queue: PacketQueue = PacketQueue(config.recv_queue_packets)
         self._closed = False
         self._reader = threading.Thread(
@@ -233,6 +268,14 @@ class ReceiverPipeline:
                     break
         except QueueClosed:
             pass
+        except TransportTimeout as exc:
+            # Only mid-message timeouts escape _read_one_message: bytes
+            # of a frame are outstanding and the peer stopped sending.
+            error = DeadlineExceeded(
+                f"peer stalled mid-message past "
+                f"{self.config.io_timeout_s}s: {exc}",
+                stage="recv",
+            )
         except (ProtocolError, TransportClosed) as exc:
             error = exc
         except BaseException as exc:  # noqa: BLE001 - surfaced to reader
@@ -244,7 +287,13 @@ class ReceiverPipeline:
 
     def _read_one_message(self) -> bool:
         """Parse one message; False on clean EOF before a header."""
-        first = self.endpoint.recv(MESSAGE_HEADER_SIZE)
+        try:
+            first = self.endpoint.recv(MESSAGE_HEADER_SIZE)
+        except TransportTimeout:
+            # Idle between messages is legal — no message is due, the
+            # bounded recv simply re-arms.  Timeouts *after* this first
+            # byte mean a peer died mid-frame and are left to propagate.
+            return not self._closed
         if not first:
             return False
         rest = (
@@ -271,11 +320,12 @@ class ReceiverPipeline:
                 if remaining < 0:
                     raise ProtocolError("records overflow declared length")
             self._queue.put(
-                QueuedPacket(payload, rec_hdr.level, rec_hdr.original_size)
+                QueuedPacket(payload, rec_hdr.level, rec_hdr.original_size),
+                timeout=self.config.io_timeout_s,
             )
         # Message boundary marker rides the queue as a zero-byte packet
         # with the reserved END level so ordering with data is preserved.
-        self._queue.put(QueuedPacket(b"", 0xFF, 0))
+        self._queue.put(QueuedPacket(b"", 0xFF, 0), timeout=self.config.io_timeout_s)
         return True
 
     # -- decompression thread: record queue -> output buffer ------------------
@@ -293,9 +343,14 @@ class ReceiverPipeline:
                     self.output.put(pkt.payload)
                 else:
                     codec = codec_for_level(pkt.level)
-                    self.output.put(
-                        codec.decompress(pkt.payload, pkt.original_bytes)
-                    )
+                    try:
+                        data = codec.decompress(pkt.payload, pkt.original_bytes)
+                    except Exception as exc:
+                        raise TransferError(
+                            f"decompression failed at level {pkt.level}: {exc}",
+                            stage="decompress",
+                        ) from exc
+                    self.output.put(data)
         except BaseException as exc:  # noqa: BLE001
             self.output.finish(exc)
         else:

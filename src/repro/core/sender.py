@@ -49,10 +49,11 @@ import time
 from dataclasses import dataclass, field
 from typing import BinaryIO, Callable
 
-from ..transport.base import Endpoint, sendall, sendall_vectors
+from ..transport.base import Endpoint, TransportTimeout, sendall, sendall_vectors
 from .adaptation import LevelAdapter
 from .compressor import compress_buffer
 from .config import AdocConfig, DEFAULT_CONFIG
+from .deadlines import DeadlineExceeded, TransferError
 from .divergence import DivergenceGuard
 from .fifo import PacketQueue, QueueClosed, QueuedPacket
 from .guards import IncompressibleGuard
@@ -86,6 +87,9 @@ class SendResult:
     fast_path: bool = False
     levels_used: dict[int, int] = field(default_factory=dict)
     guard_trips: int = 0
+    #: True when a codec failure forced the stream down to raw
+    #: (level 0) mid-message — the payload still arrived intact.
+    degraded: bool = False
 
     @property
     def compression_ratio(self) -> float:
@@ -141,7 +145,25 @@ class MessageSender:
     # -- the streaming engine ------------------------------------------------
 
     def _send_source(self, source: ChunkSource, cfg: AdocConfig) -> SendResult:
-        """One message from any source: the unified decision ladder."""
+        """One message from any source, with bounded blocking.
+
+        When ``cfg.io_timeout_s`` is set, every blocking step — raw
+        sends, the probe, queue hand-offs, the emission loop — is
+        bounded, and a stalled transport surfaces as
+        :exc:`~repro.core.deadlines.DeadlineExceeded` (a structured
+        ``TransferError``) instead of a thread parked forever.
+        """
+        if cfg.io_timeout_s is not None and hasattr(self.endpoint, "settimeout"):
+            self.endpoint.settimeout(cfg.io_timeout_s)
+        try:
+            return self._send_source_impl(source, cfg)
+        except TransportTimeout as exc:
+            raise DeadlineExceeded(
+                f"send stalled past {cfg.io_timeout_s}s: {exc}", stage="send"
+            ) from exc
+
+    def _send_source_impl(self, source: ChunkSource, cfg: AdocConfig) -> SendResult:
+        """The unified decision ladder."""
         start = self.clock()
         total = source.length
 
@@ -288,20 +310,48 @@ class MessageSender:
         adapter = LevelAdapter(cfg, self.divergence, inc_guard)
         error: list[BaseException] = []
         consumed = [0]
+        degraded = [False]
 
         worker = threading.Thread(
             target=self._compression_thread,
-            args=(source, cfg, queue, adapter, inc_guard, error, consumed),
+            args=(source, cfg, queue, adapter, inc_guard, error, consumed, degraded),
             name="adoc-compress",
             daemon=True,
         )
         worker.start()
-        result = self._emission_loop(queue)
-        worker.join()
+        try:
+            result = self._emission_loop(queue, cfg)
+        except BaseException as exc:
+            # The emission loop already closed the queue; the worker
+            # unblocks on QueueClosed.  Bound the join so the failure
+            # path can never hang on a wedged worker.
+            worker.join(cfg.join_timeout_s)
+            if isinstance(exc, TransportTimeout):
+                raise DeadlineExceeded(
+                    f"emission stalled past {cfg.io_timeout_s}s: {exc}",
+                    stage="send",
+                ) from exc
+            raise
+        worker.join(cfg.join_timeout_s)
+        if worker.is_alive():
+            queue.close()
+            worker.join(cfg.join_timeout_s)
+            if worker.is_alive():
+                raise TransferError(
+                    "compression thread failed to stop after the message "
+                    "was emitted",
+                    stage="teardown",
+                )
         if error:
-            raise error[0]
+            exc = error[0]
+            if isinstance(exc, TransportTimeout):
+                raise DeadlineExceeded(
+                    f"compression side stalled: {exc}", stage="send"
+                ) from exc
+            raise exc
         result.pipeline_used = True
         result.guard_trips = inc_guard.trips
+        result.degraded = degraded[0]
         return result, consumed[0]
 
     def _compression_thread(
@@ -313,18 +363,28 @@ class MessageSender:
         inc_guard: IncompressibleGuard,
         error: list[BaseException],
         consumed: list[int],
+        degraded: list[bool],
     ) -> None:
         try:
             buffer_id = 0
             while True:
                 level = adapter.next_level(queue.size(), self.clock())
-                if cfg.compression_disabled:
+                if cfg.compression_disabled or degraded[0]:
                     level = 0
                 buf = source.read(cfg.buffer_size)
                 if not len(buf):
                     break
                 consumed[0] += len(buf)
-                records, _ = compress_buffer(buf, level, inc_guard, cfg)
+                try:
+                    records, _ = compress_buffer(buf, level, inc_guard, cfg)
+                except Exception:  # adoclint: disable=ADOC106 -- graceful degradation by design: the codec failure is absorbed, the buffer ships raw, and SendResult.degraded reports it; re-raising would kill a recoverable message
+                    # Graceful degradation: a codec blowing up on one
+                    # buffer must not kill the message.  Ship this
+                    # buffer raw and pin the rest of the stream to
+                    # level 0 — the receiver needs no special handling,
+                    # raw records are always legal.
+                    degraded[0] = True
+                    records = [Record(0, len(buf), buf)]
                 for rec in records:
                     self._enqueue_record(rec, cfg, queue, inc_guard, buffer_id)
                 buffer_id += 1
@@ -354,8 +414,9 @@ class MessageSender:
         payload = rec.payload
         n = len(payload)
         prefix = rec.header_bytes()
+        timeout = cfg.io_timeout_s
         if n == 0:
-            queue.put(QueuedPacket(b"", rec.level, 0, buffer_id, prefix))
+            queue.put(QueuedPacket(b"", rec.level, 0, buffer_id, prefix), timeout)
             inc_guard.note_packet_emitted()
             return
         assigned = 0
@@ -366,11 +427,11 @@ class MessageSender:
             else:
                 orig = rec.original_size * len(chunk) // n
             assigned += orig
-            queue.put(QueuedPacket(chunk, rec.level, orig, buffer_id, prefix))
+            queue.put(QueuedPacket(chunk, rec.level, orig, buffer_id, prefix), timeout)
             prefix = b""
             inc_guard.note_packet_emitted()
 
-    def _emission_loop(self, queue: PacketQueue) -> SendResult:
+    def _emission_loop(self, queue: PacketQueue, cfg: AdocConfig) -> SendResult:
         """Drain the queue into the socket, observing per-buffer rates.
 
         Visible bandwidth is aggregated over (buffer, level) windows:
@@ -392,7 +453,7 @@ class MessageSender:
         pending: QueuedPacket | None = None
         try:
             while True:
-                pkt = pending if pending is not None else queue.get()
+                pkt = pending if pending is not None else queue.get(cfg.io_timeout_s)
                 pending = None
                 if pkt is None:
                     break

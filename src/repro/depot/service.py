@@ -17,6 +17,7 @@ from __future__ import annotations
 import struct
 from typing import BinaryIO
 
+from ..core.deadlines import RetryPolicy
 from ..middleware.agent import Agent
 from ..middleware.client import CallResult, Client
 from ..middleware.services import ServiceRegistry
@@ -78,11 +79,16 @@ class DepotClient:
     choice as any middleware client (plain or AdOC).
     """
 
-    def __init__(self, agent: Agent, communicator_factory=None) -> None:
+    def __init__(
+        self,
+        agent: Agent,
+        communicator_factory=None,
+        retry: RetryPolicy | None = None,
+    ) -> None:
         kwargs = {}
         if communicator_factory is not None:
             kwargs["communicator_factory"] = communicator_factory
-        self._client = Client(agent, **kwargs)
+        self._client = Client(agent, retry=retry, **kwargs)
 
     def allocate(self, capacity: int) -> tuple[str, str, str]:
         """Returns ``(handle, read_cap, write_cap)``."""

@@ -4,7 +4,7 @@ A file service with an RFC-959-flavoured control channel and striped
 data channels whose compression option is AdOC (``MODE ADOC``).
 """
 
-from .client import FileClient, GridFtpError, TransferReport
+from .client import ControlConnectionLost, FileClient, GridFtpError, TransferReport
 from .protocol import Reply
 from .server import ChannelBroker, FileServer
 from .transfer import receive_data, send_data
@@ -15,6 +15,7 @@ __all__ = [
     "ChannelBroker",
     "TransferReport",
     "GridFtpError",
+    "ControlConnectionLost",
     "Reply",
     "send_data",
     "receive_data",

@@ -11,16 +11,31 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..core.config import AdocConfig, DEFAULT_CONFIG
-from ..transport.base import Endpoint, sendall
+from ..core.deadlines import DeadlineExceeded, RetryPolicy
+from ..transport.base import Endpoint, TransportClosed, TransportTimeout, sendall
 from .protocol import ProtocolViolation, Reply, parse_reply, read_line
 from .server import FileServer
 from .transfer import DEFAULT_CHUNK, receive_data, send_data
 
-__all__ = ["FileClient", "TransferReport", "GridFtpError"]
+__all__ = ["FileClient", "TransferReport", "GridFtpError", "ControlConnectionLost"]
 
 
 class GridFtpError(Exception):
     """Server refused a command or a transfer failed."""
+
+
+class ControlConnectionLost(GridFtpError):
+    """The control channel died — retryable with a fresh session."""
+
+
+#: Failures that a reconnect-and-replay can plausibly fix.
+_RETRYABLE = (
+    ControlConnectionLost,
+    TransportClosed,
+    TransportTimeout,
+    DeadlineExceeded,
+    ConnectionError,
+)
 
 
 @dataclass(frozen=True)
@@ -42,12 +57,17 @@ class FileClient:
     """A control-channel session against one :class:`FileServer`."""
 
     def __init__(
-        self, server: FileServer, config: AdocConfig = DEFAULT_CONFIG
+        self,
+        server: FileServer,
+        config: AdocConfig = DEFAULT_CONFIG,
+        retry: RetryPolicy | None = None,
     ) -> None:
         self.server = server
         self.config = config
+        self.retry = retry
         self.mode = "PLAIN"
         self.stripes = 1
+        self.reconnects = 0
         self.control: Endpoint = server.connect()
         greeting = self._read_reply()
         if greeting.code != 220:
@@ -82,7 +102,10 @@ class FileClient:
         return int(self._command(f"SIZE {name}").text)
 
     def store(self, name: str, data: bytes) -> TransferReport:
-        """Upload ``data`` as ``name``."""
+        """Upload ``data`` as ``name`` (retried whole on session loss)."""
+        return self._with_retry(lambda: self._store_once(name, data))
+
+    def _store_once(self, name: str, data: bytes) -> TransferReport:
         reply = self._command(f"STOR {name} {len(data)}")
         tokens = reply.text.split()
         channels = [self.server.broker.redeem(t) for t in tokens]
@@ -93,7 +116,10 @@ class FileClient:
         return TransferReport(name, len(data), wire, len(channels), self.mode)
 
     def retrieve(self, name: str) -> bytes:
-        """Download ``name``."""
+        """Download ``name`` (retried whole on session loss)."""
+        return self._with_retry(lambda: self._retrieve_once(name))
+
+    def _retrieve_once(self, name: str) -> bytes:
         reply = self._command(f"RETR {name}")
         size_str, *tokens = reply.text.split()
         total = int(size_str)
@@ -105,6 +131,42 @@ class FileClient:
         if done.code != 226:
             raise GridFtpError(f"retrieve failed: {done}")
         return data
+
+    # -- fault tolerance ------------------------------------------------------
+
+    def _with_retry(self, fn):
+        """Run one file operation under the configured retry policy.
+
+        STOR/RETR are idempotent (a re-run overwrites / re-reads the
+        same file), so the whole operation is replayed on a fresh
+        session.  Without a policy the operation runs exactly once.
+        """
+        if self.retry is None:
+            return fn()
+        return self.retry.run(
+            fn, retry_on=_RETRYABLE, on_retry=lambda _n, _exc: self._reconnect()
+        )
+
+    def _reconnect(self) -> None:
+        """Open a fresh control session and replay the session state.
+
+        ``MODE`` and ``STRIPES`` are session-scoped server state; a new
+        control connection starts from the defaults, so both are
+        re-issued when they differ from them.
+        """
+        try:
+            self.control.close()
+        except Exception:  # noqa: BLE001 - the old channel is already dead
+            pass
+        self.control = self.server.connect()
+        self.reconnects += 1
+        greeting = self._read_reply()
+        if greeting.code != 220:
+            raise GridFtpError(f"unexpected greeting on reconnect: {greeting}")
+        if self.mode != "PLAIN":
+            assert self._command(f"MODE {self.mode}").ok
+        if self.stripes != 1:
+            assert self._command(f"STRIPES {self.stripes}").ok
 
     def quit(self) -> None:
         try:
@@ -126,7 +188,7 @@ class FileClient:
     def _read_reply(self) -> Reply:
         line = read_line(self.control)
         if not line:
-            raise GridFtpError("control connection closed")
+            raise ControlConnectionLost("control connection closed")
         try:
             return parse_reply(line)
         except ProtocolViolation as exc:

@@ -16,8 +16,17 @@ from typing import BinaryIO
 
 from ..core.api import AdocSocket
 from ..core.config import AdocConfig, DEFAULT_CONFIG
+from ..core.deadlines import reap_threads
 from ..core.sources import RangeSource
 from ..transport.base import Endpoint, recv_exact, sendall
+
+
+def _close_all(closeables) -> None:
+    for c in closeables:
+        try:
+            c.close()
+        except Exception:  # noqa: BLE001 - teardown is best-effort
+            pass
 
 __all__ = ["send_data", "receive_data", "DEFAULT_CHUNK"]
 
@@ -85,9 +94,16 @@ def send_data(
     ]
     for t in threads:
         t.start()
-    for t in threads:
-        t.join()
-    if mode == "ADOC":
+    # On a stream failure the surviving workers' sockets are closed so
+    # they unblock, and the join is bounded — no failure leaks a thread.
+    targets = sockets if mode == "ADOC" else endpoints
+    reap_threads(
+        threads,
+        errors,
+        cancel=lambda: _close_all(targets),
+        join_timeout=config.join_timeout_s,
+    )
+    if mode == "ADOC" and not errors:
         for s in sockets:
             s.close()
     if errors:
@@ -142,9 +158,14 @@ def receive_data(
     ]
     for t in threads:
         t.start()
-    for t in threads:
-        t.join()
-    if mode == "ADOC":
+    targets = sockets if mode == "ADOC" else endpoints
+    reap_threads(
+        threads,
+        errors,
+        cancel=lambda: _close_all(targets),
+        join_timeout=config.join_timeout_s,
+    )
+    if mode == "ADOC" and not errors:
         for s in sockets:
             s.close()
     if errors:

@@ -8,7 +8,14 @@ wrapped in :class:`PlainCommunicator` or :class:`AdocCommunicator`.
 from .agent import Agent, Registration
 from .client import CallResult, Client
 from .communicator import AdocCommunicator, Communicator, PlainCommunicator
-from .protocol import MsgType, RpcError, RpcMessage, read_message, write_message
+from .protocol import (
+    ConnectionLost,
+    MsgType,
+    RpcError,
+    RpcMessage,
+    read_message,
+    write_message,
+)
 from .server import Server, ServerStats
 from .services import ServiceRegistry, default_registry
 
@@ -26,6 +33,7 @@ __all__ = [
     "default_registry",
     "RpcMessage",
     "RpcError",
+    "ConnectionLost",
     "MsgType",
     "read_message",
     "write_message",

@@ -16,16 +16,30 @@ from threading import Thread
 
 import numpy as np
 
+from ..core.deadlines import Deadline, DeadlineExceeded, RetryPolicy
 from ..data.matrices import decode_matrix_ascii, encode_matrix_ascii
+from ..transport.base import TransportClosed, TransportTimeout
 from .agent import Agent
 from .communicator import Communicator, PlainCommunicator
 from .protocol import (
+    ConnectionLost,
     MsgType,
     RpcError,
     RpcMessage,
     arg_length,
     read_message,
     write_message,
+)
+
+#: Failures a fresh connection can plausibly fix.  A plain
+#: :exc:`RpcError` (remote refusal, malformed traffic) is *not* here:
+#: replaying the same request would fail the same way.
+RETRYABLE_RPC_ERRORS = (
+    ConnectionLost,
+    TransportClosed,
+    TransportTimeout,
+    DeadlineExceeded,
+    ConnectionError,
 )
 
 __all__ = ["Client", "CallResult"]
@@ -62,17 +76,49 @@ class Client:
         agent: Agent,
         communicator_factory=PlainCommunicator,
         clock=time.monotonic,
+        retry: RetryPolicy | None = None,
     ) -> None:
         self.agent = agent
         self.communicator_factory = communicator_factory
         self.clock = clock
+        self.retry = retry
 
-    def call_raw(self, service: str, args: list) -> CallResult:
+    def call_raw(
+        self,
+        service: str,
+        args: list,
+        deadline: Deadline | None = None,
+    ) -> CallResult:
         """One RPC with pre-marshalled argument payloads.
 
         Arguments are bytes-like, or seekable file objects to stream a
         large payload without holding it in memory.
+
+        With a :class:`~repro.core.deadlines.RetryPolicy` configured,
+        connection-level failures (:data:`RETRYABLE_RPC_ERRORS`) are
+        retried with exponential backoff over a *fresh* connection from
+        the agent; seekable file arguments are rewound to their starting
+        position before each attempt so a partially-streamed request is
+        replayed from scratch.  Remote refusals are never retried.
         """
+        # Capture starting offsets once: a failed attempt leaves file
+        # cursors wherever the stream broke.
+        rewinds = [
+            (a, a.tell()) for a in args if hasattr(a, "seek") and hasattr(a, "tell")
+        ]
+
+        def attempt() -> CallResult:
+            for f, pos in rewinds:
+                f.seek(pos)
+            return self._call_once(service, args)
+
+        if self.retry is None:
+            return attempt()
+        return self.retry.run(
+            attempt, retry_on=RETRYABLE_RPC_ERRORS, deadline=deadline
+        )
+
+    def _call_once(self, service: str, args: list) -> CallResult:
         start = self.clock()
         endpoint = self.agent.connect(service)
         comm: Communicator = self.communicator_factory(endpoint)
@@ -82,7 +128,7 @@ class Client:
             wire = comm.bytes_written
             reply = read_message(comm)
             if reply is None:
-                raise RpcError("connection closed before a response arrived")
+                raise ConnectionLost("connection closed before a response arrived")
             if reply.type == MsgType.ERROR or reply.status != 0:
                 detail = reply.args[0].decode("utf-8") if reply.args else "unknown"
                 raise RpcError(f"remote {service!r} failed: {detail}")

@@ -33,7 +33,14 @@ from typing import BinaryIO
 
 from ..core.sources import stream_size
 
-__all__ = ["MsgType", "RpcMessage", "write_message", "read_message", "RpcError"]
+__all__ = [
+    "MsgType",
+    "RpcMessage",
+    "write_message",
+    "read_message",
+    "RpcError",
+    "ConnectionLost",
+]
 
 _MAGIC = b"NS"
 _HDR = struct.Struct(">2sBB")
@@ -49,6 +56,16 @@ class MsgType:
 
 class RpcError(Exception):
     """Remote error or malformed RPC traffic."""
+
+
+class ConnectionLost(RpcError):
+    """The connection died mid-RPC — retryable with a fresh connection.
+
+    Distinct from a remote *refusal* (plain :exc:`RpcError`, not
+    retryable: the same request would fail the same way) so the client's
+    :class:`~repro.core.deadlines.RetryPolicy` loop can tell the two
+    apart by type.
+    """
 
 
 @dataclass

@@ -15,23 +15,49 @@ count) so the receiver is self-configuring.
 Striping composes with — it does not replace — AdOC's adaptation: each
 stream's controller sees its own share of the link and adapts
 independently, which is exactly how parallel gridFTP streams behave.
+
+Fault tolerance (``docs/ROBUSTNESS.md``): pass ``reconnect`` callbacks
+— ``reconnect(i)`` returns a fresh duplex endpoint for stream ``i`` —
+and a failed stream resumes at chunk granularity instead of failing the
+transfer.  The *receiver* drives the resume point: a sender-side write
+succeeding only means the bytes reached a socket buffer, so after a
+reset the receiver announces the first chunk it has **not** fully
+reassembled with a small ``_RESUME`` handshake on the fresh connection,
+and the sender re-sends from there.  Each reconnected stream gets a
+brand-new AdOC pipeline (per-connection compression state cannot
+survive the connection).
 """
 
 from __future__ import annotations
 
 import struct
 import threading
+import time
 from dataclasses import dataclass
-from typing import BinaryIO
+from typing import BinaryIO, Callable
 
 from ..core.api import AdocSocket
 from ..core.config import AdocConfig, DEFAULT_CONFIG
+from ..core.deadlines import (
+    DEFAULT_RETRY_POLICY,
+    DeadlineExceeded,
+    RetryPolicy,
+    TransferError,
+    reap_threads,
+)
 from ..core.sources import RangeSource
-from ..transport.base import Endpoint
+from ..transport.base import Endpoint, TransportClosed, TransportTimeout, recv_exact, sendall
 
 __all__ = ["StripeStats", "send_striped", "receive_striped"]
 
 _CTRL = struct.Struct(">QIH")  # total size, chunk size, stream count
+_RESUME = struct.Struct(">HQ")  # stream index, next chunk wanted
+
+#: Stream failures a reconnect can plausibly fix.
+_RETRYABLE = (TransportClosed, TransportTimeout, DeadlineExceeded, ConnectionError)
+
+#: ``reconnect(stream_index) -> fresh duplex endpoint`` for that stream.
+Reconnect = Callable[[int], Endpoint]
 
 
 @dataclass
@@ -42,10 +68,19 @@ class StripeStats:
     wire_bytes: int
     streams: int
     chunk_size: int
+    #: Successful stream reconnects during the transfer (0 = fault-free).
+    reconnects: int = 0
 
     @property
     def compression_ratio(self) -> float:
         return self.payload_bytes / self.wire_bytes if self.wire_bytes else 1.0
+
+
+def _close_quietly(socket_or_endpoint) -> None:
+    try:
+        socket_or_endpoint.close()
+    except Exception:  # noqa: BLE001 - the connection is already dead
+        pass
 
 
 def send_striped(
@@ -53,6 +88,8 @@ def send_striped(
     data: bytes | bytearray | memoryview | BinaryIO,
     chunk_size: int = 1024 * 1024,
     config: AdocConfig = DEFAULT_CONFIG,
+    reconnect: Reconnect | None = None,
+    retry: RetryPolicy = DEFAULT_RETRY_POLICY,
 ) -> StripeStats:
     """Send ``data`` across ``endpoints`` (one AdOC connection each).
 
@@ -61,6 +98,14 @@ def send_striped(
     (zero-copy views for bytes, O(chunk_size) resident per stream for
     files).  Blocks until every stream has finished.  Raises the first
     stream error encountered.
+
+    With ``reconnect`` set, a stream that dies mid-transfer backs off
+    per ``retry``, obtains a fresh endpoint, waits for the receiver's
+    ``_RESUME`` announcement and re-sends from the chunk the receiver
+    actually needs — which may be *earlier* than the last chunk this
+    side wrote, since a completed ``write`` only proves the bytes
+    reached a buffer.  ``wire_bytes`` counts retransmissions; the
+    payload accounting does not.
     """
     if not endpoints:
         raise ValueError("need at least one endpoint")
@@ -75,13 +120,47 @@ def send_striped(
     sockets[0].write(_CTRL.pack(total, chunk_size, n))
 
     wire_totals = [0] * n
+    reconnects = [0] * n
     errors: list[BaseException] = []
+
+    def resume_stream(i: int) -> int:
+        """Fresh connection + handshake; returns the chunk to resume at."""
+        ep = reconnect(i)  # type: ignore[misc]  # guarded by caller
+        raw = recv_exact(ep, _RESUME.size)
+        if len(raw) < _RESUME.size:
+            _close_quietly(ep)
+            raise TransferError(
+                f"stream {i}: reconnected peer sent no resume header",
+                stage="resume",
+            )
+        peer_stream, resume_k = _RESUME.unpack(raw)
+        if peer_stream != i or resume_k > n_chunks or resume_k % n != i % n:
+            _close_quietly(ep)
+            raise TransferError(
+                f"stream {i}: bad resume request "
+                f"(stream={peer_stream}, chunk={resume_k})",
+                stage="resume",
+            )
+        _close_quietly(sockets[i])
+        sockets[i] = AdocSocket(ep, config)
+        reconnects[i] += 1
+        return resume_k
 
     def stream_worker(i: int) -> None:
         try:
-            for k in range(i, n_chunks, n):
-                _, slen = sockets[i].write(src.pread(k * chunk_size, chunk_size))
-                wire_totals[i] += slen
+            delays = iter(retry.delays())
+            k = i
+            while k < n_chunks:
+                try:
+                    _, slen = sockets[i].write(src.pread(k * chunk_size, chunk_size))
+                    wire_totals[i] += slen
+                    k += n
+                except _RETRYABLE:
+                    delay = next(delays, None)
+                    if reconnect is None or delay is None:
+                        raise  # no resume path / retries exhausted
+                    time.sleep(delay)
+                    k = resume_stream(i)
         except BaseException as exc:  # noqa: BLE001 - surfaced below
             errors.append(exc)
 
@@ -93,23 +172,32 @@ def send_striped(
     ]
     for t in threads:
         t.start()
-    for t in threads:
-        t.join()
+    reap_threads(
+        threads,
+        errors,
+        cancel=lambda: [_close_quietly(s) for s in sockets],
+        join_timeout=config.join_timeout_s,
+    )
     for s in sockets:
-        s.close()
+        _close_quietly(s)
     if errors:
         raise errors[0]
-    return StripeStats(total, sum(wire_totals), n, chunk_size)
+    return StripeStats(total, sum(wire_totals), n, chunk_size, sum(reconnects))
 
 
 def receive_striped(
     endpoints: list[Endpoint],
     config: AdocConfig = DEFAULT_CONFIG,
+    reconnect: Reconnect | None = None,
+    retry: RetryPolicy = DEFAULT_RETRY_POLICY,
 ) -> bytes:
     """Receive a striped transfer; returns the reassembled payload.
 
     ``endpoints`` must be the peer ends of the sender's list, in the
-    same order.
+    same order.  With ``reconnect`` set, a dead stream is re-opened and
+    this side announces the first chunk it still needs (``_RESUME``);
+    the partially-received chunk from the broken connection is
+    discarded and re-read whole from the fresh one.
     """
     if not endpoints:
         raise ValueError("need at least one endpoint")
@@ -129,12 +217,30 @@ def receive_striped(
 
     def stream_worker(i: int) -> None:
         try:
-            for k in range(i, n_chunks, n):
+            delays = iter(retry.delays())
+            k = i
+            while k < n_chunks:
                 length = min(chunk_size, total - k * chunk_size)
-                chunk = sockets[i].read_exact(length)
-                if len(chunk) != length:
-                    raise ValueError(f"stream {i} truncated at chunk {k}")
+                try:
+                    chunk = sockets[i].read_exact(length)
+                    if len(chunk) != length:
+                        # Short read == EOF mid-chunk: the connection
+                        # died; let the resume path treat it like one.
+                        raise TransportClosed(
+                            f"stream {i} truncated at chunk {k}"
+                        )
+                except _RETRYABLE:
+                    delay = next(delays, None)
+                    if reconnect is None or delay is None:
+                        raise  # no resume path / retries exhausted
+                    time.sleep(delay)
+                    ep = reconnect(i)
+                    sendall(ep, _RESUME.pack(i, k))
+                    _close_quietly(sockets[i])
+                    sockets[i] = AdocSocket(ep, config)
+                    continue  # re-read chunk k whole
                 parts[k] = chunk
+                k += n
         except BaseException as exc:  # noqa: BLE001
             errors.append(exc)
 
@@ -146,10 +252,14 @@ def receive_striped(
     ]
     for t in threads:
         t.start()
-    for t in threads:
-        t.join()
+    reap_threads(
+        threads,
+        errors,
+        cancel=lambda: [_close_quietly(s) for s in sockets],
+        join_timeout=config.join_timeout_s,
+    )
     for s in sockets:
-        s.close()
+        _close_quietly(s)
     if errors:
         raise errors[0]
     assert all(p is not None for p in parts)

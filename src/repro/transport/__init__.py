@@ -5,7 +5,8 @@ The paper's four experimental networks are available as
 :data:`LAN100`, :data:`GBIT`, :data:`RENATER` and :data:`INTERNET`.
 """
 
-from .base import Endpoint, TransportClosed, recv_exact, sendall
+from .base import Endpoint, TransportClosed, TransportTimeout, recv_exact, sendall
+from .faults import Fault, FaultyEndpoint, faulty_pipe_pair
 from .pipes import ByteConduit, PipeEndpoint, pipe_pair
 from .profiles import ALL_PROFILES, GBIT, INTERNET, LAN100, RENATER, NetworkProfile
 from .shaping import (
@@ -21,8 +22,12 @@ from .socket_transport import SocketEndpoint, socketpair_endpoints, tcp_pair
 __all__ = [
     "Endpoint",
     "TransportClosed",
+    "TransportTimeout",
     "sendall",
     "recv_exact",
+    "Fault",
+    "FaultyEndpoint",
+    "faulty_pipe_pair",
     "ByteConduit",
     "PipeEndpoint",
     "pipe_pair",

@@ -20,11 +20,13 @@ paper's networks (:mod:`repro.transport.shaping`).
 from __future__ import annotations
 
 import abc
+import time
 from typing import Sequence
 
 __all__ = [
     "Endpoint",
     "TransportClosed",
+    "TransportTimeout",
     "sendall",
     "sendall_vectors",
     "recv_exact",
@@ -37,6 +39,18 @@ IOV_MAX = 1024
 
 class TransportClosed(Exception):
     """Raised when writing to an endpoint whose peer or self is closed."""
+
+
+class TransportTimeout(Exception):
+    """A blocking transport operation exceeded its bounded wait.
+
+    The transport analogue of ``socket.timeout``: the stream is still
+    intact — nothing was lost or closed — the operation simply did not
+    complete in time.  The core pipeline maps this into
+    :exc:`repro.core.deadlines.DeadlineExceeded` (a structured
+    ``TransferError``) at its boundary; the two types exist so the
+    transport layer stays importable without the core package.
+    """
 
 
 class Endpoint(abc.ABC):
@@ -88,13 +102,87 @@ class Endpoint(abc.ABC):
         """
         self.close()
 
+    # -- bounded waits --------------------------------------------------
 
-def sendall(ep: Endpoint, data: bytes | bytearray | memoryview) -> None:
-    """Send every byte of ``data``, looping over short writes."""
+    #: Per-operation timeout in seconds; ``None`` = block forever (the
+    #: historical behaviour, still the default).
+    _io_timeout: float | None = None
+
+    def settimeout(self, timeout: float | None) -> None:
+        """Bound every subsequent blocking ``send``/``recv``.
+
+        A ``send`` or ``recv`` that cannot make progress within
+        ``timeout`` seconds raises :exc:`TransportTimeout`.  Mirrors
+        ``socket.settimeout``: the value applies per operation, not to
+        the connection's lifetime.  Wrapper endpoints delegate to the
+        endpoint they wrap.
+        """
+        if timeout is not None and timeout <= 0:
+            raise ValueError("timeout must be positive or None")
+        self._io_timeout = timeout
+
+    def gettimeout(self) -> float | None:
+        return self._io_timeout
+
+
+class _DeadlineScope:
+    """Drives an endpoint's per-op timeout from an absolute deadline.
+
+    ``tick()`` is called before each blocking operation: it raises
+    :exc:`TransportTimeout` once the deadline has passed and otherwise
+    narrows the endpoint timeout to the remaining budget, so the sum of
+    the operations — not just each one — is bounded.  Endpoints without
+    timeout support (duck-typed test doubles) degrade to best-effort
+    between-operation checks.  Used as a context manager so the
+    endpoint's original timeout is always restored.
+    """
+
+    def __init__(self, ep: Endpoint, deadline: float | None, what: str) -> None:
+        self._ep = ep
+        self._deadline = deadline
+        self._what = what
+        self._supported = hasattr(ep, "settimeout")
+        self._old: float | None = None
+
+    def __enter__(self) -> "_DeadlineScope":
+        if self._deadline is not None and self._supported:
+            self._old = self._ep.gettimeout()
+        return self
+
+    def tick(self) -> None:
+        if self._deadline is None:
+            return
+        remaining = self._deadline - time.monotonic()
+        if remaining <= 0:
+            raise TransportTimeout(f"{self._what} deadline exceeded")
+        if self._supported:
+            self._ep.settimeout(remaining)
+
+    def __exit__(self, *exc: object) -> None:
+        if self._deadline is not None and self._supported:
+            try:
+                self._ep.settimeout(self._old)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+
+
+def sendall(
+    ep: Endpoint,
+    data: bytes | bytearray | memoryview,
+    deadline: float | None = None,
+) -> None:
+    """Send every byte of ``data``, looping over short writes.
+
+    ``deadline`` is an optional absolute ``time.monotonic`` instant
+    bounding the *whole* call: on expiry :exc:`TransportTimeout` is
+    raised, no matter how many short writes succeeded before it.
+    """
     view = memoryview(data)
-    while view:
-        sent = ep.send(view)
-        view = view[sent:]
+    with _DeadlineScope(ep, deadline, "sendall") as scope:
+        while view:
+            scope.tick()
+            sent = ep.send(view)
+            view = view[sent:]
 
 
 def sendall_vectors(
@@ -132,22 +220,27 @@ def sendall_vectors(
     return total
 
 
-def recv_exact(ep: Endpoint, n: int) -> bytes:
+def recv_exact(ep: Endpoint, n: int, deadline: float | None = None) -> bytes:
     """Receive exactly ``n`` bytes or raise on premature EOF.
 
     Used by framing layers whose headers have a known size; a stream
     that ends mid-record is a protocol error, not a normal EOF.
+    ``deadline`` (absolute ``time.monotonic``) bounds the whole call,
+    raising :exc:`TransportTimeout` on expiry even if some bytes had
+    already arrived.
     """
     if n == 0:
         return b""
     parts: list[bytes] = []
     got = 0
-    while got < n:
-        chunk = ep.recv(n - got)
-        if not chunk:
-            raise TransportClosed(
-                f"stream ended after {got} of {n} expected bytes"
-            )
-        parts.append(chunk)
-        got += len(chunk)
+    with _DeadlineScope(ep, deadline, "recv_exact") as scope:
+        while got < n:
+            scope.tick()
+            chunk = ep.recv(n - got)
+            if not chunk:
+                raise TransportClosed(
+                    f"stream ended after {got} of {n} expected bytes"
+                )
+            parts.append(chunk)
+            got += len(chunk)
     return b"".join(parts)

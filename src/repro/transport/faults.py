@@ -1,0 +1,308 @@
+"""Fault injection: a wrapper endpoint that fails on purpose.
+
+Every robustness property the transfer layer claims — bounded waits,
+reconnect with resume, graceful degradation, guaranteed thread teardown
+— is only as real as the failures it has been exercised against.
+:class:`FaultyEndpoint` wraps any :class:`~repro.transport.base.Endpoint`
+(in-memory pipes, shaped links, real sockets) and injects failures at
+*deterministic, byte-accurate* points, so a chaos test reproduces the
+same wire history on every run:
+
+=============  ==============================================================
+kind           effect at the trigger point
+=============  ==============================================================
+``reset``      the connection dies: the inner endpoint is closed (the peer
+               sees EOF / broken pipe) and :exc:`TransportClosed` is raised
+``stall``      the operation sleeps for ``duration_s`` before proceeding —
+               a stalled peer, a routing hiccup, a GC pause on the far side
+``partial``    a send accepts only ``length`` bytes (a short write deep in
+               a burst — the classic untested resume path)
+``drop``       a send swallows up to ``length`` bytes: the caller believes
+               they were sent, the peer never sees them (framing desync)
+``corrupt``    up to ``length`` bytes are bit-flipped in flight (a bad NIC,
+               a damaged frame that slipped past checksums)
+=============  ==============================================================
+
+Faults trigger on a byte offset (``at_byte``, counted per direction) or
+an operation ordinal (``at_op``), fire exactly once each, and
+byte-offset sends are *split* so the bytes before the trigger point
+are delivered intact — "reset after exactly 300 000 bytes" means the
+peer received exactly 300 000 bytes.  :meth:`FaultyEndpoint.random`
+derives a fault script from a seeded RNG for soak-style chaos runs that
+are still replayable from the seed.
+
+Composition: wrap a shaped endpoint to get "Renater WAN with a reset
+mid-transfer" (``FaultyEndpoint(shaped_pair(...)[0], faults=...)``), or
+wrap the faulty endpoint's peer in shaping — the wrapper is transparent
+to everything but the injected faults.  See ``docs/ROBUSTNESS.md``.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+from .base import Endpoint, TransportClosed
+from .pipes import PipeEndpoint, pipe_pair
+
+__all__ = ["Fault", "FaultyEndpoint", "faulty_pipe_pair"]
+
+_KINDS = ("reset", "stall", "partial", "drop", "corrupt")
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One scripted failure.
+
+    Exactly one of ``at_byte`` / ``at_op`` selects the trigger:
+    ``at_byte`` fires when the cumulative byte count in ``direction``
+    reaches that offset (sends are split at the boundary so delivery up
+    to it is exact); ``at_op`` fires on that operation ordinal
+    (0-based).  Each fault fires exactly once.  ``length`` scopes
+    ``partial``/``drop``/``corrupt`` to a byte count; ``duration_s`` is
+    the ``stall`` sleep.
+    """
+
+    kind: str
+    direction: str = "send"  # "send" | "recv"
+    at_byte: int | None = None
+    at_op: int | None = None
+    duration_s: float = 0.0
+    length: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r} (use {_KINDS})")
+        if self.direction not in ("send", "recv"):
+            raise ValueError("direction must be 'send' or 'recv'")
+        if (self.at_byte is None) == (self.at_op is None):
+            raise ValueError("exactly one of at_byte / at_op must be set")
+        if self.at_byte is not None and self.at_byte < 0:
+            raise ValueError("at_byte cannot be negative")
+        if self.at_op is not None and self.at_op < 0:
+            raise ValueError("at_op cannot be negative")
+        if self.kind == "stall" and self.duration_s <= 0:
+            raise ValueError("stall faults need a positive duration_s")
+        if self.kind in ("partial", "drop") and self.direction == "recv":
+            raise ValueError(f"{self.kind!r} faults apply to the send direction")
+
+
+class FaultyEndpoint(Endpoint):
+    """An endpoint that injects scripted failures into a wrapped one.
+
+    Thread-safe: trigger bookkeeping is locked, so the usual AdOC
+    pattern — emission thread sending while the reception thread
+    receives on the same duplex endpoint — observes each fault exactly
+    once.  Telemetry counters (``sent_bytes``, ``recv_bytes``,
+    ``fired``) let tests assert *where* a fault landed.
+    """
+
+    def __init__(self, inner: Endpoint, faults: Sequence[Fault] = ()) -> None:
+        self._inner = inner
+        self._pending: list[Fault] = list(faults)
+        self._lock = threading.Lock()
+        self.sent_bytes = 0
+        self.recv_bytes = 0
+        self._send_ops = 0
+        self._recv_ops = 0
+        #: Faults that have fired, in firing order (telemetry).
+        self.fired: list[Fault] = []
+
+    @classmethod
+    def random(
+        cls,
+        inner: Endpoint,
+        seed: int,
+        *,
+        horizon_bytes: int,
+        resets: int = 0,
+        stalls: int = 0,
+        stall_s: float = 0.05,
+        corruptions: int = 0,
+        direction: str = "send",
+    ) -> "FaultyEndpoint":
+        """A seeded random fault script over the first ``horizon_bytes``.
+
+        The script is fully determined by ``seed`` — rerunning a failed
+        chaos case with the same seed replays byte-identical faults.
+        """
+        rng = random.Random(seed)
+        faults: list[Fault] = []
+        for _ in range(resets):
+            faults.append(
+                Fault("reset", direction, at_byte=rng.randrange(1, horizon_bytes))
+            )
+        for _ in range(stalls):
+            faults.append(
+                Fault(
+                    "stall",
+                    direction,
+                    at_byte=rng.randrange(1, horizon_bytes),
+                    duration_s=stall_s,
+                )
+            )
+        for _ in range(corruptions):
+            faults.append(
+                Fault(
+                    "corrupt",
+                    direction,
+                    at_byte=rng.randrange(1, horizon_bytes),
+                    length=rng.randrange(1, 64),
+                )
+            )
+        return cls(inner, faults)
+
+    # -- trigger machinery ----------------------------------------------
+
+    def _take(self, direction: str, start: int, span: int, op: int) -> tuple[Fault | None, int]:
+        """Pop the first fault due in ``[start, start+span)`` or at ``op``.
+
+        Returns ``(fault, offset_into_span)``; byte triggers beyond the
+        current span stay pending.  Op triggers fire at offset 0.
+        """
+        with self._lock:
+            best: Fault | None = None
+            best_off = span
+            for f in self._pending:
+                if f.direction != direction:
+                    continue
+                if f.at_op is not None:
+                    if f.at_op <= op and best_off > 0:
+                        best, best_off = f, 0
+                elif f.at_byte < start + span:
+                    # A trigger already behind the counter (another
+                    # fault consumed past it) fires immediately.
+                    off = max(0, f.at_byte - start)
+                    if off < best_off or best is None:
+                        best, best_off = f, off
+            if best is not None:
+                self._pending.remove(best)
+                self.fired.append(best)
+            return best, best_off
+
+    def _trip_reset(self, fault: Fault) -> None:
+        # Closing the inner endpoint is what makes the reset *mutual*:
+        # the peer observes EOF / TransportClosed, exactly as a RST
+        # tears down both directions of a TCP connection.
+        self._inner.close()
+        raise TransportClosed(
+            f"injected reset ({fault.direction} at "
+            f"{fault.at_byte if fault.at_byte is not None else f'op {fault.at_op}'})"
+        )
+
+    # -- Endpoint surface ------------------------------------------------
+
+    def send(self, data: bytes | bytearray | memoryview) -> int:
+        view = memoryview(data)
+        fault, off = self._take("send", self.sent_bytes, max(len(view), 1), self._send_ops)
+        self._send_ops += 1
+        if fault is None:
+            n = self._inner.send(view)
+            self.sent_bytes += n
+            return n
+
+        if fault.kind == "stall":
+            time.sleep(fault.duration_s)
+            n = self._inner.send(view)
+            self.sent_bytes += n
+            return n
+
+        if fault.kind == "reset":
+            if off > 0:
+                # Deliver everything up to the trigger byte first, so
+                # "reset at byte B" leaves the peer with exactly B bytes.
+                sent = self._send_all_inner(view[:off])
+                self.sent_bytes += sent
+                if sent < off:  # inner backpressured mid-prefix; still reset
+                    pass
+            self._trip_reset(fault)
+
+        if fault.kind == "partial":
+            keep = off + (fault.length or 1)
+            n = self._inner.send(view[: max(keep, 1)])
+            self.sent_bytes += n
+            return n
+
+        if fault.kind == "drop":
+            swallow = fault.length if fault.length is not None else len(view) - off
+            sent = self._send_all_inner(view[:off]) if off else 0
+            self.sent_bytes += sent
+            dropped = min(swallow, len(view) - off)
+            self.sent_bytes += dropped
+            # The caller is told the dropped bytes went out — that lie
+            # is the fault being modelled.
+            return off + dropped
+
+        # corrupt: flip bits in `length` bytes starting at the trigger.
+        n_corrupt = min(fault.length or 1, len(view) - off)
+        mangled = bytearray(view)
+        for i in range(off, off + n_corrupt):
+            mangled[i] ^= 0xFF
+        n = self._inner.send(mangled)
+        self.sent_bytes += n
+        return n
+
+    def _send_all_inner(self, view: memoryview) -> int:
+        total = 0
+        while total < len(view):
+            n = self._inner.send(view[total:])
+            if n <= 0:  # pragma: no cover - defensive
+                break
+            total += n
+        return total
+
+    def recv(self, n: int) -> bytes:
+        fault, _ = self._take("recv", self.recv_bytes, max(n, 1), self._recv_ops)
+        self._recv_ops += 1
+        if fault is not None:
+            if fault.kind == "stall":
+                time.sleep(fault.duration_s)
+            elif fault.kind == "reset":
+                self._trip_reset(fault)
+            elif fault.kind == "corrupt":
+                chunk = self._inner.recv(n)
+                self.recv_bytes += len(chunk)
+                mangled = bytearray(chunk)
+                for i in range(min(fault.length or 1, len(mangled))):
+                    mangled[i] ^= 0xFF
+                return bytes(mangled)
+        chunk = self._inner.recv(n)
+        self.recv_bytes += len(chunk)
+        return chunk
+
+    def settimeout(self, timeout: float | None) -> None:
+        self._inner.settimeout(timeout)
+
+    def gettimeout(self) -> float | None:
+        return self._inner.gettimeout()
+
+    def shutdown_write(self) -> None:
+        self._inner.shutdown_write()
+
+    def close(self) -> None:
+        self._inner.close()
+
+    @property
+    def pending_faults(self) -> list[Fault]:
+        """Faults not yet fired (telemetry for tests)."""
+        with self._lock:
+            return list(self._pending)
+
+
+def faulty_pipe_pair(
+    faults_a: Sequence[Fault] = (),
+    faults_b: Sequence[Fault] = (),
+    capacity: int = 256 * 1024,
+) -> tuple[FaultyEndpoint, FaultyEndpoint]:
+    """A connected in-memory pair with fault scripts on each end.
+
+    The common chaos-test substrate: end A is typically the sender
+    (script its ``send`` faults), end B the receiver.  For shaped chaos
+    links, build :func:`~repro.transport.shaping.shaped_pair` yourself
+    and wrap whichever end the scenario calls for.
+    """
+    a, b = pipe_pair(capacity)
+    return FaultyEndpoint(a, faults_a), FaultyEndpoint(b, faults_b)

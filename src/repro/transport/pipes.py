@@ -16,7 +16,7 @@ import time
 from collections import deque
 
 from ..analysis.lockgraph import make_condition, make_lock
-from .base import Endpoint, TransportClosed
+from .base import Endpoint, TransportClosed, TransportTimeout
 
 __all__ = ["ByteConduit", "PipeEndpoint", "pipe_pair"]
 
@@ -52,6 +52,7 @@ class ByteConduit:
         self,
         data: bytes | bytearray | memoryview,
         avail_time: float | None = None,
+        timeout: float | None = None,
     ) -> int:
         """Queue up to capacity-limited prefix of ``data``; return count.
 
@@ -59,10 +60,14 @@ class ByteConduit:
         which readers will not see the segment (``None`` = immediately).
         Views are accepted; the accepted prefix is copied once into the
         segment queue (delivery is asynchronous, so the conduit cannot
-        borrow the caller's buffer).
+        borrow the caller's buffer).  A ``timeout`` bounds the wait for
+        buffer room (a stalled reader): on expiry
+        :exc:`~repro.transport.base.TransportTimeout` is raised and no
+        bytes are taken.
         """
         if not len(data):
             return 0
+        give_up = None if timeout is None else time.monotonic() + timeout
         with self._lock:
             while True:
                 if self._broken or self._eof:
@@ -70,17 +75,32 @@ class ByteConduit:
                 room = self.capacity - self._buffered
                 if room > 0:
                     break
-                self._writable.wait()
+                if give_up is None:
+                    self._writable.wait()
+                else:
+                    remaining = give_up - time.monotonic()
+                    if remaining <= 0:
+                        raise TransportTimeout(
+                            "conduit write timed out waiting for buffer room"
+                        )
+                    self._writable.wait(remaining)
             taken = data[:room]
             self._segments.append((avail_time or 0.0, bytes(taken)))
             self._buffered += len(taken)
             self._readable.notify_all()
             return len(taken)
 
-    def read(self, n: int) -> bytes:
-        """Read up to ``n`` bytes; ``b""`` on EOF.  Blocks as needed."""
+    def read(self, n: int, timeout: float | None = None) -> bytes:
+        """Read up to ``n`` bytes; ``b""`` on EOF.  Blocks as needed.
+
+        ``timeout`` bounds the wait for data (a stalled writer): on
+        expiry :exc:`~repro.transport.base.TransportTimeout` is raised.
+        Shaping delays count against the timeout — a link slow enough
+        to starve the reader past its deadline *is* a stall.
+        """
         if n <= 0:
             raise ValueError("read size must be positive")
+        give_up = None if timeout is None else time.monotonic() + timeout
         with self._lock:
             while True:
                 if self._segments:
@@ -88,13 +108,26 @@ class ByteConduit:
                     now = time.monotonic()
                     if avail <= now:
                         break
+                    if give_up is not None and give_up <= now:
+                        raise TransportTimeout("conduit read timed out")
                     # Sleep until the head segment is deliverable, but
                     # stay interruptible by new writes/EOF.
-                    self._readable.wait(timeout=avail - now)
+                    wait_s = avail - now
+                    if give_up is not None:
+                        wait_s = min(wait_s, give_up - now)
+                    self._readable.wait(timeout=wait_s)
                     continue
                 if self._eof or self._broken:
                     return b""
-                self._readable.wait()
+                if give_up is None:
+                    self._readable.wait()
+                else:
+                    remaining = give_up - time.monotonic()
+                    if remaining <= 0:
+                        raise TransportTimeout(
+                            "conduit read timed out waiting for data"
+                        )
+                    self._readable.wait(remaining)
             avail, seg = self._segments.popleft()
             if len(seg) > n:
                 head, rest = seg[:n], seg[n:]
@@ -135,10 +168,10 @@ class PipeEndpoint(Endpoint):
         self._in = inn
 
     def send(self, data: bytes | bytearray | memoryview) -> int:
-        return self._out.write(data)
+        return self._out.write(data, timeout=self._io_timeout)
 
     def recv(self, n: int) -> bytes:
-        return self._in.read(n)
+        return self._in.read(n, timeout=self._io_timeout)
 
     def shutdown_write(self) -> None:
         self._out.close_write()

@@ -147,6 +147,7 @@ class ShapedConduit(ByteConduit):
         self,
         data: bytes | bytearray | memoryview,
         avail_time: float | None = None,
+        timeout: float | None = None,
     ) -> int:
         total = 0
         view = memoryview(data)
@@ -157,7 +158,7 @@ class ShapedConduit(ByteConduit):
         while total < len(view):
             frag = view[total : total + self._mtu]
             when = self._scheduler.schedule(len(frag))
-            n = super().write(frag, when)
+            n = super().write(frag, when, timeout=timeout)
             total += n
             if n < len(frag):
                 break
@@ -257,6 +258,12 @@ class PacedEndpoint(Endpoint):
 
     def recv(self, n: int) -> bytes:
         return self._inner.recv(n)
+
+    def settimeout(self, timeout: float | None) -> None:
+        self._inner.settimeout(timeout)
+
+    def gettimeout(self) -> float | None:
+        return self._inner.gettimeout()
 
     def shutdown_write(self) -> None:
         self._inner.shutdown_write()

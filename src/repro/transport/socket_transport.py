@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import socket
 
-from .base import Endpoint, TransportClosed
+from .base import Endpoint, TransportClosed, TransportTimeout
 
 __all__ = ["SocketEndpoint", "socketpair_endpoints", "tcp_pair"]
 
@@ -28,9 +28,21 @@ class SocketEndpoint(Endpoint):
         """The underlying socket (for tuning, e.g. ``TCP_NODELAY``)."""
         return self._sock
 
+    def settimeout(self, timeout: float | None) -> None:
+        """Map the endpoint timeout onto ``socket.settimeout``."""
+        if timeout is not None and timeout <= 0:
+            raise ValueError("timeout must be positive or None")
+        self._io_timeout = timeout
+        try:
+            self._sock.settimeout(timeout)
+        except OSError:
+            pass  # closed socket: the next send/recv reports it
+
     def send(self, data: bytes | bytearray | memoryview) -> int:
         try:
             return self._sock.send(data)
+        except TimeoutError as exc:
+            raise TransportTimeout(str(exc) or "send timed out") from exc
         except (BrokenPipeError, ConnectionResetError, OSError) as exc:
             raise TransportClosed(str(exc)) from exc
 
@@ -38,12 +50,16 @@ class SocketEndpoint(Endpoint):
         """Scatter-gather via ``sendmsg(2)``: one syscall per batch."""
         try:
             return self._sock.sendmsg(buffers)
+        except TimeoutError as exc:
+            raise TransportTimeout(str(exc) or "sendmsg timed out") from exc
         except (BrokenPipeError, ConnectionResetError, OSError) as exc:
             raise TransportClosed(str(exc)) from exc
 
     def recv(self, n: int) -> bytes:
         try:
             return self._sock.recv(n)
+        except TimeoutError as exc:
+            raise TransportTimeout(str(exc) or "recv timed out") from exc
         except ConnectionResetError:
             return b""
         except OSError as exc:

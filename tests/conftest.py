@@ -33,6 +33,29 @@ def pytest_sessionfinish(session, exitstatus):
 
 
 @pytest.fixture
+def no_thread_leaks():
+    """Assert the test left no live worker threads behind.
+
+    Snapshots ``threading.enumerate()`` on entry and, after the test,
+    gives late joiners a short grace period before asserting that every
+    thread started during the test has exited.  Used (autouse) across
+    ``tests/faults``: the fault-tolerance contract is that *failed*
+    transfers tear their pipelines down, not just successful ones.
+    """
+    import time as _time
+
+    before = set(threading.enumerate())
+    yield
+    deadline = _time.monotonic() + 5.0
+    while _time.monotonic() < deadline:
+        leaked = [t for t in threading.enumerate() if t not in before and t.is_alive()]
+        if not leaked:
+            return
+        _time.sleep(0.05)
+    assert not leaked, f"test leaked live threads: {[t.name for t in leaked]}"
+
+
+@pytest.fixture
 def pipes():
     """A connected in-memory endpoint pair, closed on teardown."""
     a, b = pipe_pair()

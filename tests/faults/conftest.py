@@ -1,0 +1,13 @@
+"""Chaos-suite fixtures: every fault test must clean up its threads."""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _no_thread_leaks(no_thread_leaks):
+    """Autouse across the chaos suite: a failed transfer that leaves a
+    live pipeline thread behind is itself a bug, whatever the test was
+    nominally checking."""
+    yield

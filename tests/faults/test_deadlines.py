@@ -1,0 +1,192 @@
+"""Unit tests for deadlines, retry policies and thread reaping."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.core.deadlines import (
+    DEFAULT_RETRY_POLICY,
+    Deadline,
+    DeadlineExceeded,
+    RetryPolicy,
+    TransferError,
+    reap_threads,
+)
+
+
+class TestTransferError:
+    def test_str_includes_stage(self):
+        err = TransferError("socket died", stage="send")
+        assert str(err) == "[send] socket died"
+        assert not err.retryable
+
+    def test_deadline_exceeded_is_retryable_by_default(self):
+        assert DeadlineExceeded("slow", stage="recv").retryable
+
+    def test_cause_chain(self):
+        try:
+            try:
+                raise OSError("EPIPE")
+            except OSError as exc:
+                raise TransferError("send failed", stage="send") from exc
+        except TransferError as err:
+            assert isinstance(err.__cause__, OSError)
+
+
+class TestDeadline:
+    def test_never_is_unbounded(self):
+        d = Deadline.never()
+        assert d.remaining() is None
+        assert not d.expired
+        d.check()  # no raise
+
+    def test_after_counts_down(self):
+        now = [100.0]
+        d = Deadline.after(5.0, clock=lambda: now[0])
+        assert d.remaining() == pytest.approx(5.0)
+        now[0] += 3.0
+        assert d.remaining() == pytest.approx(2.0)
+        now[0] += 3.0
+        assert d.expired
+        assert d.remaining() == 0.0
+        with pytest.raises(DeadlineExceeded):
+            d.check("send")
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Deadline.after(-1.0)
+
+
+class TestRetryPolicy:
+    def test_delays_are_exponential_and_capped(self):
+        p = RetryPolicy(
+            attempts=6, base_delay=0.1, multiplier=2.0, max_delay=0.5, jitter=0.0
+        )
+        assert list(p.delays()) == pytest.approx([0.1, 0.2, 0.4, 0.5, 0.5])
+
+    def test_seeded_jitter_is_deterministic(self):
+        a = list(RetryPolicy(seed=7).delays())
+        b = list(RetryPolicy(seed=7).delays())
+        c = list(RetryPolicy(seed=8).delays())
+        assert a == b
+        assert a != c
+
+    def test_run_retries_then_succeeds(self):
+        calls = []
+        slept = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise ConnectionError("boom")
+            return "ok"
+
+        p = RetryPolicy(attempts=4, base_delay=0.01, jitter=0.0, seed=0)
+        out = p.run(flaky, retry_on=(ConnectionError,), sleep=slept.append)
+        assert out == "ok"
+        assert len(calls) == 3
+        assert len(slept) == 2
+
+    def test_run_exhausts_attempts(self):
+        p = RetryPolicy(attempts=2, base_delay=0.0, jitter=0.0)
+        calls = []
+
+        def always_fails():
+            calls.append(1)
+            raise ConnectionError("still down")
+
+        with pytest.raises(ConnectionError):
+            p.run(always_fails, retry_on=(ConnectionError,), sleep=lambda _s: None)
+        assert len(calls) == 2
+
+    def test_non_retryable_transfer_error_propagates_immediately(self):
+        calls = []
+
+        def fatal():
+            calls.append(1)
+            raise TransferError("corrupted", stage="decompress", retryable=False)
+
+        p = RetryPolicy(attempts=5, base_delay=0.0)
+        with pytest.raises(TransferError):
+            p.run(fatal, retry_on=(TransferError,), sleep=lambda _s: None)
+        assert len(calls) == 1
+
+    def test_unlisted_exception_propagates(self):
+        p = RetryPolicy(attempts=5, base_delay=0.0)
+        with pytest.raises(KeyError):
+            p.run(lambda: (_ for _ in ()).throw(KeyError("x")),
+                  retry_on=(ConnectionError,), sleep=lambda _s: None)
+
+    def test_deadline_stops_retries(self):
+        now = [0.0]
+        deadline = Deadline.after(1.0, clock=lambda: now[0])
+        calls = []
+
+        def failing():
+            calls.append(1)
+            now[0] += 2.0  # every attempt burns past the deadline
+            raise ConnectionError("slow death")
+
+        p = RetryPolicy(attempts=10, base_delay=0.0)
+        with pytest.raises(ConnectionError):
+            p.run(
+                failing,
+                retry_on=(ConnectionError,),
+                sleep=lambda _s: None,
+                deadline=deadline,
+            )
+        assert len(calls) == 1
+
+    def test_on_retry_hook_sees_attempts(self):
+        seen = []
+
+        def flaky():
+            if len(seen) < 2:
+                raise ConnectionError("x")
+            return True
+
+        p = RetryPolicy(attempts=4, base_delay=0.0)
+        p.run(
+            flaky,
+            retry_on=(ConnectionError,),
+            sleep=lambda _s: None,
+            on_retry=lambda n, exc: seen.append((n, type(exc).__name__)),
+        )
+        assert seen == [(1, "ConnectionError"), (2, "ConnectionError")]
+
+    def test_default_policy_is_seeded(self):
+        assert DEFAULT_RETRY_POLICY.seed == 0
+        assert DEFAULT_RETRY_POLICY.attempts >= 2
+
+
+class TestReapThreads:
+    def test_healthy_threads_join_plainly(self):
+        done = threading.Event()
+        t = threading.Thread(target=done.wait, daemon=True)
+        t.start()
+        done.set()
+        reap_threads([t], errors=[], join_timeout=2.0)
+        assert not t.is_alive()
+
+    def test_error_triggers_cancel(self):
+        stop = threading.Event()
+        t = threading.Thread(target=stop.wait, daemon=True)
+        t.start()
+        reap_threads([t], errors=[RuntimeError("x")], cancel=stop.set, join_timeout=2.0)
+        assert not t.is_alive()
+
+    def test_stuck_thread_raises_teardown_error(self):
+        release = threading.Event()
+        t = threading.Thread(target=release.wait, name="wedged", daemon=True)
+        t.start()
+        t0 = time.monotonic()
+        with pytest.raises(TransferError, match="wedged"):
+            reap_threads(
+                [t], errors=[RuntimeError("x")], join_timeout=0.2, poll_s=0.01
+            )
+        assert time.monotonic() - t0 < 5.0
+        release.set()  # let the fixture's leak check pass
+        t.join(2)

@@ -1,0 +1,210 @@
+"""Unit tests for the fault-injecting endpoint wrapper."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.transport import (
+    Fault,
+    FaultyEndpoint,
+    TransportClosed,
+    faulty_pipe_pair,
+    pipe_pair,
+    recv_exact,
+    sendall,
+    shaped_pair,
+)
+
+
+class TestFaultValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            Fault("meteor", at_byte=0)
+
+    def test_exactly_one_trigger_required(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            Fault("reset")
+        with pytest.raises(ValueError, match="exactly one"):
+            Fault("reset", at_byte=1, at_op=1)
+
+    def test_stall_needs_duration(self):
+        with pytest.raises(ValueError, match="duration"):
+            Fault("stall", at_byte=1)
+
+    def test_partial_and_drop_are_send_only(self):
+        for kind in ("partial", "drop"):
+            with pytest.raises(ValueError, match="send direction"):
+                Fault(kind, direction="recv", at_byte=1)
+
+
+class TestResetFault:
+    def test_reset_at_byte_delivers_exact_prefix(self):
+        """The acceptance contract: 'reset at byte B' leaves exactly B
+        bytes with the peer before the connection dies."""
+        a, b = faulty_pipe_pair(faults_a=[Fault("reset", at_byte=300)])
+        payload = bytes(range(256)) * 4  # 1024 bytes
+
+        got = bytearray()
+
+        def drain():
+            while True:
+                chunk = b.recv(4096)
+                if not chunk:
+                    return
+                got.extend(chunk)
+
+        t = threading.Thread(target=drain, daemon=True)
+        t.start()
+        with pytest.raises(TransportClosed, match="injected reset"):
+            sendall(a, payload)
+        t.join(5)
+        assert not t.is_alive()
+        assert bytes(got) == payload[:300]
+        assert a.sent_bytes == 300
+
+    def test_reset_is_mutual(self):
+        """The peer of a reset endpoint sees the close too, like a RST."""
+        a, b = faulty_pipe_pair(faults_a=[Fault("reset", at_byte=0)])
+        with pytest.raises(TransportClosed):
+            a.send(b"x")
+        assert b.recv(1) == b""  # EOF, not a hang
+
+    def test_reset_on_recv_side(self):
+        a, b = faulty_pipe_pair(faults_b=[Fault("reset", direction="recv", at_op=0)])
+        sendall(a, b"hello")
+        with pytest.raises(TransportClosed, match="injected reset"):
+            b.recv(5)
+
+
+class TestPartialAndDrop:
+    def test_partial_truncates_one_send(self):
+        a, b = faulty_pipe_pair(faults_a=[Fault("partial", at_byte=0, length=3)])
+        taken = a.send(b"abcdefgh")
+        assert taken == 3
+        assert b.recv(8) == b"abc"
+
+    def test_sendall_recovers_from_partial(self):
+        """A short write mid-stream must not lose or reorder bytes."""
+        a, b = faulty_pipe_pair(faults_a=[Fault("partial", at_byte=100, length=7)])
+        payload = bytes(i % 251 for i in range(5000))
+        t = threading.Thread(target=sendall, args=(a, payload), daemon=True)
+        t.start()
+        assert recv_exact(b, len(payload)) == payload
+        t.join(5)
+        assert not t.is_alive()
+
+    def test_drop_swallows_bytes_silently(self):
+        a, b = faulty_pipe_pair(faults_a=[Fault("drop", at_byte=4, length=2)])
+        payload = b"0123456789"
+        sendall(a, payload)
+        a.shutdown_write()
+        received = bytearray()
+        while True:
+            chunk = b.recv(64)
+            if not chunk:
+                break
+            received.extend(chunk)
+        # Caller believes all 10 bytes went out; the wire lost 2.
+        assert a.sent_bytes == 10
+        assert bytes(received) == b"01236789"
+
+
+class TestStallAndCorrupt:
+    def test_stall_delays_then_delivers(self):
+        a, b = faulty_pipe_pair(
+            faults_a=[Fault("stall", at_byte=0, duration_s=0.05)]
+        )
+        import time
+
+        t0 = time.monotonic()
+        sendall(a, b"late")
+        assert time.monotonic() - t0 >= 0.05
+        assert b.recv(4) == b"late"
+
+    def test_corrupt_flips_bytes_at_offset(self):
+        a, b = faulty_pipe_pair(
+            faults_a=[Fault("corrupt", at_byte=2, length=2)]
+        )
+        sendall(a, b"\x00\x00\x00\x00\x00\x00")
+        got = recv_exact(b, 6)
+        assert got == b"\x00\x00\xff\xff\x00\x00"
+
+    def test_fired_telemetry(self):
+        a, _b = faulty_pipe_pair(
+            faults_a=[Fault("corrupt", at_byte=0, length=1)]
+        )
+        assert len(a.pending_faults) == 1
+        a.send(b"x")
+        assert a.pending_faults == []
+        assert [f.kind for f in a.fired] == ["corrupt"]
+
+
+class TestTriggers:
+    def test_at_op_trigger(self):
+        a, b = faulty_pipe_pair(faults_a=[Fault("partial", at_op=1, length=1)])
+        assert a.send(b"aa") == 2  # op 0: clean
+        assert a.send(b"bb") == 1  # op 1: partial
+        assert recv_exact(b, 3) == b"aab"
+
+    def test_byte_trigger_behind_counter_fires_immediately(self):
+        # A drop advances the counter past a later fault's trigger; that
+        # fault must still fire (immediately), not be orphaned.
+        a, _b = faulty_pipe_pair(
+            faults_a=[
+                Fault("drop", at_byte=0, length=100),
+                Fault("reset", at_byte=50),
+            ]
+        )
+        assert a.send(b"x" * 100) == 100  # drop swallows all 100
+        with pytest.raises(TransportClosed):
+            a.send(b"y")
+        assert [f.kind for f in a.fired] == ["drop", "reset"]
+
+    def test_random_script_is_deterministic(self):
+        inner_a, _ = pipe_pair()
+        inner_b, _ = pipe_pair()
+        fa = FaultyEndpoint.random(
+            inner_a, seed=42, horizon_bytes=10_000, resets=1, stalls=2, corruptions=3
+        )
+        fb = FaultyEndpoint.random(
+            inner_b, seed=42, horizon_bytes=10_000, resets=1, stalls=2, corruptions=3
+        )
+        assert fa.pending_faults == fb.pending_faults
+        assert len(fa.pending_faults) == 6
+
+
+class TestComposition:
+    def test_wraps_shaped_endpoint(self):
+        """FaultyEndpoint over a shaped link: faults and shaping compose."""
+        sa, sb = shaped_pair(bandwidth_bps=80e6, latency_s=1e-4, seed=0)
+        a = FaultyEndpoint(sa, [Fault("reset", at_byte=2_000)])
+        payload = b"z" * 10_000
+
+        def drain():
+            try:
+                while b_recv := sb.recv(65536):
+                    got.extend(b_recv)
+            except TransportClosed:
+                pass
+
+        got = bytearray()
+        t = threading.Thread(target=drain, daemon=True)
+        t.start()
+        with pytest.raises(TransportClosed):
+            sendall(a, payload)
+        t.join(5)
+        assert not t.is_alive()
+        assert len(got) <= 2_000
+        sa.close()
+        sb.close()
+
+    def test_timeout_delegation(self):
+        a, b = faulty_pipe_pair()
+        a.settimeout(1.5)
+        assert a.gettimeout() == 1.5
+        a.settimeout(None)
+        assert a.gettimeout() is None
+        b.close()
+        a.close()

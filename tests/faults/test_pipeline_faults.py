@@ -1,0 +1,263 @@
+"""Core-pipeline fault behaviour: degradation, deadlines, teardown."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+import repro.core.sender as sender_mod
+from repro.core import AdocConfig, AdocSocket, DeadlineExceeded, TransferError
+from repro.core.receiver import OutputBuffer, ReceiverPipeline
+from repro.core.sender import MessageSender
+from repro.transport import pipe_pair, recv_exact
+
+#: Pipeline-exercising config: tiny thresholds, bounded waits.
+CFG = AdocConfig(
+    buffer_size=16 * 1024,
+    packet_size=2 * 1024,
+    slice_size=2 * 1024,
+    small_message_threshold=8 * 1024,
+    probe_size=4 * 1024,
+    fast_network_bps=float("inf"),
+    io_timeout_s=0.5,
+    join_timeout_s=5.0,
+)
+
+
+def _drain(endpoint, sink: bytearray):
+    while True:
+        chunk = endpoint.recv(65536)
+        if not chunk:
+            return
+        sink.extend(chunk)
+
+
+class TestGracefulDegradation:
+    def test_codec_failure_degrades_to_raw(self, monkeypatch, background):
+        """A codec blowing up mid-message ships the buffer raw, pins the
+        stream to level 0 and still delivers byte-identical payload."""
+        calls = []
+        real = sender_mod.compress_buffer
+
+        def exploding(buf, level, guard, cfg):
+            calls.append(level)
+            if len(calls) == 2 and level > 0:
+                raise RuntimeError("codec exploded")
+            return real(buf, level, guard, cfg)
+
+        monkeypatch.setattr(sender_mod, "compress_buffer", exploding)
+
+        a, b = pipe_pair()
+        payload = b"compress me " * 20_000  # ~240 KB, very compressible
+        cfg = CFG.with_levels(2, 6)  # force the pipeline, forbid raw...
+        sender = MessageSender(a, cfg)
+        recv_cfg = AdocConfig(
+            buffer_size=CFG.buffer_size,
+            packet_size=CFG.packet_size,
+            slice_size=CFG.slice_size,
+            small_message_threshold=CFG.small_message_threshold,
+            probe_size=CFG.probe_size,
+            fast_network_bps=CFG.fast_network_bps,
+        )
+        receiver = ReceiverPipeline(b, recv_cfg)
+        out = bytearray()
+
+        def read_all():
+            while len(out) < len(payload):
+                chunk = receiver.output.read(65536)
+                if not chunk:
+                    break
+                out.extend(chunk)
+
+        job = background(read_all)
+        result = sender.send(payload)
+        job.join()
+        # ...yet the failure forced raw records (level-0 override wins).
+        assert result.degraded
+        assert bytes(out) == payload
+        receiver.close()
+        a.close()
+        b.close()
+        receiver.join(5)
+
+    def test_clean_send_is_not_degraded(self, background):
+        a, b = pipe_pair()
+        payload = b"fine " * 30_000
+        sender = MessageSender(a, CFG.with_levels(1, 6))
+        receiver = ReceiverPipeline(b, CFG)
+        out = bytearray()
+
+        def read_all():
+            while len(out) < len(payload):
+                chunk = receiver.output.read(65536)
+                if not chunk:
+                    break
+                out.extend(chunk)
+
+        job = background(read_all)
+        result = sender.send(payload)
+        job.join()
+        assert not result.degraded
+        assert bytes(out) == payload
+        receiver.close()
+        a.close()
+        b.close()
+        receiver.join(5)
+
+
+class TestStalledPeer:
+    def test_sender_deadline_when_peer_never_reads(self):
+        """Acceptance: a stalled peer surfaces TransferError within the
+        configured deadline, with no hung pipeline threads."""
+        a, b = pipe_pair(capacity=8 * 1024)  # tiny transmit window
+        payload = b"x" * (512 * 1024)
+        sender = MessageSender(a, CFG.with_levels(1, 1))
+        t0 = time.monotonic()
+        with pytest.raises(TransferError) as exc_info:
+            sender.send(payload)  # nobody ever reads from b
+        elapsed = time.monotonic() - t0
+        assert isinstance(exc_info.value, DeadlineExceeded)
+        # One bounded wait (0.5 s) plus scheduling slack, not forever.
+        assert elapsed < 10.0
+        a.close()
+        b.close()
+
+    def test_receiver_deadline_on_mid_message_stall(self):
+        """A peer that dies after half a header trips the mid-message
+        deadline; idle connections (no header at all) do not."""
+        a, b = pipe_pair()
+        receiver = ReceiverPipeline(b, CFG)
+        a.send(b"\x01\x02")  # a fragment of a message header, then silence
+        t0 = time.monotonic()
+        with pytest.raises(TransferError):
+            receiver.read(1)
+        assert time.monotonic() - t0 < 10.0
+        receiver.close()
+        a.close()
+        b.close()
+        receiver.join(5)
+
+    def test_idle_connection_survives_timeouts(self, background):
+        """Header-boundary recv timeouts are idle, not failures: a
+        message sent after > io_timeout_s of silence still arrives."""
+        a, b = pipe_pair()
+        receiver = ReceiverPipeline(b, CFG)
+        sender = MessageSender(a, CFG)
+
+        def late_send():
+            time.sleep(3 * CFG.io_timeout_s)
+            sender.send(b"worth the wait")
+
+        job = background(late_send)
+        # Each read is individually bounded (recv-timeout semantics); the
+        # stream itself stays healthy across idle periods, so retrying
+        # the read eventually yields the late message.
+        give_up = time.monotonic() + 10 * CFG.io_timeout_s
+        while True:
+            try:
+                got = receiver.read(100)
+                break
+            except DeadlineExceeded:
+                assert time.monotonic() < give_up, "idle reads never recovered"
+        job.join()
+        assert got == b"worth the wait"
+        receiver.close()
+        a.close()
+        b.close()
+        receiver.join(5)
+
+    def test_output_buffer_read_timeout(self):
+        buf = OutputBuffer(1024, timeout_s=0.1)
+        t0 = time.monotonic()
+        with pytest.raises(DeadlineExceeded):
+            buf.read(1)
+        assert time.monotonic() - t0 < 5.0
+        # The buffer stays usable after a timed-out read.
+        buf.put(b"later")
+        assert buf.read(5) == b"later"
+
+    def test_unbounded_config_still_blocks(self, background):
+        """io_timeout_s=None preserves the paper's semantics: reads wait."""
+        a, b = pipe_pair()
+        cfg = AdocConfig(
+            buffer_size=16 * 1024,
+            packet_size=2 * 1024,
+            slice_size=2 * 1024,
+            small_message_threshold=8 * 1024,
+            probe_size=4 * 1024,
+            fast_network_bps=float("inf"),
+        )
+        receiver = ReceiverPipeline(b, cfg)
+        sender = MessageSender(a, cfg)
+
+        def late_send():
+            time.sleep(0.2)
+            sender.send(b"patience")
+
+        job = background(late_send)
+        assert receiver.read(100) == b"patience"
+        job.join()
+        receiver.close()
+        a.close()
+        b.close()
+        receiver.join(5)
+
+
+class TestDecompressFailure:
+    def test_corrupt_stream_surfaces_structured_error(self, background):
+        """Bit-flipped compressed payload raises TransferError (stage
+        decompress or a protocol error), never a hang."""
+        from repro.transport import Fault, FaultyEndpoint
+
+        a, b = pipe_pair()
+        # The compressible payload shrinks to a few KB on the wire, so
+        # the corruption must land early to be inside the stream at all.
+        fb = FaultyEndpoint(
+            b, [Fault("corrupt", direction="recv", at_byte=200, length=16)]
+        )
+        payload = b"pattern " * 40_000  # ~320 KB compressible
+        sender = MessageSender(a, CFG.with_levels(3, 3))
+        receiver = ReceiverPipeline(fb, CFG)
+
+        job = background(sender.send, payload)
+        with pytest.raises(Exception) as exc_info:
+            total = 0
+            while total < len(payload):
+                chunk = receiver.output.read(65536)
+                if not chunk:
+                    break
+                total += len(chunk)
+        # Either the codec chokes (structured decompress failure) or the
+        # framing does (protocol error) — both are structured, bounded
+        # failures, not hangs.
+        from repro.core.packets import ProtocolError
+
+        assert isinstance(exc_info.value, (TransferError, ProtocolError))
+        receiver.close()
+        a.close()
+        b.close()
+        receiver.join(5)
+        try:
+            job.join()
+        except Exception:
+            pass  # sender may legitimately fail once the receiver is gone
+
+
+class TestApiTeardown:
+    def test_adoc_close_joins_receiver_threads(self, background):
+        a, b = pipe_pair()
+        sock_a = AdocSocket(a, CFG)
+        sock_b = AdocSocket(b, CFG)
+        job = background(sock_a.write, b"y" * 100_000)
+        assert sock_b.read_exact(100_000) == b"y" * 100_000
+        job.join()
+        before = threading.active_count()
+        sock_a.close()
+        sock_b.close()
+        # Receiver threads must be gone shortly after close (bounded join).
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline and threading.active_count() >= before:
+            time.sleep(0.02)
+        assert threading.active_count() < before

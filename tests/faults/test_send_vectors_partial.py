@@ -1,0 +1,102 @@
+"""Regression: vectored sends must resume correctly after short writes.
+
+``sendall_vectors`` feeds batches to ``Endpoint.send_vectors``, which —
+like ``sendmsg(2)`` — may stop anywhere, including mid-buffer.  The
+resume arithmetic (skip fully-sent buffers, slice the partial one) is
+exactly the kind of code that only breaks under a short write deep in a
+burst, so it is pinned here against endpoints that shortchange every
+call.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.transport import recv_exact, socketpair_endpoints
+from repro.transport.base import Endpoint, sendall_vectors
+
+
+class ChokedEndpoint(Endpoint):
+    """Accepts at most ``limit`` bytes per vectored call, records all."""
+
+    def __init__(self, limit: int) -> None:
+        self.limit = limit
+        self.taken = bytearray()
+        self.calls = 0
+
+    def send(self, data):
+        return self.send_vectors([data])
+
+    def send_vectors(self, buffers):
+        self.calls += 1
+        room = self.limit
+        total = 0
+        for buf in buffers:
+            if room <= 0:
+                break
+            take = min(len(buf), room)
+            self.taken.extend(memoryview(buf)[:take])
+            total += take
+            room -= take
+        return total
+
+    def recv(self, n):  # pragma: no cover - send-only double
+        return b""
+
+    def close(self) -> None:  # pragma: no cover
+        pass
+
+
+class TestSendallVectorsResume:
+    def test_partial_mid_buffer_resumes_at_correct_offset(self):
+        """A short write stopping inside buffer k must resume at exactly
+        the byte it stopped on — the wire sees one contiguous stream."""
+        ep = ChokedEndpoint(limit=7)  # never a whole buffer
+        buffers = [b"0123456789", b"abcdefghij", b"KLMNOPQRST"]
+        sent = sendall_vectors(ep, buffers)
+        assert sent == 30
+        assert bytes(ep.taken) == b"0123456789abcdefghijKLMNOPQRST"
+        assert ep.calls >= 5  # 30 bytes / 7-byte ceiling
+
+    def test_one_byte_at_a_time(self):
+        ep = ChokedEndpoint(limit=1)
+        payload = bytes(range(64))
+        sendall_vectors(ep, [payload[i : i + 8] for i in range(0, 64, 8)])
+        assert bytes(ep.taken) == payload
+
+    def test_empty_buffers_are_skipped(self):
+        ep = ChokedEndpoint(limit=1024)
+        sendall_vectors(ep, [b"", b"xy", b"", b"z", b""])
+        assert bytes(ep.taken) == b"xyz"
+
+    def test_boundary_aligned_partials(self):
+        """Short writes landing exactly on buffer boundaries must not
+        skip or duplicate the next buffer."""
+        ep = ChokedEndpoint(limit=10)  # == each buffer's length
+        buffers = [b"A" * 10, b"B" * 10, b"C" * 10]
+        sendall_vectors(ep, buffers)
+        assert bytes(ep.taken) == b"A" * 10 + b"B" * 10 + b"C" * 10
+
+    def test_real_socket_partial_sendmsg(self):
+        """Over a real socket with a burst far exceeding the send buffer,
+        sendmsg *will* go short repeatedly; the stream must arrive
+        byte-identical and in order."""
+        a, b = socketpair_endpoints()
+        try:
+            chunks = [bytes([i % 256]) * 4096 for i in range(256)]  # 1 MB
+            expect = b"".join(chunks)
+            got = {}
+
+            def drain():
+                got["data"] = recv_exact(b, len(expect))
+
+            t = threading.Thread(target=drain, daemon=True)
+            t.start()
+            sent = sendall_vectors(a, chunks)
+            t.join(30)
+            assert not t.is_alive()
+            assert sent == len(expect)
+            assert got["data"] == expect
+        finally:
+            a.close()
+            b.close()
