@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test chaos lockcheck lint adoclint bench bench-smoke bench-compare bench-paper
+.PHONY: test chaos lockcheck lint adoclint bench bench-smoke bench-compare bench-paper trace-demo
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -42,3 +42,8 @@ bench-compare:
 # The paper-figure benchmarks (tables/figures of RR-5500).
 bench-paper:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# One traced demo transfer; load trace-demo.json in chrome://tracing
+# or https://ui.perfetto.dev (docs/OBSERVABILITY.md).
+trace-demo:
+	$(PYTHON) -m repro stats --trace-out trace-demo.json

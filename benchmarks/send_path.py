@@ -219,6 +219,26 @@ def make_sender(impl: str, cfg: AdocConfig):
     return MessageSender(ep, cfg), ep
 
 
+def run_traced_digest(path: str, size: int, base_cfg: AdocConfig) -> dict:
+    """One fully-traced send of the streaming engine; returns the
+    telemetry digest (mean level, queue-depth percentiles, stall time).
+
+    Runs with its own enabled :class:`~repro.obs.Telemetry` — the
+    timing matrix above runs with telemetry disabled, so the digest
+    explains the run without contaminating the measurements.
+    """
+    from dataclasses import replace
+
+    from repro.obs import Telemetry
+
+    tele = Telemetry(enabled=True)
+    cfg = replace(base_cfg.with_levels(1, 10), telemetry=tele)
+    sender, _ = make_sender("new", cfg)
+    with open(path, "rb") as f:
+        sender.send_stream(f, cfg)
+    return tele.digest()
+
+
 def run_one(impl: str, path: str, size: int, cfg: AdocConfig, measure_memory: bool) -> dict:
     sender, ep = make_sender(impl, cfg)
     with open(path, "rb") as f:
@@ -281,6 +301,14 @@ def main(argv: list[str] | None = None) -> int:
                           + (f"  peak {row['peak_traced_bytes'] / MB:8.2f} MB"
                              if measure_memory else ""))
             os.unlink(path)
+        # One adaptive, fully-traced run for the embedded telemetry
+        # digest (separate from the timing matrix, which runs with
+        # telemetry disabled).
+        digest_size = sizes_mb[0] * MB
+        digest_path = os.path.join(tmp, "payload-digest.bin")
+        make_payload_file(digest_path, digest_size)
+        telemetry_digest = run_traced_digest(digest_path, digest_size, base_cfg)
+        telemetry_digest["size_mb"] = sizes_mb[0]
 
     def pick(size_mb, level, impl, key):
         for r in results:
@@ -320,6 +348,7 @@ def main(argv: list[str] | None = None) -> int:
         "results": results,
         "skipped": skipped,
         "summary": summary,
+        "telemetry": telemetry_digest,
     }
     with open(args.out, "w") as f:
         json.dump(payload, f, indent=2)

@@ -27,6 +27,14 @@ Quickstart::
     data = rx.read_exact(800_000)
 """
 
+import logging as _logging
+
+# Library convention: every module logs under the "repro" namespace and
+# the package installs only a NullHandler — applications (and the CLI's
+# --log-level flag) decide whether retries, degrades and reconnects are
+# printed.
+_logging.getLogger("repro").addHandler(_logging.NullHandler())
+
 from .compress import (
     ADOC_MAX_LEVEL,
     ADOC_MIN_LEVEL,

@@ -41,4 +41,5 @@ RULES: dict[str, str] = {
     "ADOC106": "thread body swallows exceptions without recording them",
     "ADOC107": "struct format packed but never unpacked (wire asymmetry)",
     "ADOC108": "whole-payload copy (bytes()/b''.join) on the core hot path",
+    "ADOC109": "direct threading lock/condition in obs/ (use lockgraph.make_lock)",
 }

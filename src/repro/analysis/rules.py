@@ -75,6 +75,11 @@ _PAYLOADISH_FRAGMENTS = (
 #: zero-copy discipline is load-bearing.
 _HOT_PATH_PART = "core"
 
+#: ADOC109 applies only to the observability subsystem, whose locks
+#: must be registered with the lock-order detector (they are taken
+#: from arbitrary instrumented call sites).
+_OBS_PATH_PART = "obs"
+
 
 def _dotted(node: ast.AST) -> str | None:
     """``a.b.c`` for a Name/Attribute chain, else None."""
@@ -517,6 +522,50 @@ def _check_payload_copies(tree: ast.AST, ctx: FileContext, path: str) -> list[Fi
     return findings
 
 
+# -- ADOC109: unregistered locks in the observability subsystem -------------
+
+
+def _in_obs_path(path: str) -> bool:
+    return _OBS_PATH_PART in re.split(r"[\\/]", path)
+
+
+def _check_obs_locks(tree: ast.AST, ctx: FileContext, path: str) -> list[Finding]:
+    """Flag bare ``threading.Lock()`` / ``RLock()`` / ``Condition()`` in
+    ``obs/``.
+
+    Telemetry locks are acquired from *inside* instrumented code — the
+    FIFO, the fault injector, the RPC servers — so any obs lock that is
+    invisible to the runtime lock-order detector can silently create an
+    ordering cycle no test would catch.  ``analysis.lockgraph.make_lock``
+    (and ``make_condition``) register the lock with the detector; direct
+    ``threading`` constructors bypass it.
+    """
+    if not _in_obs_path(path):
+        return []
+    findings = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = _dotted(node.func)
+        if dotted in ("threading.Lock", "threading.RLock", "threading.Condition"):
+            kind = dotted.rsplit(".", 1)[1]
+            replacement = (
+                "make_condition" if kind == "Condition" else "make_lock"
+            )
+            findings.append(
+                Finding(
+                    path,
+                    node.lineno,
+                    node.col_offset,
+                    "ADOC109",
+                    f"'{dotted}()' in obs/ bypasses the lock-order detector "
+                    f"— use analysis.lockgraph.{replacement}(name) so "
+                    "telemetry locks participate in cycle detection",
+                )
+            )
+    return findings
+
+
 def check_file(tree: ast.AST, path: str) -> list[Finding]:
     """Run every single-file rule over a parsed module."""
     _annotate_parents(tree)
@@ -528,4 +577,5 @@ def check_file(tree: ast.AST, path: str) -> list[Finding]:
     findings += _check_thread_calls(tree, ctx, path)
     findings += _check_swallowed_thread_errors(tree, ctx, path)
     findings += _check_payload_copies(tree, ctx, path)
+    findings += _check_obs_locks(tree, ctx, path)
     return findings

@@ -23,11 +23,27 @@ Subcommands:
     Run the adoclint static analyzer (concurrency + wire-protocol
     rules) over the given files/directories, defaulting to the
     installed ``repro`` package.  See ``docs/LINTING.md``.
+
+``adoc stats``
+    Run a traced demo transfer and print its metrics (Prometheus text
+    by default, ``--json`` for the JSON export); ``--trace-out F``
+    additionally writes a Chrome ``trace_event`` file for
+    ``chrome://tracing`` / Perfetto.
+
+``adoc top``
+    Live view of the adaptive pipeline: per-connection accounting and
+    the level/queue timeline, refreshed every ``--interval`` seconds
+    while a demo transfer runs.
+
+The global ``--log-level`` flag turns on the library's stdlib logging
+(``repro`` namespace) at the chosen threshold; see
+``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import socket
 import sys
 import time
@@ -231,6 +247,108 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_demo_transfer(tele, size_mb: int, data_kind: str, seed: int) -> object:
+    """One real pipelined transfer over an in-memory pipe, traced.
+
+    Compression is forced (levels 1..10) so the Figure-2 controller —
+    the thing the telemetry exists to show — actually runs; over a
+    loopback pipe the bandwidth probe would otherwise pick the raw fast
+    path.  Returns the sender-side :class:`~repro.core.stats._Snapshot`
+    owner (the :class:`~repro.core.api.AdocSocket`'s stats).
+    """
+    import threading
+
+    from .core import AdocConfig, AdocSocket
+    from .data import data_by_name
+    from .transport import pipe_pair
+
+    payload = data_by_name(data_kind, size_mb * 1024 * 1024, seed)
+    cfg = AdocConfig(telemetry=tele)
+    a, b = pipe_pair()
+    tx, rx = AdocSocket(a, cfg), AdocSocket(b, cfg)
+    reader = threading.Thread(
+        target=lambda: rx.read_exact(len(payload)), name="demo-reader", daemon=True
+    )
+    reader.start()
+    tx.write_levels(payload, 1, 10)
+    reader.join()
+    stats = tx.stats
+    tx.close()
+    rx.close()
+    return stats
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from .obs import Telemetry, set_active_telemetry
+
+    tele = Telemetry(enabled=True)
+    set_active_telemetry(tele)
+    try:
+        stats = _run_demo_transfer(tele, args.size_mb, args.data, args.seed)
+    finally:
+        set_active_telemetry(None)
+    if args.trace_out:
+        tele.tracer.write_chrome_trace(args.trace_out)
+        print(f"wrote Chrome trace to {args.trace_out}", file=sys.stderr)
+    if args.json:
+        import json
+
+        print(json.dumps(
+            {"metrics": tele.metrics.to_json(), "digest": tele.digest()},
+            indent=2, sort_keys=True,
+        ))
+    else:
+        print(tele.metrics.expose(), end="")
+        print(f"# connection: {stats.summary()}", file=sys.stderr)
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import threading
+
+    from .obs import Telemetry, set_active_telemetry
+    from .obs.timeline import extract_timeline, render_timeline
+
+    tele = Telemetry(enabled=True)
+    set_active_telemetry(tele)
+    done = threading.Event()
+
+    def demo() -> None:
+        try:
+            for _ in range(max(args.repeat, 1)):
+                _run_demo_transfer(tele, args.size_mb, args.data, args.seed)
+        finally:
+            done.set()
+
+    worker = threading.Thread(target=demo, name="top-demo", daemon=True)
+    worker.start()
+    try:
+        iteration = 0
+        while True:
+            iteration += 1
+            time.sleep(args.interval)
+            print(f"\n== adoc top (refresh {iteration}) ==")
+            conns = tele.live_connections()
+            if not conns:
+                print("(no live connections)")
+            for name, owner in conns:
+                stats = getattr(owner, "stats", None)
+                if stats is not None:
+                    print(f"{name}: {stats.summary()}")
+            points = extract_timeline(tele.tracer)
+            if points:
+                print(render_timeline(points, table_rows=args.rows))
+            finished = done.is_set()
+            if args.iterations and iteration >= args.iterations:
+                break
+            if finished and not args.iterations:
+                break
+        worker.join(5.0)
+    finally:
+        set_active_telemetry(None)
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from .analysis.__main__ import main as lint_main
 
@@ -245,6 +363,11 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="adoc", description="AdOC adaptive online compression toolkit"
+    )
+    parser.add_argument(
+        "--log-level", default=None, metavar="LEVEL",
+        choices=("debug", "info", "warning", "error"),
+        help="enable library logging (repro.* loggers) at this level",
     )
     sub = parser.add_subparsers(dest="cmd", required=True)
 
@@ -279,6 +402,39 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--size-mb", type=int, default=8)
     p_trace.add_argument("--seed", type=int, default=0)
 
+    p_stats = sub.add_parser(
+        "stats", help="run a traced demo transfer and print its metrics"
+    )
+    p_stats.add_argument("--json", action="store_true",
+                         help="JSON export instead of Prometheus text")
+    p_stats.add_argument("--trace-out", default=None, metavar="FILE",
+                         help="also write a Chrome trace_event JSON file")
+    p_stats.add_argument("--size-mb", type=int, default=4)
+    p_stats.add_argument(
+        "--data", default="ascii",
+        choices=("ascii", "binary", "incompressible"),
+    )
+    p_stats.add_argument("--seed", type=int, default=0)
+
+    p_top = sub.add_parser(
+        "top", help="live per-connection view of the adaptive pipeline"
+    )
+    p_top.add_argument("--interval", type=float, default=0.5,
+                       help="seconds between refreshes")
+    p_top.add_argument("--iterations", type=int, default=0,
+                       help="stop after N refreshes (default: until the "
+                            "demo transfer finishes)")
+    p_top.add_argument("--repeat", type=int, default=1,
+                       help="demo transfers to run back to back")
+    p_top.add_argument("--rows", type=int, default=10,
+                       help="decision-table rows shown per refresh")
+    p_top.add_argument("--size-mb", type=int, default=8)
+    p_top.add_argument(
+        "--data", default="ascii",
+        choices=("ascii", "binary", "incompressible"),
+    )
+    p_top.add_argument("--seed", type=int, default=0)
+
     p_lint = sub.add_parser("lint", help="run the adoclint static analyzer")
     p_lint.add_argument("paths", nargs="*",
                         help="files/directories (default: the repro package)")
@@ -291,6 +447,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.log_level:
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter(
+            "%(asctime)s %(levelname)s %(name)s: %(message)s"
+        ))
+        lib_logger = logging.getLogger("repro")
+        lib_logger.addHandler(handler)
+        lib_logger.setLevel(args.log_level.upper())
     handlers = {
         "info": _cmd_info,
         "serve": _cmd_serve,
@@ -298,6 +462,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "bench": _cmd_bench,
         "trace": _cmd_trace,
         "lint": _cmd_lint,
+        "stats": _cmd_stats,
+        "top": _cmd_top,
     }
     return handlers[args.cmd](args)
 

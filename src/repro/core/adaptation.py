@@ -25,6 +25,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..obs.telemetry import (
+    QUEUE_DEPTH_BUCKETS as _QUEUE_DEPTH_BUCKETS,
+    Telemetry,
+    resolve_telemetry,
+)
 from .config import AdocConfig, DEFAULT_CONFIG
 from .divergence import DivergenceGuard
 from .guards import IncompressibleGuard
@@ -103,6 +108,7 @@ class LevelAdapter:
         config: AdocConfig = DEFAULT_CONFIG,
         divergence: DivergenceGuard | None = None,
         incompressible: IncompressibleGuard | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.config = config
         self.divergence = divergence
@@ -110,6 +116,7 @@ class LevelAdapter:
         self.level = config.min_level
         self._last_queue_size: int | None = None
         self.history: list[AdaptationTrace] = []
+        self._tele = telemetry if telemetry is not None else resolve_telemetry(config)
 
     def next_level(self, queue_size: int, now: float) -> int:
         """Decide the level for the next buffer given the queue size."""
@@ -141,8 +148,45 @@ class LevelAdapter:
             level = cfg.min_level
             holdoff = True
         level = min(max(level, cfg.min_level), cfg.max_level)
+        old_level = self.level
         self.level = level
         self.history.append(
             AdaptationTrace(queue_size, delta, raw, level, forbidden, holdoff)
         )
+        if self._tele.enabled:
+            # The paper's Figure-2 tuple, one event per input buffer:
+            # this is what the timeline sampler and `adoc top` replay.
+            self._tele.tracer.record(
+                "level",
+                "level_decision",
+                n=queue_size,
+                delta=delta,
+                old_level=old_level,
+                new_level=level,
+                forbidden=forbidden,
+                holdoff=holdoff,
+            )
+            self._tele.metrics.counter(
+                "adoc_level_decisions_total", "Figure-2 controller updates"
+            ).inc()
+            self._tele.metrics.gauge(
+                "adoc_compression_level", "level chosen for the next buffer"
+            ).set(level)
+            self._tele.metrics.histogram(
+                "adoc_queue_depth_packets",
+                "send FIFO depth at each level decision",
+                buckets=_QUEUE_DEPTH_BUCKETS,
+            ).observe(queue_size)
+            if forbidden:
+                self._tele.metrics.counter(
+                    "adoc_guard_trips_total",
+                    "adaptation guard activations",
+                    ("guard",),
+                ).inc(guard="divergence")
+            if holdoff:
+                self._tele.metrics.counter(
+                    "adoc_guard_trips_total",
+                    "adaptation guard activations",
+                    ("guard",),
+                ).inc(guard="incompressible_holdoff")
         return level

@@ -76,10 +76,13 @@ class _Connection:
     @property
     def receiver(self) -> ReceiverPipeline:
         # Started on first read: a pure sender never pays for the
-        # reception threads.
+        # reception threads.  The receiver shares the sender's stats so
+        # the descriptor has one full-duplex accounting view.
         with self._recv_lock:
             if self._receiver is None:
-                self._receiver = ReceiverPipeline(self.endpoint, self.config)
+                self._receiver = ReceiverPipeline(
+                    self.endpoint, self.config, stats=self.sender.stats
+                )
             return self._receiver
 
     def close(self) -> None:
@@ -266,7 +269,8 @@ class AdocSocket:
 
     @property
     def stats(self):
-        """Send-side :class:`~repro.core.stats.ConnectionStats`."""
+        """Full-duplex :class:`~repro.core.stats.ConnectionStats`
+        (the receiver shares the sender's accumulator)."""
         return _lookup(self.fd).sender.stats
 
     def close(self) -> int:

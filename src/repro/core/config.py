@@ -18,9 +18,13 @@ vary them without monkey-patching:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..compress.registry import ADOC_MAX_LEVEL, ADOC_MIN_LEVEL
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.telemetry import Telemetry
 
 __all__ = ["AdocConfig", "DEFAULT_CONFIG"]
 
@@ -108,6 +112,15 @@ class AdocConfig:
     #: ``TransferError(stage="teardown")`` rather than waited on
     #: forever.
     join_timeout_s: float = 10.0
+
+    #: Observability handle (see :mod:`repro.obs`).  ``None`` falls back
+    #: to the process-wide handle, which is a zero-cost no-op unless
+    #: ``REPRO_TRACE=1`` opts the process in.  Excluded from equality
+    #: and repr: two configs tuned identically are the same experiment
+    #: regardless of who is watching.
+    telemetry: "Telemetry | None" = field(
+        default=None, compare=False, repr=False
+    )
 
     def __post_init__(self) -> None:
         if self.buffer_size <= 0 or self.packet_size <= 0:

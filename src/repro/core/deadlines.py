@@ -31,11 +31,14 @@ transport layer's own timeout signal is
 
 from __future__ import annotations
 
+import logging
 import random
 import threading
 import time
 from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Sequence
+
+_log = logging.getLogger("repro.core.deadlines")
 
 __all__ = [
     "Deadline",
@@ -206,6 +209,7 @@ class RetryPolicy:
                     raise
                 if on_retry is not None:
                     on_retry(attempt, exc)
+                _note_retry(attempt, delay, exc)
                 remaining = deadline.remaining() if deadline is not None else None
                 sleep(delay if remaining is None else min(delay, remaining))
         raise last if last is not None else RuntimeError("unreachable")
@@ -215,6 +219,31 @@ class RetryPolicy:
         for delay in self.delays():
             yield delay
         yield None
+
+
+def _note_retry(attempt: int, delay: float, exc: BaseException) -> None:
+    """Log and trace one backoff.  The observability import is lazy so
+    this module stays standard-library-only at import time (the layering
+    contract in the module docstring)."""
+    stage = getattr(exc, "stage", "") or "unknown"
+    _log.warning(
+        "attempt %d failed at stage %r (%s: %s); retrying in %.3fs",
+        attempt, stage, type(exc).__name__, exc, delay,
+    )
+    try:
+        from ..obs.telemetry import active_telemetry
+    except ImportError:  # pragma: no cover - partial install
+        return
+    tele = active_telemetry()
+    if tele.enabled:
+        tele.tracer.record(
+            "retry", "retry_backoff",
+            attempt=attempt, delay_s=round(delay, 6),
+            stage=stage, error=type(exc).__name__,
+        )
+        tele.metrics.counter(
+            "adoc_retries_total", "retry attempts, by failing stage", ("stage",)
+        ).inc(stage=stage)
 
 
 #: Shared default: 4 attempts, 50 ms -> 100 -> 200 ms, deterministic.

@@ -23,6 +23,7 @@ from collections import deque
 from dataclasses import dataclass
 
 from ..analysis.lockgraph import make_condition, make_lock
+from ..obs.telemetry import NULL_TELEMETRY, Telemetry
 from .deadlines import DeadlineExceeded
 
 __all__ = ["QueuedPacket", "PacketQueue", "QueueClosed"]
@@ -65,12 +66,26 @@ class QueuedPacket:
 
 
 class PacketQueue:
-    """Bounded, thread-safe FIFO of :class:`QueuedPacket` items."""
+    """Bounded, thread-safe FIFO of :class:`QueuedPacket` items.
 
-    def __init__(self, capacity: int) -> None:
+    ``telemetry``/``name`` opt the queue into observability: enqueue /
+    dequeue events (each carrying the post-op depth), a depth gauge,
+    and ``stall`` events whenever a producer waited on a full queue or
+    a consumer on an empty one.  Events are recorded *after* the queue
+    lock is released so the tracer's lock never nests inside it.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        telemetry: Telemetry | None = None,
+        name: str = "fifo",
+    ) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
+        self.name = name
+        self._tele = telemetry if telemetry is not None else NULL_TELEMETRY
         self._items: deque[QueuedPacket] = deque()
         self._closed = False
         self._lock = make_lock("PacketQueue.lock")
@@ -89,8 +104,12 @@ class PacketQueue:
         parking the producer thread forever.
         """
         give_up = None if timeout is None else time.monotonic() + timeout
+        traced = self._tele.enabled
+        wait_start = 0.0
         with self._lock:
             while len(self._items) >= self.capacity and not self._closed:
+                if traced and not wait_start:
+                    wait_start = time.monotonic()
                 if give_up is None:
                     self._not_full.wait()
                 else:
@@ -105,9 +124,12 @@ class PacketQueue:
                 raise QueueClosed("queue closed")
             self._items.append(packet)
             self.total_put += 1
-            if len(self._items) > self.peak_size:
-                self.peak_size = len(self._items)
+            depth = len(self._items)
+            if depth > self.peak_size:
+                self.peak_size = depth
             self._not_empty.notify()
+        if traced:
+            self._note_op("enqueue", depth, wait_start)
 
     def get(self, timeout: float | None = None) -> QueuedPacket | None:
         """Pop the oldest packet; ``None`` once closed *and* drained.
@@ -116,8 +138,12 @@ class PacketQueue:
         raising :exc:`~repro.core.deadlines.DeadlineExceeded` on expiry.
         """
         give_up = None if timeout is None else time.monotonic() + timeout
+        traced = self._tele.enabled
+        wait_start = 0.0
         with self._lock:
             while not self._items and not self._closed:
+                if traced and not wait_start:
+                    wait_start = time.monotonic()
                 if give_up is None:
                     self._not_empty.wait()
                 else:
@@ -131,8 +157,11 @@ class PacketQueue:
             if not self._items:
                 return None
             item = self._items.popleft()
+            depth = len(self._items)
             self._not_full.notify()
-            return item
+        if traced:
+            self._note_op("dequeue", depth, wait_start)
+        return item
 
     def poll(self) -> QueuedPacket | None:
         """Pop the oldest packet without blocking; ``None`` if empty.
@@ -145,8 +174,30 @@ class PacketQueue:
             if not self._items:
                 return None
             item = self._items.popleft()
+            depth = len(self._items)
             self._not_full.notify()
-            return item
+        if self._tele.enabled:
+            self._note_op("dequeue", depth, 0.0)
+        return item
+
+    def _note_op(self, kind: str, depth: int, wait_start: float) -> None:
+        """Record one queue operation (tracer lock never nests in ours)."""
+        tele = self._tele
+        tele.tracer.record(kind, f"{self.name}.{kind}", depth=depth)
+        tele.metrics.gauge(
+            "adoc_queue_depth", "current FIFO depth in packets", ("queue",)
+        ).set(depth, queue=self.name)
+        if wait_start:
+            waited = time.monotonic() - wait_start
+            side = "full" if kind == "enqueue" else "empty"
+            tele.tracer.record(
+                "stall", f"{self.name}.{side}", ts=wait_start, dur=waited
+            )
+            tele.metrics.counter(
+                "adoc_queue_stall_seconds_total",
+                "time threads spent blocked on a FIFO",
+                ("queue", "side"),
+            ).inc(waited, queue=self.name, side=side)
 
     def close(self) -> None:
         """Producer is done; consumers drain the rest then get ``None``."""

@@ -28,6 +28,7 @@ from typing import BinaryIO, Callable
 
 from ..analysis.lockgraph import make_condition, make_lock
 from ..compress.registry import codec_for_level
+from ..obs.telemetry import Telemetry, resolve_telemetry
 from ..transport.base import Endpoint, TransportClosed, TransportTimeout, recv_exact
 from .config import AdocConfig, DEFAULT_CONFIG
 from .deadlines import DeadlineExceeded, TransferError
@@ -39,6 +40,7 @@ from .packets import (
     unpack_message_header,
     unpack_record_header,
 )
+from .stats import ConnectionStats
 
 __all__ = ["OutputBuffer", "ReceiverPipeline"]
 
@@ -221,13 +223,26 @@ class ReceiverPipeline:
         endpoint: Endpoint,
         config: AdocConfig = DEFAULT_CONFIG,
         output_capacity: int = 4 * 1024 * 1024,
+        stats: ConnectionStats | None = None,
     ) -> None:
         self.endpoint = endpoint
         self.config = config
         if config.io_timeout_s is not None and hasattr(endpoint, "settimeout"):
             endpoint.settimeout(config.io_timeout_s)
+        self.telemetry: Telemetry = resolve_telemetry(config)
+        if stats is None:
+            # Standalone receiver: own the accounting and show up in
+            # `adoc top`.  Full-duplex connections pass the sender's
+            # stats in so both directions fold into one view.
+            self.stats = ConnectionStats(self.telemetry)
+            if self.telemetry.enabled:
+                self.telemetry.register_connection("recv", self)
+        else:
+            self.stats = stats
         self.output = OutputBuffer(output_capacity, timeout_s=config.io_timeout_s)
-        self._queue: PacketQueue = PacketQueue(config.recv_queue_packets)
+        self._queue: PacketQueue = PacketQueue(
+            config.recv_queue_packets, self.telemetry, "recv"
+        )
         self._closed = False
         self._reader = threading.Thread(
             target=self._reception_thread, name="adoc-recv", daemon=True
@@ -263,9 +278,10 @@ class ReceiverPipeline:
     def _reception_thread(self) -> None:
         error: BaseException | None = None
         try:
-            while not self._closed:
-                if not self._read_one_message():
-                    break
+            with self.telemetry.span("recv"):
+                while not self._closed:
+                    if not self._read_one_message():
+                        break
         except QueueClosed:
             pass
         except TransportTimeout as exc:
@@ -303,6 +319,7 @@ class ReceiverPipeline:
         )
         header = unpack_message_header(first + rest)
 
+        wire = MESSAGE_HEADER_SIZE
         remaining = header.total_length
         while True:
             if header.length_known and remaining <= 0:
@@ -310,11 +327,13 @@ class ReceiverPipeline:
             rec_hdr = unpack_record_header(
                 recv_exact(self.endpoint, RECORD_HEADER_SIZE)
             )
+            wire += RECORD_HEADER_SIZE
             if rec_hdr.is_end:
                 if header.length_known:
                     raise ProtocolError("unexpected END in known-length message")
                 break
             payload = recv_exact(self.endpoint, rec_hdr.wire_size)
+            wire += rec_hdr.wire_size
             if header.length_known:
                 remaining -= rec_hdr.original_size
                 if remaining < 0:
@@ -326,32 +345,45 @@ class ReceiverPipeline:
         # Message boundary marker rides the queue as a zero-byte packet
         # with the reserved END level so ordering with data is preserved.
         self._queue.put(QueuedPacket(b"", 0xFF, 0), timeout=self.config.io_timeout_s)
+        self.stats.record_recv_message(wire)
         return True
 
     # -- decompression thread: record queue -> output buffer ------------------
 
     def _decompression_thread(self) -> None:
+        # Receive accounting accumulates locally and flushes per message
+        # (at each marker) so the hot loop takes no extra locks.
+        raw = inflated = payload_bytes = 0
         try:
-            while True:
-                pkt = self._queue.get()
-                if pkt is None:
-                    break
-                if pkt.level == 0xFF:
-                    self.output.put_marker()
-                    continue
-                if pkt.level == 0:
-                    self.output.put(pkt.payload)
-                else:
-                    codec = codec_for_level(pkt.level)
-                    try:
-                        data = codec.decompress(pkt.payload, pkt.original_bytes)
-                    except Exception as exc:
-                        raise TransferError(
-                            f"decompression failed at level {pkt.level}: {exc}",
-                            stage="decompress",
-                        ) from exc
-                    self.output.put(data)
+            with self.telemetry.span("decompress"):
+                while True:
+                    pkt = self._queue.get()
+                    if pkt is None:
+                        break
+                    if pkt.level == 0xFF:
+                        self.output.put_marker()
+                        self.stats.record_recv_packets(raw, inflated, payload_bytes)
+                        raw = inflated = payload_bytes = 0
+                        continue
+                    if pkt.level == 0:
+                        raw += 1
+                        payload_bytes += len(pkt.payload)
+                        self.output.put(pkt.payload)
+                    else:
+                        codec = codec_for_level(pkt.level)
+                        try:
+                            data = codec.decompress(pkt.payload, pkt.original_bytes)
+                        except Exception as exc:
+                            raise TransferError(
+                                f"decompression failed at level {pkt.level}: {exc}",
+                                stage="decompress",
+                            ) from exc
+                        inflated += 1
+                        payload_bytes += len(data)
+                        self.output.put(data)
         except BaseException as exc:  # noqa: BLE001
             self.output.finish(exc)
         else:
             self.output.finish()
+        finally:
+            self.stats.record_recv_packets(raw, inflated, payload_bytes)

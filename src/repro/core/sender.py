@@ -44,11 +44,13 @@ serialization.
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 from dataclasses import dataclass, field
 from typing import BinaryIO, Callable
 
+from ..obs.telemetry import Telemetry, resolve_telemetry
 from ..transport.base import Endpoint, TransportTimeout, sendall, sendall_vectors
 from .adaptation import LevelAdapter
 from .compressor import compress_buffer
@@ -62,6 +64,8 @@ from .sources import BytesSource, ChunkSource, source_for_stream, stream_size
 from .stats import ConnectionStats
 
 __all__ = ["SendResult", "MessageSender"]
+
+_log = logging.getLogger("repro.core.sender")
 
 #: Upper bound on packets coalesced into one vectored send.  Each
 #: packet contributes at most two vectors (prefix + payload), so a
@@ -116,7 +120,10 @@ class MessageSender:
         self.config = config
         self.clock = clock
         self.divergence = DivergenceGuard(config.divergence_forbid_s)
-        self.stats = ConnectionStats()
+        self.telemetry: Telemetry = resolve_telemetry(config)
+        self.stats = ConnectionStats(self.telemetry)
+        if self.telemetry.enabled:
+            self.telemetry.register_connection("send", self)
 
     # -- public entry points -------------------------------------------------
 
@@ -303,24 +310,29 @@ class MessageSender:
         message for unknown-length sends, the post-probe remainder
         otherwise).
         """
-        queue: PacketQueue = PacketQueue(cfg.queue_capacity)
+        tele = resolve_telemetry(cfg)
+        queue: PacketQueue = PacketQueue(cfg.queue_capacity, tele, "send")
         inc_guard = IncompressibleGuard(
             cfg.incompressible_ratio, cfg.incompressible_holdoff
         )
-        adapter = LevelAdapter(cfg, self.divergence, inc_guard)
+        adapter = LevelAdapter(cfg, self.divergence, inc_guard, tele)
         error: list[BaseException] = []
         consumed = [0]
         degraded = [False]
 
         worker = threading.Thread(
             target=self._compression_thread,
-            args=(source, cfg, queue, adapter, inc_guard, error, consumed, degraded),
+            args=(
+                source, cfg, queue, adapter, inc_guard, error, consumed,
+                degraded, tele,
+            ),
             name="adoc-compress",
             daemon=True,
         )
         worker.start()
         try:
-            result = self._emission_loop(queue, cfg)
+            with tele.span("emit"):
+                result = self._emission_loop(queue, cfg)
         except BaseException as exc:
             # The emission loop already closed the queue; the worker
             # unblocks on QueueClosed.  Bound the join so the failure
@@ -364,30 +376,49 @@ class MessageSender:
         error: list[BaseException],
         consumed: list[int],
         degraded: list[bool],
+        tele: Telemetry,
     ) -> None:
         try:
-            buffer_id = 0
-            while True:
-                level = adapter.next_level(queue.size(), self.clock())
-                if cfg.compression_disabled or degraded[0]:
-                    level = 0
-                buf = source.read(cfg.buffer_size)
-                if not len(buf):
-                    break
-                consumed[0] += len(buf)
-                try:
-                    records, _ = compress_buffer(buf, level, inc_guard, cfg)
-                except Exception:  # adoclint: disable=ADOC106 -- graceful degradation by design: the codec failure is absorbed, the buffer ships raw, and SendResult.degraded reports it; re-raising would kill a recoverable message
-                    # Graceful degradation: a codec blowing up on one
-                    # buffer must not kill the message.  Ship this
-                    # buffer raw and pin the rest of the stream to
-                    # level 0 — the receiver needs no special handling,
-                    # raw records are always legal.
-                    degraded[0] = True
-                    records = [Record(0, len(buf), buf)]
-                for rec in records:
-                    self._enqueue_record(rec, cfg, queue, inc_guard, buffer_id)
-                buffer_id += 1
+            with tele.span("compress"):
+                buffer_id = 0
+                while True:
+                    level = adapter.next_level(queue.size(), self.clock())
+                    if cfg.compression_disabled or degraded[0]:
+                        level = 0
+                    buf = source.read(cfg.buffer_size)
+                    if not len(buf):
+                        break
+                    consumed[0] += len(buf)
+                    try:
+                        records, _ = compress_buffer(buf, level, inc_guard, cfg)
+                    except Exception:  # adoclint: disable=ADOC106 -- graceful degradation by design: the codec failure is absorbed, the buffer ships raw, and SendResult.degraded reports it; re-raising would kill a recoverable message
+                        # Graceful degradation: a codec blowing up on one
+                        # buffer must not kill the message.  Ship this
+                        # buffer raw and pin the rest of the stream to
+                        # level 0 — the receiver needs no special handling,
+                        # raw records are always legal.
+                        degraded[0] = True
+                        records = [Record(0, len(buf), buf)]
+                        _log.warning(
+                            "codec failed at level %d on buffer %d; "
+                            "degrading stream to raw",
+                            level, buffer_id,
+                        )
+                        tele.event(
+                            "degraded", "codec_failure",
+                            buffer_id=buffer_id, level=level,
+                        )
+                    if tele.enabled:
+                        tele.tracer.record(
+                            "buffer", "buffer_compressed",
+                            buffer_id=buffer_id,
+                            level=level,
+                            in_bytes=len(buf),
+                            out_bytes=sum(len(r.payload) for r in records),
+                        )
+                    for rec in records:
+                        self._enqueue_record(rec, cfg, queue, inc_guard, buffer_id)
+                    buffer_id += 1
         except QueueClosed:
             pass  # emission side failed; it carries the real error
         except BaseException as exc:  # noqa: BLE001 - reported to caller

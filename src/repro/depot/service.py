@@ -21,6 +21,7 @@ from ..core.deadlines import RetryPolicy
 from ..middleware.agent import Agent
 from ..middleware.client import CallResult, Client
 from ..middleware.services import ServiceRegistry
+from ..obs.telemetry import active_telemetry
 from .storage import ByteArrayDepot, DepotError
 
 __all__ = ["depot_registry", "DepotClient"]
@@ -135,4 +136,10 @@ class DepotClient:
         )
 
     def _call(self, op: str, args: list[bytes]) -> CallResult:
-        return self._client.call_raw(op, args)
+        result = self._client.call_raw(op, args)
+        tele = active_telemetry()
+        if tele.enabled:
+            tele.metrics.counter(
+                "adoc_depot_ops_total", "IBP-style depot operations", ("op",)
+            ).inc(op=op.removeprefix("ibp."))
+        return result

@@ -8,16 +8,20 @@ subsequent transfers on the session.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 
 from ..core.config import AdocConfig, DEFAULT_CONFIG
 from ..core.deadlines import DeadlineExceeded, RetryPolicy
+from ..obs.telemetry import active_telemetry
 from ..transport.base import Endpoint, TransportClosed, TransportTimeout, sendall
 from .protocol import ProtocolViolation, Reply, parse_reply, read_line
 from .server import FileServer
 from .transfer import DEFAULT_CHUNK, receive_data, send_data
 
 __all__ = ["FileClient", "TransferReport", "GridFtpError", "ControlConnectionLost"]
+
+_log = logging.getLogger("repro.gridftp.client")
 
 
 class GridFtpError(Exception):
@@ -160,6 +164,14 @@ class FileClient:
             pass
         self.control = self.server.connect()
         self.reconnects += 1
+        _log.warning("control channel lost; reconnect #%d", self.reconnects)
+        tele = active_telemetry()
+        if tele.enabled:
+            tele.event("reconnect", "gridftp_reconnect", count=self.reconnects)
+            tele.metrics.counter(
+                "adoc_reconnects_total",
+                "fresh connections opened after a failure", ("component",),
+            ).inc(component="gridftp_client")
         greeting = self._read_reply()
         if greeting.code != 220:
             raise GridFtpError(f"unexpected greeting on reconnect: {greeting}")

@@ -12,12 +12,14 @@ compression option: ``"ADOC"`` wraps every channel in an
 from __future__ import annotations
 
 import threading
+import time
 from typing import BinaryIO
 
 from ..core.api import AdocSocket
 from ..core.config import AdocConfig, DEFAULT_CONFIG
 from ..core.deadlines import reap_threads
 from ..core.sources import RangeSource
+from ..obs.telemetry import resolve_telemetry
 from ..transport.base import Endpoint, recv_exact, sendall
 
 
@@ -56,6 +58,7 @@ def send_data(
     n = len(endpoints)
     if n == 0:
         raise ValueError("need at least one data channel")
+    t_start = time.monotonic()
     src = RangeSource(data)
     total = src.total
     wire_totals = [0] * n
@@ -108,6 +111,17 @@ def send_data(
             s.close()
     if errors:
         raise errors[0]
+    tele = resolve_telemetry(config)
+    if tele.enabled:
+        tele.tracer.record(
+            "span", "gridftp.send", ts=t_start,
+            dur=time.monotonic() - t_start,
+            mode=mode, channels=n, total_bytes=total,
+        )
+        tele.metrics.counter(
+            "adoc_gridftp_transfers_total",
+            "mini-gridFTP data transfers", ("direction", "mode"),
+        ).inc(direction="send", mode=mode)
     return sum(wire_totals)
 
 
@@ -122,6 +136,7 @@ def receive_data(
     n = len(endpoints)
     if n == 0:
         raise ValueError("need at least one data channel")
+    t_start = time.monotonic()
     n_chunks = (total + chunk_size - 1) // chunk_size
     parts: list[bytes | None] = [None] * n_chunks
     errors: list[BaseException] = []
@@ -170,6 +185,17 @@ def receive_data(
             s.close()
     if errors:
         raise errors[0]
+    tele = resolve_telemetry(config)
+    if tele.enabled:
+        tele.tracer.record(
+            "span", "gridftp.recv", ts=t_start,
+            dur=time.monotonic() - t_start,
+            mode=mode, channels=n, total_bytes=total,
+        )
+        tele.metrics.counter(
+            "adoc_gridftp_transfers_total",
+            "mini-gridFTP data transfers", ("direction", "mode"),
+        ).inc(direction="recv", mode=mode)
     out = b"".join(p for p in parts if p is not None)
     if len(out) != total:
         raise ValueError(f"received {len(out)} of {total} bytes")

@@ -9,6 +9,7 @@ calls are available via :meth:`Client.call_raw` for non-matrix services.
 
 from __future__ import annotations
 
+import logging
 import time
 from concurrent.futures import Future
 from dataclasses import dataclass
@@ -18,6 +19,7 @@ import numpy as np
 
 from ..core.deadlines import Deadline, DeadlineExceeded, RetryPolicy
 from ..data.matrices import decode_matrix_ascii, encode_matrix_ascii
+from ..obs.telemetry import LATENCY_BUCKETS, active_telemetry
 from ..transport.base import TransportClosed, TransportTimeout
 from .agent import Agent
 from .communicator import Communicator, PlainCommunicator
@@ -43,6 +45,8 @@ RETRYABLE_RPC_ERRORS = (
 )
 
 __all__ = ["Client", "CallResult"]
+
+_log = logging.getLogger("repro.middleware.client")
 
 
 @dataclass
@@ -114,8 +118,31 @@ class Client:
 
         if self.retry is None:
             return attempt()
+
+        def note_reconnect(attempt_no: int, exc: BaseException) -> None:
+            # Each retry opens a fresh connection from the agent.
+            _log.warning(
+                "RPC %r attempt %d lost its connection (%s); reconnecting",
+                service, attempt_no, type(exc).__name__,
+            )
+            tele = active_telemetry()
+            if tele.enabled:
+                tele.event(
+                    "reconnect", "rpc_reconnect",
+                    service=service, attempt=attempt_no,
+                    error=type(exc).__name__,
+                )
+                tele.metrics.counter(
+                    "adoc_reconnects_total",
+                    "fresh connections opened after a failure",
+                    ("component",),
+                ).inc(component="rpc_client")
+
         return self.retry.run(
-            attempt, retry_on=RETRYABLE_RPC_ERRORS, deadline=deadline
+            attempt,
+            retry_on=RETRYABLE_RPC_ERRORS,
+            deadline=deadline,
+            on_retry=note_reconnect,
         )
 
     def _call_once(self, service: str, args: list) -> CallResult:
@@ -132,7 +159,16 @@ class Client:
             if reply.type == MsgType.ERROR or reply.status != 0:
                 detail = reply.args[0].decode("utf-8") if reply.args else "unknown"
                 raise RpcError(f"remote {service!r} failed: {detail}")
-            return CallResult(reply.args, self.clock() - start, wire, payload)
+            result = CallResult(reply.args, self.clock() - start, wire, payload)
+            tele = active_telemetry()
+            if tele.enabled:
+                tele.metrics.histogram(
+                    "adoc_rpc_latency_seconds",
+                    "RPC handling / round-trip latency",
+                    ("side", "service"),
+                    buckets=LATENCY_BUCKETS,
+                ).observe(result.elapsed_s, side="client", service=service)
+            return result
         finally:
             comm.close()
 

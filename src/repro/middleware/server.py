@@ -9,10 +9,12 @@ is where "NetSolve" differs from "NetSolve + AdOC" and nowhere else.
 from __future__ import annotations
 
 import threading
+import time
 import traceback
 from dataclasses import dataclass, field
 
 from ..analysis.lockgraph import make_lock
+from ..obs.telemetry import LATENCY_BUCKETS, active_telemetry
 from ..transport.base import Endpoint, TransportClosed
 from .communicator import Communicator, PlainCommunicator
 from .protocol import MsgType, RpcError, RpcMessage, read_message, write_message
@@ -107,6 +109,7 @@ class Server:
     def _handle(self, comm: Communicator, msg: RpcMessage) -> None:
         self.stats.begin()
         failed = False
+        t0 = time.monotonic()
         try:
             service = self.registry.lookup(msg.name)
             results = service(msg.args)
@@ -121,6 +124,23 @@ class Server:
             self._reply_error(comm, msg.name, detail)
         finally:
             self.stats.end(failed)
+            tele = active_telemetry()
+            if tele.enabled:
+                tele.metrics.histogram(
+                    "adoc_rpc_latency_seconds",
+                    "RPC handling / round-trip latency",
+                    ("side", "service"),
+                    buckets=LATENCY_BUCKETS,
+                ).observe(
+                    time.monotonic() - t0, side="server", service=msg.name
+                )
+                tele.metrics.counter(
+                    "adoc_rpc_requests_total",
+                    "RPCs served, by outcome", ("service", "status"),
+                ).inc(
+                    service=msg.name,
+                    status="error" if failed else "ok",
+                )
 
     def _reply_error(self, comm: Communicator, name: str, detail: str) -> None:
         try:

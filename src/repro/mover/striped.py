@@ -30,6 +30,7 @@ survive the connection).
 
 from __future__ import annotations
 
+import logging
 import struct
 import threading
 import time
@@ -46,9 +47,12 @@ from ..core.deadlines import (
     reap_threads,
 )
 from ..core.sources import RangeSource
+from ..obs.telemetry import resolve_telemetry
 from ..transport.base import Endpoint, TransportClosed, TransportTimeout, recv_exact, sendall
 
 __all__ = ["StripeStats", "send_striped", "receive_striped"]
+
+_log = logging.getLogger("repro.mover.striped")
 
 _CTRL = struct.Struct(">QIH")  # total size, chunk size, stream count
 _RESUME = struct.Struct(">HQ")  # stream index, next chunk wanted
@@ -144,6 +148,14 @@ def send_striped(
         _close_quietly(sockets[i])
         sockets[i] = AdocSocket(ep, config)
         reconnects[i] += 1
+        _log.warning("stream %d reconnected; resuming at chunk %d", i, resume_k)
+        tele = resolve_telemetry(config)
+        if tele.enabled:
+            tele.event("reconnect", "stripe_reconnect", stream=i, chunk=resume_k)
+            tele.metrics.counter(
+                "adoc_reconnects_total",
+                "fresh connections opened after a failure", ("component",),
+            ).inc(component="striped_mover")
         return resume_k
 
     def stream_worker(i: int) -> None:
@@ -182,6 +194,17 @@ def send_striped(
         _close_quietly(s)
     if errors:
         raise errors[0]
+    tele = resolve_telemetry(config)
+    if tele.enabled:
+        wire = tele.metrics.counter(
+            "adoc_stripe_wire_bytes_total",
+            "wire bytes per stripe (retransmissions included)", ("stream",),
+        )
+        for i, w in enumerate(wire_totals):
+            wire.inc(w, stream=str(i))
+        tele.metrics.counter(
+            "adoc_stripe_transfers_total", "striped sends completed"
+        ).inc()
     return StripeStats(total, sum(wire_totals), n, chunk_size, sum(reconnects))
 
 
@@ -238,6 +261,19 @@ def receive_striped(
                     sendall(ep, _RESUME.pack(i, k))
                     _close_quietly(sockets[i])
                     sockets[i] = AdocSocket(ep, config)
+                    _log.warning(
+                        "stream %d reconnected; requesting chunk %d", i, k
+                    )
+                    tele = resolve_telemetry(config)
+                    if tele.enabled:
+                        tele.event(
+                            "reconnect", "stripe_reconnect", stream=i, chunk=k
+                        )
+                        tele.metrics.counter(
+                            "adoc_reconnects_total",
+                            "fresh connections opened after a failure",
+                            ("component",),
+                        ).inc(component="striped_mover")
                     continue  # re-read chunk k whole
                 parts[k] = chunk
                 k += n

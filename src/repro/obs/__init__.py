@@ -1,0 +1,52 @@
+"""Observability for the adaptive pipeline: metrics, tracing, timelines.
+
+AdOC's contribution is a *feedback loop* — the Figure-2 controller
+reacting to FIFO queue depth — and this package makes that loop (and
+everything around it: guard trips, retries, degrades, injected faults)
+observable end to end:
+
+* :mod:`repro.obs.metrics` — a lock-safe Counter/Gauge/Histogram
+  registry with Prometheus text exposition and JSON export;
+* :mod:`repro.obs.tracer` — a bounded ring buffer of typed events with
+  JSONL and Chrome ``trace_event`` exporters (``chrome://tracing`` /
+  Perfetto render a transfer as per-thread spans);
+* :mod:`repro.obs.timeline` — the paper's Fig.-2 adaptation trace
+  extracted from any traced transfer;
+* :mod:`repro.obs.telemetry` — the :class:`Telemetry` handle threading
+  all of it through the stack, zero-cost when disabled, enabled
+  process-wide with ``REPRO_TRACE=1``.
+
+See ``docs/OBSERVABILITY.md`` for the event schema, metric names and
+exporter formats; ``adoc stats`` and ``adoc top`` surface this at the
+command line.
+"""
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .telemetry import (
+    NULL_TELEMETRY,
+    Telemetry,
+    active_telemetry,
+    resolve_telemetry,
+    set_active_telemetry,
+    telemetry_enabled_by_env,
+)
+from .timeline import TimelinePoint, extract_timeline, render_timeline
+from .tracer import EventTracer, TraceEvent
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "EventTracer",
+    "TraceEvent",
+    "Telemetry",
+    "NULL_TELEMETRY",
+    "active_telemetry",
+    "set_active_telemetry",
+    "resolve_telemetry",
+    "telemetry_enabled_by_env",
+    "TimelinePoint",
+    "extract_timeline",
+    "render_timeline",
+]

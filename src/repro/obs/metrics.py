@@ -1,0 +1,419 @@
+"""A lock-safe metrics registry: Counter / Gauge / Histogram with labels.
+
+The measurement substrate for the adaptive pipeline (the feedback loop
+the paper builds — queue depth, level decisions, guard activity — plus
+everything the fault-tolerant layer added: retries, degrades,
+reconnects).  Deliberately small and dependency-free, modelled on the
+Prometheus client data model:
+
+* a metric is registered once per name and owns *children* keyed by
+  label values — ``counter.labels(level="6").inc()``;
+* every mutation is guarded by a :func:`~repro.analysis.lockgraph.make_lock`
+  lock so the registry composes with the runtime lock-order detector
+  (``REPRO_LOCKCHECK=1``) like every other lock in the tree — adoclint
+  rule ADOC109 rejects bare ``threading.Lock()`` in this package;
+* exposition is Prometheus text format (:meth:`MetricsRegistry.expose`)
+  or plain JSON (:meth:`MetricsRegistry.to_json`).
+
+Locking is two-level and never nested the other way: the registry lock
+guards the name -> metric table, each metric's own lock guards its
+children.  Hot-path increments take exactly one uncontended lock.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+
+from ..analysis.lockgraph import make_lock
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+]
+
+#: Default histogram buckets: latency-flavoured seconds plus enough
+#: small integers that packet-count histograms (queue depth) resolve.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 2.0, 5.0,
+    10.0, 20.0, 30.0, 50.0, 100.0,
+)
+
+_LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labelnames: tuple[str, ...], labels: dict[str, str]) -> _LabelKey:
+    if set(labels) != set(labelnames):
+        raise ValueError(
+            f"expected labels {sorted(labelnames)}, got {sorted(labels)}"
+        )
+    return tuple((name, str(labels[name])) for name in labelnames)
+
+
+def _render_labels(key: _LabelKey) -> str:
+    if not key:
+        return ""
+    inner = ",".join(f'{name}="{value}"' for name, value in key)
+    return "{" + inner + "}"
+
+
+class _Metric:
+    """Common child bookkeeping for all three metric types."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str, labelnames: tuple[str, ...]) -> None:
+        self.name = name
+        self.help = help_text
+        self.labelnames = labelnames
+        self._lock = make_lock(f"Metric[{name}].lock")
+        self._children: dict[_LabelKey, object] = {}
+
+    def _child(self, labels: dict[str, str]):
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._new_child()
+                self._children[key] = child
+            return child
+
+    def _new_child(self):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def _snapshot(self) -> list[tuple[_LabelKey, object]]:
+        with self._lock:
+            return [(k, self._copy_child(v)) for k, v in sorted(self._children.items())]
+
+    def _copy_child(self, child):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class _Value:
+    """A single float cell with its own lock (one child of a metric)."""
+
+    __slots__ = ("_lock", "value")
+
+    def __init__(self, name: str) -> None:
+        self._lock = make_lock(f"Metric[{name}].value")
+        self.value = 0.0
+
+
+class Counter(_Metric):
+    """Monotonically increasing count (resets only with the process)."""
+
+    kind = "counter"
+
+    def _new_child(self) -> _Value:
+        return _Value(self.name)
+
+    def _copy_child(self, child: _Value) -> float:
+        with child._lock:
+            return child.value
+
+    def labels(self, **labels: str) -> "_BoundCounter":
+        return _BoundCounter(self._child(labels))
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        self.labels(**labels).inc(amount)
+
+    def value(self, **labels: str) -> float:
+        child = self._child(labels)
+        with child._lock:
+            return child.value
+
+
+class _BoundCounter:
+    __slots__ = ("_cell",)
+
+    def __init__(self, cell: _Value) -> None:
+        self._cell = cell
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._cell._lock:
+            self._cell.value += amount
+
+
+class Gauge(_Metric):
+    """A value that can go up and down (queue depth, active streams)."""
+
+    kind = "gauge"
+
+    def _new_child(self) -> _Value:
+        return _Value(self.name)
+
+    def _copy_child(self, child: _Value) -> float:
+        with child._lock:
+            return child.value
+
+    def labels(self, **labels: str) -> "_BoundGauge":
+        return _BoundGauge(self._child(labels))
+
+    def set(self, value: float, **labels: str) -> None:
+        self.labels(**labels).set(value)
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        self.labels(**labels).inc(amount)
+
+    def dec(self, amount: float = 1.0, **labels: str) -> None:
+        self.labels(**labels).inc(-amount)
+
+    def value(self, **labels: str) -> float:
+        child = self._child(labels)
+        with child._lock:
+            return child.value
+
+
+class _BoundGauge:
+    __slots__ = ("_cell",)
+
+    def __init__(self, cell: _Value) -> None:
+        self._cell = cell
+
+    def set(self, value: float) -> None:
+        with self._cell._lock:
+            self._cell.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._cell._lock:
+            self._cell.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+
+class _HistogramCell:
+    """Bucket counts + sum for one label combination."""
+
+    __slots__ = ("_lock", "buckets", "counts", "total", "count")
+
+    def __init__(self, name: str, buckets: tuple[float, ...]) -> None:
+        self._lock = make_lock(f"Metric[{name}].hist")
+        self.buckets = buckets
+        self.counts = [0] * (len(buckets) + 1)  # +1 for +Inf
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self.count += 1
+            self.total += value
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self.counts[i] += 1
+                    return
+            self.counts[-1] += 1
+
+
+@dataclass(frozen=True)
+class _HistogramSnapshot:
+    buckets: tuple[float, ...]
+    counts: tuple[int, ...]
+    total: float
+    count: int
+
+    def percentile(self, q: float) -> float:
+        """Estimate the q-th percentile (q in [0, 100]) from buckets.
+
+        Linear interpolation inside the winning bucket; the +Inf bucket
+        reports its lower bound (no upper edge to interpolate against).
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        if self.count == 0:
+            return 0.0
+        rank = q / 100.0 * self.count
+        cumulative = 0
+        lower = 0.0
+        for bound, n in zip(self.buckets, self.counts):
+            if n:
+                if cumulative + n >= rank:
+                    within = max(rank - cumulative, 0.0)
+                    return lower + (bound - lower) * (within / n)
+                cumulative += n
+            lower = bound
+        return lower  # landed in +Inf: report the last finite edge
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class Histogram(_Metric):
+    """Cumulative-bucket distribution (latency, queue depth)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: tuple[str, ...] = (),
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> None:
+        if list(buckets) != sorted(buckets) or len(set(buckets)) != len(buckets):
+            raise ValueError("histogram buckets must be sorted and unique")
+        super().__init__(name, help_text, labelnames)
+        self.buckets = tuple(float(b) for b in buckets)
+
+    def _new_child(self) -> _HistogramCell:
+        return _HistogramCell(self.name, self.buckets)
+
+    def _copy_child(self, child: _HistogramCell) -> _HistogramSnapshot:
+        with child._lock:
+            return _HistogramSnapshot(
+                child.buckets, tuple(child.counts), child.total, child.count
+            )
+
+    def labels(self, **labels: str) -> "_BoundHistogram":
+        return _BoundHistogram(self._child(labels))
+
+    def observe(self, value: float, **labels: str) -> None:
+        self._child(labels).observe(value)
+
+    def snapshot(self, **labels: str) -> _HistogramSnapshot:
+        return self._copy_child(self._child(labels))
+
+
+class _BoundHistogram:
+    __slots__ = ("_cell",)
+
+    def __init__(self, cell: _HistogramCell) -> None:
+        self._cell = cell
+
+    def observe(self, value: float) -> None:
+        self._cell.observe(value)
+
+
+class MetricsRegistry:
+    """Name -> metric table with idempotent registration.
+
+    ``counter()`` / ``gauge()`` / ``histogram()`` return the existing
+    metric when the name is already registered with the same type (so
+    instrumentation sites never coordinate), and raise on a type clash.
+    """
+
+    def __init__(self) -> None:
+        self._lock = make_lock("MetricsRegistry.lock")
+        self._metrics: dict[str, _Metric] = {}
+
+    def _get_or_create(self, cls, name: str, help_text: str, labelnames, **kwargs):
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"metric {name!r} already registered as {existing.kind}"
+                    )
+                return existing
+            metric = cls(name, help_text, tuple(labelnames), **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(
+        self, name: str, help_text: str = "", labelnames: tuple[str, ...] = ()
+    ) -> Counter:
+        return self._get_or_create(Counter, name, help_text, labelnames)
+
+    def gauge(
+        self, name: str, help_text: str = "", labelnames: tuple[str, ...] = ()
+    ) -> Gauge:
+        return self._get_or_create(Gauge, name, help_text, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        labelnames: tuple[str, ...] = (),
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, help_text, labelnames, buckets=buckets
+        )
+
+    def _all(self) -> list[_Metric]:
+        with self._lock:
+            return [self._metrics[name] for name in sorted(self._metrics)]
+
+    # -- exposition ---------------------------------------------------------
+
+    def expose(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines: list[str] = []
+        for metric in self._all():
+            if metric.help:
+                lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            for key, value in metric._snapshot():
+                if isinstance(value, _HistogramSnapshot):
+                    cumulative = 0
+                    for bound, n in zip(value.buckets, value.counts):
+                        cumulative += n
+                        bucket_key = key + (("le", _format_float(bound)),)
+                        lines.append(
+                            f"{metric.name}_bucket{_render_labels(bucket_key)} "
+                            f"{cumulative}"
+                        )
+                    cumulative += value.counts[-1]
+                    inf_key = key + (("le", "+Inf"),)
+                    lines.append(
+                        f"{metric.name}_bucket{_render_labels(inf_key)} {cumulative}"
+                    )
+                    lines.append(
+                        f"{metric.name}_sum{_render_labels(key)} "
+                        f"{_format_float(value.total)}"
+                    )
+                    lines.append(
+                        f"{metric.name}_count{_render_labels(key)} {value.count}"
+                    )
+                else:
+                    lines.append(
+                        f"{metric.name}{_render_labels(key)} {_format_float(value)}"
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_json(self) -> dict:
+        """Plain-data export (what ``adoc stats --json`` prints)."""
+        out: dict[str, dict] = {}
+        for metric in self._all():
+            series: list[dict] = []
+            for key, value in metric._snapshot():
+                entry: dict = {"labels": dict(key)}
+                if isinstance(value, _HistogramSnapshot):
+                    entry.update(
+                        count=value.count,
+                        sum=value.total,
+                        mean=value.mean,
+                        buckets={
+                            _format_float(b): n
+                            for b, n in zip(value.buckets, value.counts)
+                        },
+                        inf=value.counts[-1],
+                    )
+                else:
+                    entry["value"] = value
+                series.append(entry)
+            out[metric.name] = {
+                "type": metric.kind,
+                "help": metric.help,
+                "series": series,
+            }
+        return out
+
+    def dump_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_json(), indent=indent, sort_keys=True)
+
+
+def _format_float(value: float) -> str:
+    """Prometheus-friendly number rendering: integers without '.0'."""
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))

@@ -1,0 +1,250 @@
+"""The ``Telemetry`` handle: one object threading observability through
+the whole stack.
+
+Every instrumented layer — sender, receiver, FIFO queues, the Figure-2
+adapter, retry policies, fault injection, the striped movers, the
+middleware — receives a :class:`Telemetry` via
+``AdocConfig.telemetry`` (or falls back to the process-wide handle,
+enabled by the ``REPRO_TRACE`` environment variable).  The handle
+bundles:
+
+* :attr:`Telemetry.metrics` — a :class:`~repro.obs.metrics.MetricsRegistry`;
+* :attr:`Telemetry.tracer` — an :class:`~repro.obs.tracer.EventTracer`;
+* a weak registry of live connections for ``adoc top``.
+
+**Zero cost when disabled** is the design constraint: with
+``enabled=False`` (the default process-wide handle unless
+``REPRO_TRACE`` is set) instrumentation sites guard per-packet work
+with ``if tele.enabled:`` — one attribute load and a branch — and
+per-message work goes through no-op shims, so the hot path stays
+within noise of the uninstrumented engine (the bench-smoke regression
+gate enforces < 5 %).
+
+Typical wiring::
+
+    from repro.obs import Telemetry
+    from repro.core.config import AdocConfig
+
+    tele = Telemetry(enabled=True)
+    cfg = AdocConfig(telemetry=tele)
+    ... run transfers ...
+    print(tele.metrics.expose())              # Prometheus text format
+    tele.tracer.write_chrome_trace("trace.json")   # chrome://tracing
+"""
+
+from __future__ import annotations
+
+import os
+import weakref
+from typing import TYPE_CHECKING, Mapping
+
+from ..analysis.lockgraph import make_lock
+from .metrics import MetricsRegistry
+from .tracer import EventTracer, SpanTimer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.config import AdocConfig
+
+__all__ = [
+    "Telemetry",
+    "NULL_TELEMETRY",
+    "active_telemetry",
+    "set_active_telemetry",
+    "resolve_telemetry",
+    "telemetry_enabled_by_env",
+]
+
+#: Queue-depth histogram buckets: the Figure-2 thresholds (10/20/30)
+#: must be bucket edges so the paper's operating bands are visible.
+QUEUE_DEPTH_BUCKETS = (0.0, 1.0, 2.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 40.0, 50.0, 64.0)
+
+#: RPC latency buckets (seconds), biased to loopback-to-WAN round trips.
+LATENCY_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class _NullSpan:
+    """No-op stand-in for :class:`~repro.obs.tracer.SpanTimer`."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Telemetry:
+    """Metrics + tracing + live-connection registry behind one switch.
+
+    When ``enabled`` is False every recording method is a cheap no-op;
+    the registry and tracer still exist (so exposition code never
+    branches) but stay empty.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        tracer_capacity: int = 65536,
+        clock=None,
+    ) -> None:
+        self.enabled = enabled
+        self.metrics = MetricsRegistry()
+        self.tracer = (
+            EventTracer(tracer_capacity, clock)
+            if clock is not None
+            else EventTracer(tracer_capacity)
+        )
+        self._conn_lock = make_lock("Telemetry.connections")
+        self._connections: "weakref.WeakValueDictionary[int, object]" = (
+            weakref.WeakValueDictionary()
+        )
+        self._conn_names: dict[int, str] = {}
+        self._next_conn = 0
+
+    # -- recording shims (safe to call unconditionally per message) ---------
+
+    def event(self, kind: str, name: str, **args: object) -> None:
+        if self.enabled:
+            self.tracer.record(kind, name, **args)
+
+    def span(self, name: str, **args: object) -> "SpanTimer | _NullSpan":
+        if self.enabled:
+            return self.tracer.span(name, **args)
+        return _NULL_SPAN
+
+    def counter(self, name: str, help_text: str = "", labelnames=()):
+        return self.metrics.counter(name, help_text, labelnames)
+
+    def gauge(self, name: str, help_text: str = "", labelnames=()):
+        return self.metrics.gauge(name, help_text, labelnames)
+
+    def histogram(self, name: str, help_text: str = "", labelnames=(), buckets=None):
+        if buckets is None:
+            return self.metrics.histogram(name, help_text, labelnames)
+        return self.metrics.histogram(name, help_text, labelnames, buckets)
+
+    # -- live connection registry (adoc top) --------------------------------
+
+    def register_connection(self, name: str, owner: object) -> int:
+        """Track a live connection-stats owner (weakly) for ``adoc top``.
+
+        ``owner`` must expose ``stats`` (a
+        :class:`~repro.core.stats.ConnectionStats`); it is held weakly,
+        so closing/collecting the connection removes it from the view.
+        """
+        with self._conn_lock:
+            cid = self._next_conn
+            self._next_conn += 1
+            self._connections[cid] = owner
+            self._conn_names[cid] = name
+            return cid
+
+    def live_connections(self) -> list[tuple[str, object]]:
+        """Snapshot of (name, owner) for connections still alive."""
+        with self._conn_lock:
+            out: list[tuple[str, object]] = []
+            dead: list[int] = []
+            for cid, tag in self._conn_names.items():
+                owner = self._connections.get(cid)
+                if owner is None:
+                    dead.append(cid)
+                else:
+                    out.append((f"{tag}#{cid}", owner))
+            for cid in dead:
+                del self._conn_names[cid]
+            return out
+
+    # -- digest (embedded in benchmark reports) -----------------------------
+
+    def digest(self) -> dict:
+        """Compact explanation of a run: mean level, queue depth, stalls.
+
+        Computed from the trace ring, so it reflects (up to) the last
+        ``tracer_capacity`` events.  Keys are stable — the send-path
+        benchmark embeds this verbatim in ``BENCH_send_path.json``.
+        """
+        levels = self.tracer.events("level")
+        depths = sorted(
+            int(e.args["n"]) for e in levels if "n" in e.args
+        )
+        chosen = [int(e.args["new_level"]) for e in levels if "new_level" in e.args]
+        stalls = self.tracer.events("stall")
+        spans = self.tracer.events("span")
+
+        def pct(values: list[int], q: float) -> float:
+            if not values:
+                return 0.0
+            idx = min(int(q / 100.0 * len(values)), len(values) - 1)
+            return float(values[idx])
+
+        return {
+            "level_decisions": len(levels),
+            "mean_level": (sum(chosen) / len(chosen)) if chosen else 0.0,
+            "queue_depth_p50": pct(depths, 50),
+            "queue_depth_p90": pct(depths, 90),
+            "queue_depth_p99": pct(depths, 99),
+            "stall_events": len(stalls),
+            "stall_time_s": round(sum(e.dur for e in stalls), 6),
+            "span_time_s": {
+                name: round(
+                    sum(e.dur for e in spans if e.name == name), 6
+                )
+                for name in sorted({e.name for e in spans})
+            },
+            "dropped_events": self.tracer.dropped,
+        }
+
+
+#: Shared disabled handle: the default when neither the config nor the
+#: environment opts in.  All recording through it is a no-op.
+NULL_TELEMETRY = Telemetry(enabled=False, tracer_capacity=1)
+
+
+def telemetry_enabled_by_env() -> bool:
+    """True when ``REPRO_TRACE`` opts the process into telemetry."""
+    return os.environ.get("REPRO_TRACE", "") not in ("", "0")
+
+
+_active_lock = make_lock("obs.active_telemetry")
+_active: Telemetry | None = None
+
+
+def active_telemetry() -> Telemetry:
+    """The process-wide handle (created on first use from the env)."""
+    global _active
+    with _active_lock:
+        if _active is None:
+            _active = (
+                Telemetry(enabled=True)
+                if telemetry_enabled_by_env()
+                else NULL_TELEMETRY
+            )
+        return _active
+
+
+def set_active_telemetry(telemetry: Telemetry | None) -> Telemetry | None:
+    """Swap the process-wide handle; returns the previous one.
+
+    ``None`` resets to "re-read the environment on next use" (tests).
+    """
+    global _active
+    with _active_lock:
+        previous = _active
+        _active = telemetry
+        return previous
+
+
+def resolve_telemetry(config: "AdocConfig | None" = None) -> Telemetry:
+    """The handle a pipeline should use: config override, else process-wide."""
+    if config is not None:
+        tele = getattr(config, "telemetry", None)
+        if tele is not None:
+            return tele
+    return active_telemetry()

@@ -1,0 +1,257 @@
+"""Structured event tracing: a bounded ring buffer of typed events.
+
+The adaptive pipeline's behaviour is a *time series* — queue depth
+rising, the Figure-2 controller reacting, guards tripping, the
+fault-tolerant layer retrying — and a counter can't show ordering.  The
+tracer records typed events into a bounded ring (oldest evicted first,
+eviction counted, recording never blocks a pipeline thread for more
+than one uncontended lock) and exports them as:
+
+* JSONL — one event per line, grep/jq-friendly (:meth:`EventTracer.to_jsonl`);
+* Chrome ``trace_event`` JSON — load the file in ``chrome://tracing``
+  or https://ui.perfetto.dev and the transfer renders as per-thread
+  spans (compression, emission, reception, decompression) with the
+  instant events (level decisions, guard trips, faults, retries)
+  overlaid (:meth:`EventTracer.to_chrome_trace`).
+
+Event vocabulary (the ``kind`` field; ``docs/OBSERVABILITY.md`` holds
+the full schema):
+
+==================  =====================================================
+kind                emitted when
+==================  =====================================================
+``buffer``          the compression thread finished one input buffer
+``enqueue``         a packet entered a FIFO queue (args carry depth)
+``dequeue``         a packet left a FIFO queue
+``level``           one Figure-2 decision: ``n``, ``delta``, ``old_level``,
+                    ``new_level`` — the paper's adaptation trace
+``guard``           the incompressible guard tripped / divergence forbade
+``degraded``        a codec failure pinned the stream to raw (level 0)
+``retry``           a retry policy backed off before another attempt
+``reconnect``       a client/stream obtained a fresh connection
+``fault``           a scripted fault fired (chaos runs)
+``stall``           a pipeline thread waited on an empty/full queue
+``span``            a timed phase (one per pipeline thread per message)
+==================  =====================================================
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping
+
+from ..analysis.lockgraph import make_lock
+
+__all__ = ["TraceEvent", "EventTracer", "SpanTimer"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event.
+
+    ``ts`` is seconds on the tracer's clock (monotonic by default);
+    ``dur`` is non-zero only for ``span`` events.  ``args`` is a small
+    flat mapping of JSON-safe values — payload bytes never ride along.
+    """
+
+    ts: float
+    kind: str
+    name: str
+    thread: str
+    dur: float = 0.0
+    args: Mapping[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        out: dict[str, object] = {
+            "ts": self.ts,
+            "kind": self.kind,
+            "name": self.name,
+            "thread": self.thread,
+        }
+        if self.dur:
+            out["dur"] = self.dur
+        if self.args:
+            out["args"] = dict(self.args)
+        return out
+
+
+class SpanTimer:
+    """Context manager timing one phase; records a ``span`` on exit."""
+
+    __slots__ = ("_tracer", "name", "_args", "_t0")
+
+    def __init__(self, tracer: "EventTracer", name: str, args: Mapping[str, object]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self._args = args
+        self._t0 = 0.0
+
+    def __enter__(self) -> "SpanTimer":
+        self._t0 = self._tracer.clock()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        t1 = self._tracer.clock()
+        self._tracer.record(
+            "span", self.name, ts=self._t0, dur=t1 - self._t0, **self._args
+        )
+
+
+class EventTracer:
+    """Thread-safe bounded ring of :class:`TraceEvent` records.
+
+    ``capacity`` bounds memory: when full, the *oldest* event is
+    evicted and ``dropped`` incremented — a long transfer keeps its
+    most recent history rather than refusing new events or growing
+    without bound.  ``clock`` is injectable so tests (and the golden
+    Chrome-trace fixture) are deterministic.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 65536,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("tracer capacity must be positive")
+        self.capacity = capacity
+        self.clock = clock
+        self._lock = make_lock("EventTracer.lock")
+        self._events: deque[TraceEvent] = deque(maxlen=capacity)
+        self.dropped = 0
+        self.recorded = 0
+
+    # -- recording ----------------------------------------------------------
+
+    def record(
+        self,
+        kind: str,
+        name: str,
+        ts: float | None = None,
+        dur: float = 0.0,
+        thread: str | None = None,
+        **args: object,
+    ) -> None:
+        event = TraceEvent(
+            ts=self.clock() if ts is None else ts,
+            kind=kind,
+            name=name,
+            thread=thread if thread is not None else threading.current_thread().name,
+            dur=dur,
+            args=args,
+        )
+        with self._lock:
+            if len(self._events) == self.capacity:
+                self.dropped += 1  # deque evicts the oldest on append
+            self._events.append(event)
+            self.recorded += 1
+
+    def span(self, name: str, **args: object) -> SpanTimer:
+        """Time a with-block and record it as a ``span`` event."""
+        return SpanTimer(self, name, args)
+
+    # -- reading ------------------------------------------------------------
+
+    def events(self, kind: str | None = None) -> list[TraceEvent]:
+        """Snapshot of the ring (oldest first), optionally filtered."""
+        with self._lock:
+            snap = list(self._events)
+        if kind is None:
+            return snap
+        return [e for e in snap if e.kind == kind]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+            self.dropped = 0
+            self.recorded = 0
+
+    # -- exporters ----------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """One JSON object per line, in recording order."""
+        buf = io.StringIO()
+        for event in self.events():
+            buf.write(json.dumps(event.to_dict(), sort_keys=True))
+            buf.write("\n")
+        return buf.getvalue()
+
+    def to_chrome_trace(self, process_name: str = "adoc") -> dict:
+        """The Chrome ``trace_event`` JSON object format.
+
+        Spans become complete (``ph="X"``) events, everything else
+        instant (``ph="i"``) events, grouped per thread via ``tid``
+        plus ``thread_name`` metadata — so ``chrome://tracing`` and
+        Perfetto render the four pipeline threads as labelled rows.
+        Timestamps are microseconds, rebased to the earliest event so
+        traces from different runs line up at zero.
+        """
+        events = self.events()
+        base = min((e.ts for e in events), default=0.0)
+        tids: dict[str, int] = {}
+        out: list[dict] = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": 0,
+                "args": {"name": process_name},
+            }
+        ]
+        for event in events:
+            tid = tids.get(event.thread)
+            if tid is None:
+                tid = len(tids) + 1
+                tids[event.thread] = tid
+                out.append(
+                    {
+                        "name": "thread_name",
+                        "ph": "M",
+                        "pid": 1,
+                        "tid": tid,
+                        "args": {"name": event.thread},
+                    }
+                )
+            entry: dict[str, object] = {
+                "name": event.name,
+                "cat": event.kind,
+                "pid": 1,
+                "tid": tid,
+                "ts": round((event.ts - base) * 1e6, 3),
+            }
+            if event.kind == "span":
+                entry["ph"] = "X"
+                entry["dur"] = round(event.dur * 1e6, 3)
+            else:
+                entry["ph"] = "i"
+                entry["s"] = "t"  # instant scoped to its thread
+            if event.args:
+                entry["args"] = dict(event.args)
+            out.append(entry)
+        meta = {"dropped_events": self.dropped, "recorded_events": self.recorded}
+        return {"traceEvents": out, "otherData": meta}
+
+    def write_chrome_trace(self, path: str, process_name: str = "adoc") -> None:
+        with open(path, "w") as f:
+            json.dump(self.to_chrome_trace(process_name), f, indent=1)
+            f.write("\n")
+
+
+def merge_chrome_traces(traces: Iterable[dict]) -> dict:  # pragma: no cover - helper
+    """Concatenate several exported traces into one (multi-run views)."""
+    events: list[dict] = []
+    for i, trace in enumerate(traces):
+        for event in trace.get("traceEvents", []):
+            event = dict(event)
+            event["pid"] = i + 1
+            events.append(event)
+    return {"traceEvents": events}

@@ -39,6 +39,7 @@ to everything but the injected faults.  See ``docs/ROBUSTNESS.md``.
 
 from __future__ import annotations
 
+import logging
 import random
 import threading
 import time
@@ -49,6 +50,8 @@ from .base import Endpoint, TransportClosed
 from .pipes import PipeEndpoint, pipe_pair
 
 __all__ = ["Fault", "FaultyEndpoint", "faulty_pipe_pair"]
+
+_log = logging.getLogger("repro.transport.faults")
 
 _KINDS = ("reset", "stall", "partial", "drop", "corrupt")
 
@@ -181,7 +184,42 @@ class FaultyEndpoint(Endpoint):
             if best is not None:
                 self._pending.remove(best)
                 self.fired.append(best)
-            return best, best_off
+        if best is not None:
+            self._note_fault(best)
+        return best, best_off
+
+    @staticmethod
+    def _note_fault(fault: Fault) -> None:
+        """Log and trace a fired fault (outside the trigger lock).
+
+        The observability import is lazy: the transport layer sits below
+        the rest of the package in the import graph, and a chaos test
+        without telemetry pays nothing.
+        """
+        where = (
+            f"byte {fault.at_byte}" if fault.at_byte is not None
+            else f"op {fault.at_op}"
+        )
+        _log.warning(
+            "injecting %s fault (%s direction, at %s)",
+            fault.kind, fault.direction, where,
+        )
+        try:
+            from ..obs.telemetry import active_telemetry
+        except ImportError:  # pragma: no cover - partial install
+            return
+        tele = active_telemetry()
+        if tele.enabled:
+            tele.tracer.record(
+                "fault", f"inject_{fault.kind}",
+                direction=fault.direction,
+                at_byte=fault.at_byte, at_op=fault.at_op,
+                length=fault.length, duration_s=fault.duration_s,
+            )
+            tele.metrics.counter(
+                "adoc_faults_injected_total",
+                "scripted failures fired by FaultyEndpoint", ("kind",),
+            ).inc(kind=fault.kind)
 
     def _trip_reset(self, fault: Fault) -> None:
         # Closing the inner endpoint is what makes the reset *mutual*:

@@ -461,3 +461,47 @@ def test_report_renders_location_and_rule():
     report = lint(src, path="pkg/mod.py")
     line = report.render().splitlines()[0]
     assert line.startswith("pkg/mod.py:5:") and "ADOC104" in line
+
+
+# -- ADOC109: unregistered locks in obs/ ------------------------------------
+
+
+def test_adoc109_bare_lock_in_obs_fires():
+    src = """
+        import threading
+
+        _lock = threading.Lock()
+    """
+    report = lint(src, path="src/repro/obs/metrics.py")
+    assert [f.rule for f in report.findings] == ["ADOC109"]
+
+
+def test_adoc109_condition_in_obs_fires_with_make_condition_hint():
+    src = """
+        import threading
+
+        cond = threading.Condition()
+    """
+    report = lint(src, path="src/repro/obs/tracer.py")
+    assert [f.rule for f in report.findings] == ["ADOC109"]
+    assert "make_condition" in report.findings[0].message
+
+
+def test_adoc109_make_lock_in_obs_is_quiet():
+    src = """
+        from repro.analysis.lockgraph import make_lock
+
+        _lock = make_lock("obs.registry")
+    """
+    report = lint(src, path="src/repro/obs/metrics.py")
+    assert report.findings == []
+
+
+def test_adoc109_bare_lock_outside_obs_is_quiet():
+    src = """
+        import threading
+
+        _lock = threading.Lock()
+    """
+    report = lint(src, path="src/repro/transport/faults.py")
+    assert "ADOC109" not in {f.rule for f in report.findings}

@@ -1,0 +1,71 @@
+"""Chaos meets telemetry: injected faults must show up in the trace.
+
+A chaos run that can't show *where* its faults landed is unreviewable;
+the contract is that every fired :class:`~repro.transport.faults.Fault`
+records a ``fault`` event and bumps ``adoc_faults_injected_total``.
+The transport layer reaches telemetry through the process-wide handle
+(it sits below ``AdocConfig`` in the import graph), so these tests
+install one via ``set_active_telemetry`` and restore it after.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import Telemetry, set_active_telemetry
+from repro.transport.base import TransportClosed
+from repro.transport.faults import Fault, faulty_pipe_pair
+
+
+@pytest.fixture
+def tele():
+    handle = Telemetry(enabled=True)
+    previous = set_active_telemetry(handle)
+    yield handle
+    set_active_telemetry(previous)
+
+
+def test_fired_faults_become_trace_events(tele):
+    a, b = faulty_pipe_pair(
+        faults_a=[
+            Fault("stall", at_byte=4, duration_s=0.001),
+            Fault("corrupt", at_byte=8, length=2),
+        ]
+    )
+    # One fault can fire per operation: the stall lands on the first
+    # send, the corrupt trigger on the second.
+    a.send(b"x" * 8)
+    a.send(b"x" * 8)
+    b.recv(16)
+
+    events = tele.tracer.events("fault")
+    assert [e.name for e in events] == ["inject_stall", "inject_corrupt"]
+    stall = events[0]
+    assert stall.args["direction"] == "send"
+    assert stall.args["at_byte"] == 4
+    assert stall.args["duration_s"] == pytest.approx(0.001)
+
+    counter = tele.metrics.counter("adoc_faults_injected_total", "", ("kind",))
+    assert counter.value(kind="stall") == 1
+    assert counter.value(kind="corrupt") == 1
+
+
+def test_reset_fault_traces_before_raising(tele):
+    a, _b = faulty_pipe_pair(faults_a=[Fault("reset", at_byte=0)])
+    with pytest.raises(TransportClosed):
+        a.send(b"payload")
+    (event,) = tele.tracer.events("fault")
+    assert event.name == "inject_reset"
+    assert tele.metrics.counter(
+        "adoc_faults_injected_total", "", ("kind",)
+    ).value(kind="reset") == 1
+
+
+def test_faults_without_telemetry_stay_silent(tele):
+    set_active_telemetry(None)  # back to the env default (disabled)
+    a, b = faulty_pipe_pair(
+        faults_a=[Fault("stall", at_byte=1, duration_s=0.001)]
+    )
+    a.send(b"abc")
+    b.recv(3)
+    assert tele.tracer.events("fault") == []

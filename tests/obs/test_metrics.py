@@ -1,0 +1,129 @@
+"""The metrics registry: thread safety, registration, exposition."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+
+
+def test_concurrent_counter_increments_are_lossless():
+    reg = MetricsRegistry()
+    counter = reg.counter("ops_total", "ops", ("worker",))
+    n_threads, per_thread = 8, 2000
+
+    def hammer(i: int) -> None:
+        bound = counter.labels(worker="shared")
+        for _ in range(per_thread):
+            bound.inc()
+        counter.inc(worker=f"w{i}")
+
+    threads = [
+        threading.Thread(target=hammer, args=(i,), name=f"hammer-{i}")
+        for i in range(n_threads)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert counter.value(worker="shared") == n_threads * per_thread
+    for i in range(n_threads):
+        assert counter.value(worker=f"w{i}") == 1
+
+
+def test_concurrent_registration_yields_one_metric():
+    reg = MetricsRegistry()
+    got: list[object] = []
+    barrier = threading.Barrier(8)
+
+    def register() -> None:
+        barrier.wait()
+        got.append(reg.counter("races_total", "", ()))
+
+    threads = [
+        threading.Thread(target=register, name=f"reg-{i}") for i in range(8)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len({id(m) for m in got}) == 1
+
+
+def test_registration_is_idempotent_but_type_clash_raises():
+    reg = MetricsRegistry()
+    first = reg.counter("x_total")
+    assert reg.counter("x_total") is first
+    with pytest.raises(ValueError, match="already registered"):
+        reg.gauge("x_total")
+
+
+def test_label_mismatch_raises():
+    reg = MetricsRegistry()
+    counter = reg.counter("y_total", "", ("kind",))
+    with pytest.raises(ValueError, match="expected labels"):
+        counter.inc(flavour="nope")
+
+
+def test_counters_reject_negative_increments():
+    reg = MetricsRegistry()
+    with pytest.raises(ValueError, match="only go up"):
+        reg.counter("z_total").inc(-1)
+
+
+def test_gauge_set_inc_dec():
+    reg = MetricsRegistry()
+    g = reg.gauge("depth", "", ("queue",))
+    g.set(5, queue="send")
+    g.inc(2, queue="send")
+    g.dec(queue="send")
+    assert g.value(queue="send") == 6
+
+
+def test_histogram_buckets_mean_and_percentile():
+    reg = MetricsRegistry()
+    h = reg.histogram("lat", "", (), buckets=(1.0, 2.0, 4.0))
+    for v in (0.5, 1.5, 1.5, 3.0, 100.0):
+        h.observe(v)
+    snap = h.snapshot()
+    assert snap.count == 5
+    assert snap.counts == (1, 2, 1, 1)  # last cell is +Inf
+    assert snap.mean == pytest.approx(106.5 / 5)
+    assert 0.0 <= snap.percentile(50) <= 2.0
+
+
+def test_histogram_rejects_unsorted_buckets():
+    reg = MetricsRegistry()
+    with pytest.raises(ValueError, match="sorted"):
+        reg.histogram("bad", buckets=(2.0, 1.0))
+
+
+def test_prometheus_exposition_shape():
+    reg = MetricsRegistry()
+    reg.counter("a_total", "things done", ("kind",)).inc(kind="x")
+    reg.gauge("b").set(2.5)
+    reg.histogram("c", "", (), buckets=(1.0,)).observe(0.5)
+    text = reg.expose()
+    assert "# HELP a_total things done" in text
+    assert "# TYPE a_total counter" in text
+    assert 'a_total{kind="x"} 1' in text
+    assert "b 2.5" in text
+    # Histogram: cumulative buckets, +Inf, _sum, _count.
+    assert 'c_bucket{le="1"} 1' in text
+    assert 'c_bucket{le="+Inf"} 1' in text
+    assert "c_sum 0.5" in text
+    assert "c_count 1" in text
+
+
+def test_json_export_is_json_safe_and_complete():
+    reg = MetricsRegistry()
+    reg.counter("a_total", "", ("k",)).inc(amount=3, k="v")
+    reg.histogram("h", "", (), buckets=(1.0,)).observe(2.0)
+    data = json.loads(reg.dump_json())
+    assert data["a_total"]["type"] == "counter"
+    assert data["a_total"]["series"][0] == {"labels": {"k": "v"}, "value": 3.0}
+    hist = data["h"]["series"][0]
+    assert hist["count"] == 1 and hist["inf"] == 1

@@ -1,0 +1,136 @@
+"""The event tracer: ring-buffer semantics and exporters.
+
+The Chrome-trace exporter is pinned by a golden fixture
+(``fixtures/chrome_trace_golden.json``): the output format is consumed
+by external tools (chrome://tracing, Perfetto), so accidental drift is
+a compatibility break, not a refactor.  Regenerate deliberately with
+``python tests/obs/test_tracer.py`` after an intentional change.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.obs.tracer import EventTracer
+
+GOLDEN = Path(__file__).parent / "fixtures" / "chrome_trace_golden.json"
+
+
+class StepClock:
+    """Deterministic clock: advances 1 ms per reading."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        t = self.now
+        self.now += 0.001
+        return t
+
+
+def golden_tracer() -> EventTracer:
+    """The fixed event sequence behind the golden Chrome trace."""
+    tracer = EventTracer(capacity=64, clock=StepClock())
+    with tracer.span("compress", buffer_id=0):
+        tracer.record("level", "decision", thread="adoc-compress",
+                      n=3, delta=1, old_level=6, new_level=5)
+    tracer.record("enqueue", "send", thread="MainThread", depth=4)
+    tracer.record("fault", "inject_reset", thread="MainThread",
+                  direction="send", at_byte=1024)
+    with tracer.span("emit"):
+        pass
+    return tracer
+
+
+def test_ring_overflow_evicts_oldest_and_counts_drops():
+    tracer = EventTracer(capacity=10, clock=StepClock())
+    for i in range(25):
+        tracer.record("buffer", "done", buffer_id=i)
+    assert len(tracer) == 10
+    assert tracer.recorded == 25
+    assert tracer.dropped == 15
+    kept = [e.args["buffer_id"] for e in tracer.events()]
+    assert kept == list(range(15, 25))  # newest survive, oldest evicted
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        EventTracer(capacity=0)
+
+
+def test_clear_resets_ring_and_counters():
+    tracer = EventTracer(capacity=4)
+    tracer.record("buffer", "x")
+    tracer.clear()
+    assert len(tracer) == 0 and tracer.recorded == 0 and tracer.dropped == 0
+
+
+def test_events_filter_by_kind():
+    tracer = EventTracer(capacity=8, clock=StepClock())
+    tracer.record("level", "decision", n=1)
+    tracer.record("guard", "trip")
+    assert [e.kind for e in tracer.events("level")] == ["level"]
+
+
+def test_record_captures_calling_thread_name():
+    tracer = EventTracer(capacity=8)
+    t = threading.Thread(
+        target=lambda: tracer.record("buffer", "done"), name="adoc-compress"
+    )
+    t.start()
+    t.join()
+    assert tracer.events()[0].thread == "adoc-compress"
+
+
+def test_span_timer_measures_with_injected_clock():
+    tracer = EventTracer(capacity=8, clock=StepClock())
+    with tracer.span("compress", buffer_id=7):
+        pass
+    (span,) = tracer.events("span")
+    assert span.name == "compress"
+    assert span.dur == pytest.approx(0.001)
+    assert span.args == {"buffer_id": 7}
+
+
+def test_jsonl_is_one_valid_object_per_event():
+    tracer = golden_tracer()
+    lines = tracer.to_jsonl().strip().splitlines()
+    assert len(lines) == len(tracer)
+    decoded = [json.loads(line) for line in lines]
+    assert {d["kind"] for d in decoded} == {"span", "level", "enqueue", "fault"}
+
+
+def test_chrome_trace_matches_golden_fixture():
+    got = golden_tracer().to_chrome_trace()
+    want = json.loads(GOLDEN.read_text())
+    assert got == want
+
+
+def test_chrome_trace_structure():
+    trace = golden_tracer().to_chrome_trace()
+    events = trace["traceEvents"]
+    # Metadata rows: one process_name plus one thread_name per thread.
+    meta = [e for e in events if e["ph"] == "M"]
+    assert meta[0]["args"]["name"] == "adoc"
+    thread_names = {e["args"]["name"] for e in meta[1:]}
+    assert {"adoc-compress", "MainThread"} <= thread_names
+    spans = [e for e in events if e["ph"] == "X"]
+    assert {s["name"] for s in spans} == {"compress", "emit"}
+    assert all(s["dur"] > 0 for s in spans)
+    instants = [e for e in events if e["ph"] == "i"]
+    assert all(e["s"] == "t" for e in instants)
+    # Timestamps are rebased microseconds starting at zero.
+    assert min(e["ts"] for e in events if "ts" in e) == 0.0
+
+
+if __name__ == "__main__":  # regenerate the golden fixture
+    GOLDEN.parent.mkdir(exist_ok=True)
+    GOLDEN.write_text(
+        json.dumps(golden_tracer().to_chrome_trace(), indent=1, sort_keys=True)
+        + "\n"
+    )
+    print(f"wrote {GOLDEN}")
