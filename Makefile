@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test chaos lockcheck lint adoclint bench bench-smoke bench-compare bench-paper trace-demo
+.PHONY: test chaos lockcheck lint adoclint check bench bench-smoke bench-compare bench-paper trace-demo
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -24,6 +24,12 @@ lint: adoclint
 
 adoclint:
 	$(PYTHON) -m repro.analysis -v
+
+# Whole-program analyzer: interprocedural lock-order (ADOC110/113),
+# deadline-propagation (ADOC111), thread-lifecycle (ADOC112) proofs,
+# plus cross-module wire symmetry.  docs/ANALYSIS.md.
+check:
+	$(PYTHON) -m repro.cli check src/repro -v
 
 # Send-path engine benchmark (legacy vs streaming): full matrix writes
 # BENCH_send_path.json and enforces the perf acceptance bars; smoke is

@@ -1,18 +1,28 @@
 """Correctness tooling for the AdOC reproduction.
 
-Two halves:
+Three halves:
 
 * **adoclint** — an AST-based static analyzer with repo-specific
-  concurrency and wire-protocol rules (ADOC101..ADOC107, plus ADOC100
+  concurrency and wire-protocol rules (ADOC101..ADOC109, plus ADOC100
   for suppression hygiene).  Run it with ``adoc lint``, ``adoc-lint``
   or ``python -m repro.analysis``; rules are documented in
   ``docs/LINTING.md``.
+* **adoc check** — the whole-program analyzer: call graph, static
+  lock-order extraction with cycle detection (ADOC113), interprocedural
+  blocking-under-lock (ADOC110), deadline-propagation (ADOC111) and
+  thread-lifecycle (ADOC112) proofs, cross-module wire symmetry, and
+  cross-validation against a runtime lockgraph export (ADOC114 notes).
+  Documented in ``docs/ANALYSIS.md``.
 * **lockgraph** — a runtime lock-order/deadlock detector enabled by
   ``REPRO_LOCKCHECK=1``; every lock-owning class in the tree creates
   its primitives through :func:`make_lock`/:func:`make_condition` so
-  the whole test suite can run instrumented.
+  the whole test suite can run instrumented.  ``REPRO_LOCKCHECK_EXPORT``
+  writes the observed graph as JSON for `adoc check --lockgraph`.
 """
 
+from .baseline import apply_baseline, fingerprint, load_baseline, write_baseline
+from .callgraph import CallGraph, build_callgraph
+from .checker import CheckReport, run_check
 from .findings import RULES, Finding
 from .linter import LintReport, lint_sources, run_lint
 from .lockgraph import (
@@ -24,6 +34,7 @@ from .lockgraph import (
     make_condition,
     make_lock,
 )
+from .lockorder import LockAnalysis, StaticLockGraph, analyze_locks
 
 __all__ = [
     "RULES",
@@ -31,6 +42,17 @@ __all__ = [
     "LintReport",
     "lint_sources",
     "run_lint",
+    "CallGraph",
+    "build_callgraph",
+    "CheckReport",
+    "run_check",
+    "LockAnalysis",
+    "StaticLockGraph",
+    "analyze_locks",
+    "apply_baseline",
+    "fingerprint",
+    "load_baseline",
+    "write_baseline",
     "GLOBAL_GRAPH",
     "CheckedCondition",
     "CheckedLock",

@@ -1,7 +1,8 @@
 """``python -m repro.analysis`` — run adoclint from the command line.
 
 Also installed as the ``adoc-lint`` console script and reachable as
-``adoc lint``.  Exit status: 0 clean, 1 findings, 2 usage error.
+``adoc lint``.  Exit status: 0 clean, 1 findings, 2 internal error —
+the same contract as ``adoc check``.
 """
 
 from __future__ import annotations
@@ -11,6 +12,7 @@ import sys
 from pathlib import Path
 from typing import Sequence
 
+from .emitters import json_document, render_document, sarif_document
 from .findings import RULES
 from .linter import run_lint
 
@@ -36,6 +38,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--list-rules", action="store_true", help="print the rule table and exit"
     )
     parser.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--output", metavar="FILE", help="write the report here instead of stdout"
+    )
+    parser.add_argument(
         "-v",
         "--verbose",
         action="store_true",
@@ -51,10 +62,24 @@ def main(argv: Sequence[str] | None = None) -> int:
     paths = args.paths or [_default_target()]
     try:
         report = run_lint(paths)
-    except FileNotFoundError as exc:
-        print(f"adoclint: {exc}", file=sys.stderr)
+        if args.format == "text":
+            text = report.render(verbose=args.verbose)
+        elif args.format == "json":
+            doc = json_document(
+                "adoclint", report.files_checked, report.findings, report.suppressed
+            )
+            text = render_document(doc)
+        else:
+            doc = sarif_document("adoclint", report.findings, report.suppressed)
+            text = render_document(doc)
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as fh:
+                fh.write(text if text.endswith("\n") else text + "\n")
+        else:
+            print(text, end="" if text.endswith("\n") else "\n")
+    except Exception as exc:  # noqa: BLE001 - exit-code contract: 2 = internal error
+        print(f"adoclint: internal error: {exc}", file=sys.stderr)
         return 2
-    print(report.render(verbose=args.verbose))
     return report.exit_code
 
 

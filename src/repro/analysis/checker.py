@@ -1,0 +1,276 @@
+"""`adoc check` — the whole-program concurrency & protocol analyzer.
+
+Where adoclint (:mod:`repro.analysis.linter`) judges one function body
+at a time, this driver builds the interprocedural picture over a closed
+source set and runs the proofs that need it:
+
+* the call graph (:mod:`repro.analysis.callgraph`),
+* static lock-order extraction, cycle detection, and ADOC110
+  blocking-under-lock propagation (:mod:`repro.analysis.lockorder`),
+* ADOC111 deadline-propagation and ADOC112 thread-lifecycle
+  (:mod:`repro.analysis.interproc`),
+* cross-module wire symmetry (:mod:`repro.analysis.wirecheck`).
+
+Cross-validation against a runtime ``REPRO_LOCKCHECK`` lockgraph
+export (``--lockgraph``) reports statically-possible lock orderings no
+instrumented test ever exercised — ADOC114 notes, informational only.
+
+Findings honour the same inline suppressions as adoclint and an
+optional checked-in baseline (:mod:`repro.analysis.baseline`).  Exit
+codes are the adoclint contract: 0 clean, 1 findings, 2 internal
+error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import sys
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from . import interproc
+from .baseline import apply_baseline, load_baseline, write_baseline
+from .callgraph import build_callgraph
+from .emitters import json_document, render_document, sarif_document
+from .findings import Finding, RULES
+from .linter import _parse_suppressions, iter_python_files
+from .lockorder import analyze_locks
+from .wirecheck import StructUsage, check_struct_symmetry, collect_struct_usage
+
+__all__ = ["CheckReport", "run_check", "main"]
+
+TOOL_NAME = "adoc-check"
+
+
+@dataclass
+class CheckReport:
+    """Outcome of one `adoc check` run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    #: Informational findings (ADOC114 untested orderings); reported but
+    #: never affect the exit code.
+    notes: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    functions_resolved: int = 0
+    lock_edges: int = 0
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings else 0
+
+    def render(self, verbose: bool = False) -> str:
+        lines = []
+        for f in sorted(self.findings):
+            lines.append(f.render())
+        if verbose:
+            for f in sorted(self.suppressed):
+                lines.append(f"suppressed: {f.render()}")
+            for f in sorted(self.baselined):
+                lines.append(f"baselined: {f.render()}")
+        for f in sorted(self.notes):
+            lines.append(f"note: {f.render()}")
+        lines.append(
+            f"adoc check: {self.files_checked} file(s), "
+            f"{self.functions_resolved} function(s), "
+            f"{self.lock_edges} static lock edge(s): "
+            f"{len(self.findings)} finding(s), "
+            f"{len(self.suppressed)} suppressed, "
+            f"{len(self.baselined)} baselined, "
+            f"{len(self.notes)} note(s)"
+        )
+        return "\n".join(lines)
+
+
+def run_check(
+    sources: Iterable[tuple[str, str]],
+    runtime_edges: set[tuple[str, str]] | None = None,
+    baseline_fingerprints: set[str] | None = None,
+) -> CheckReport:
+    """Analyze (path, source-text) pairs as one closed whole program."""
+    report = CheckReport()
+    parsed: list[tuple[str, str]] = []
+    struct_usage = StructUsage()
+    suppress_by_path: dict[str, dict[int, set[str]]] = {}
+    raw: list[Finding] = []
+
+    for path, text in sources:
+        report.files_checked += 1
+        try:
+            tree = ast.parse(text, filename=path)
+        except SyntaxError as exc:
+            raw.append(
+                Finding(
+                    path,
+                    exc.lineno or 1,
+                    exc.offset or 0,
+                    "ADOC100",
+                    f"file does not parse: {exc.msg}",
+                )
+            )
+            continue
+        parsed.append((path, text))
+        line_suppress, meta = _parse_suppressions(text, path)
+        suppress_by_path[path] = line_suppress
+        raw.extend(meta)
+        struct_usage.merge(collect_struct_usage(tree, path))
+
+    cg = build_callgraph(parsed)
+    report.functions_resolved = len(cg.functions)
+
+    lock_analysis = analyze_locks(cg, runtime_edges=runtime_edges)
+    report.lock_edges = len(lock_analysis.graph.edges)
+    raw.extend(lock_analysis.findings)
+    raw.extend(interproc.check_deadline_propagation(cg))
+    raw.extend(interproc.check_thread_lifecycles(cg))
+    raw.extend(check_struct_symmetry(struct_usage))
+
+    live: list[Finding] = []
+    for f in raw:
+        if f.rule in suppress_by_path.get(f.path, {}).get(f.line, ()):
+            report.suppressed.append(f)
+        else:
+            live.append(f)
+    if baseline_fingerprints:
+        live, report.baselined = apply_baseline(live, baseline_fingerprints)
+    report.findings = live
+
+    notes = list(lock_analysis.notes)
+    report.notes = [
+        f
+        for f in notes
+        if f.rule not in suppress_by_path.get(f.path, {}).get(f.line, ())
+    ]
+    return report
+
+
+def _load_sources(paths: Sequence[str]) -> list[tuple[str, str]]:
+    files = iter_python_files(paths)
+    sources: list[tuple[str, str]] = []
+    for p in files:
+        with open(p, "r", encoding="utf-8") as fh:
+            sources.append((str(p), fh.read()))
+    return sources
+
+
+def _emit(text: str, output: str | None) -> None:
+    if output:
+        with open(output, "w", encoding="utf-8") as fh:
+            fh.write(text if text.endswith("\n") else text + "\n")
+    else:
+        print(text, end="" if text.endswith("\n") else "\n")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="adoc check",
+        description="whole-program concurrency & protocol analysis",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to analyze as one closed program "
+        "(default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--output", metavar="FILE", help="write the report here instead of stdout"
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="accepted-findings baseline (see docs/ANALYSIS.md)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite --baseline accepting every current live finding, "
+        "then exit 0",
+    )
+    parser.add_argument(
+        "--lockgraph",
+        metavar="FILE",
+        help="runtime lockgraph export (REPRO_LOCKCHECK_EXPORT) to "
+        "cross-validate static lock orderings against",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the interprocedural rule IDs and exit",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="store_true", help="show suppressed/baselined too"
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        for rule in ("ADOC110", "ADOC111", "ADOC112", "ADOC113", "ADOC114"):
+            print(f"{rule}  {RULES[rule]}")
+        return 0
+    if args.update_baseline and not args.baseline:
+        parser.error("--update-baseline requires --baseline")
+    try:
+        runtime_edges: set[tuple[str, str]] | None = None
+        if args.lockgraph:
+            from .lockgraph import LockGraph
+
+            with open(args.lockgraph, "r", encoding="utf-8") as fh:
+                runtime_edges = LockGraph.from_export(json.load(fh))
+
+        accepted: set[str] | None = None
+        if args.baseline and not args.update_baseline:
+            accepted = load_baseline(args.baseline)
+
+        report = run_check(
+            _load_sources(args.paths),
+            runtime_edges=runtime_edges,
+            baseline_fingerprints=accepted,
+        )
+
+        if args.update_baseline:
+            count = write_baseline(args.baseline, report.findings)
+            print(f"adoc check: baseline updated, {count} accepted finding(s)")
+            return 0
+
+        if args.format == "text":
+            _emit(report.render(verbose=args.verbose), args.output)
+        elif args.format == "json":
+            doc = json_document(
+                TOOL_NAME,
+                report.files_checked,
+                report.findings,
+                report.suppressed,
+                report.baselined,
+                report.notes,
+            )
+            _emit(render_document(doc), args.output)
+        else:
+            doc = sarif_document(
+                TOOL_NAME,
+                report.findings,
+                report.suppressed,
+                report.baselined,
+                report.notes,
+            )
+            _emit(render_document(doc), args.output)
+        return report.exit_code
+    except Exception as exc:  # noqa: BLE001 - exit-code contract: 2 = internal error
+        print(f"adoc check: internal error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,9 +1,11 @@
 """Finding records and the ADOC rule registry.
 
-Every rule ``adoclint`` can emit is listed here with a one-line
-description; :mod:`repro.analysis.rules` and
-:mod:`repro.analysis.wirecheck` implement the detection logic and
-``docs/LINTING.md`` documents each rule with bad/good examples.
+Every rule ``adoclint``/``adoc check`` can emit is listed here with a
+one-line description; :mod:`repro.analysis.rules` and
+:mod:`repro.analysis.wirecheck` implement the per-file checks,
+:mod:`repro.analysis.lockorder` and :mod:`repro.analysis.interproc`
+the whole-program ones, and ``docs/LINTING.md`` documents each rule
+with bad/good examples.
 """
 
 from __future__ import annotations
@@ -42,4 +44,10 @@ RULES: dict[str, str] = {
     "ADOC107": "struct format packed but never unpacked (wire asymmetry)",
     "ADOC108": "whole-payload copy (bytes()/b''.join) on the core hot path",
     "ADOC109": "direct threading lock/condition in obs/ (use lockgraph.make_lock)",
+    # Interprocedural rules (emitted by `adoc check`, not per-file lint).
+    "ADOC110": "blocking call transitively reachable while a lock is held",
+    "ADOC111": "public entry point reaches blocking I/O with no deadline bound",
+    "ADOC112": "Thread.start() with no join()/reap_threads() on any shutdown path",
+    "ADOC113": "statically-possible lock-order cycle",
+    "ADOC114": "statically-possible lock ordering never exercised at runtime",
 }

@@ -228,6 +228,58 @@ class LockGraph:
             )
         return "\n".join(lines)
 
+    # -- interchange -------------------------------------------------------
+
+    #: Export format version; bump on incompatible shape changes.  The
+    #: static analyzer (`adoc check --lockgraph`) consumes this file to
+    #: report statically-possible orderings never exercised at runtime.
+    EXPORT_VERSION = 1
+
+    def to_json(self) -> dict:
+        """Name-aggregated snapshot, JSON-shaped.
+
+        Edges are keyed by lock *name* (instance identity does not
+        survive a process boundary); counts for same-named edges from
+        different instances are summed.
+        """
+        agg: dict[tuple[str, str], dict] = {}
+        for e in self.edges():
+            entry = agg.setdefault(
+                (e.src, e.dst),
+                {"src": e.src, "dst": e.dst, "count": 0, "thread": e.thread},
+            )
+            entry["count"] += e.count
+        return {
+            "version": self.EXPORT_VERSION,
+            "edges": [agg[k] for k in sorted(agg)],
+            "cycles": self.find_cycles(),
+            "long_holds": [
+                {
+                    "name": h.name,
+                    "seconds": h.seconds,
+                    "thread": h.thread,
+                    "kind": h.kind,
+                }
+                for h in self.long_holds
+            ],
+        }
+
+    @staticmethod
+    def from_export(data: dict) -> set[tuple[str, str]]:
+        """Name-level edge set from a :meth:`to_json` document.
+
+        Raises ``ValueError`` on a missing/unsupported version so a
+        stale export fails loudly instead of silently reporting every
+        static edge as untested.
+        """
+        version = data.get("version")
+        if version != LockGraph.EXPORT_VERSION:
+            raise ValueError(
+                f"unsupported lockgraph export version {version!r} "
+                f"(expected {LockGraph.EXPORT_VERSION})"
+            )
+        return {(e["src"], e["dst"]) for e in data.get("edges", ())}
+
     def reset(self) -> None:
         with self._mu:
             self._edges.clear()

@@ -93,6 +93,7 @@ def live_echo_transfer(
         assert echoed == payload, "echo corrupted the payload"
         tx.close()
         rx.close()
+        t.join(timeout=5)
     else:
 
         def echo() -> None:
@@ -110,6 +111,7 @@ def live_echo_transfer(
         assert echoed == payload, "echo corrupted the payload"
         a.close()
         b.close()
+        t.join(timeout=5)
     return elapsed
 
 
@@ -155,6 +157,7 @@ def live_pingpong(
         stop.set()
         tx.close()
         rx.close()
+        t.join(timeout=5)
     else:
 
         def pong() -> None:
@@ -174,4 +177,5 @@ def live_pingpong(
         stop.set()
         a.close()
         b.close()
+        t.join(timeout=5)
     return Timing.from_samples(samples)

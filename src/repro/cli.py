@@ -24,6 +24,11 @@ Subcommands:
     rules) over the given files/directories, defaulting to the
     installed ``repro`` package.  See ``docs/LINTING.md``.
 
+``adoc check [PATH...]``
+    Run the whole-program analyzer: interprocedural lock-order,
+    deadline-propagation and thread-lifecycle proofs, with SARIF and
+    baseline support.  See ``docs/ANALYSIS.md``.
+
 ``adoc stats``
     Run a traced demo transfer and print its metrics (Prometheus text
     by default, ``--json`` for the JSON export); ``--trace-out F``
@@ -357,7 +362,30 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         argv.append("--list-rules")
     if args.verbose:
         argv.append("--verbose")
+    argv += ["--format", args.format]
+    if args.output:
+        argv += ["--output", args.output]
     return lint_main(argv)
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from .analysis.checker import main as check_main
+
+    argv: list[str] = list(args.paths)
+    if args.list_rules:
+        argv.append("--list-rules")
+    if args.verbose:
+        argv.append("--verbose")
+    argv += ["--format", args.format]
+    if args.output:
+        argv += ["--output", args.output]
+    if args.baseline:
+        argv += ["--baseline", args.baseline]
+    if args.update_baseline:
+        argv.append("--update-baseline")
+    if args.lockgraph:
+        argv += ["--lockgraph", args.lockgraph]
+    return check_main(argv)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -440,8 +468,32 @@ def build_parser() -> argparse.ArgumentParser:
                         help="files/directories (default: the repro package)")
     p_lint.add_argument("--list-rules", action="store_true",
                         help="print the rule table and exit")
+    p_lint.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text", help="output format (default: text)")
+    p_lint.add_argument("--output", metavar="FILE",
+                        help="write the report here instead of stdout")
     p_lint.add_argument("-v", "--verbose", action="store_true",
                         help="also show suppressed findings")
+
+    p_check = sub.add_parser(
+        "check", help="run the whole-program concurrency/protocol analyzer"
+    )
+    p_check.add_argument("paths", nargs="*",
+                         help="files/directories (default: src/repro)")
+    p_check.add_argument("--list-rules", action="store_true",
+                         help="list the interprocedural rule IDs and exit")
+    p_check.add_argument("--format", choices=("text", "json", "sarif"),
+                         default="text", help="output format (default: text)")
+    p_check.add_argument("--output", metavar="FILE",
+                         help="write the report here instead of stdout")
+    p_check.add_argument("--baseline", metavar="FILE",
+                         help="accepted-findings baseline file")
+    p_check.add_argument("--update-baseline", action="store_true",
+                         help="rewrite --baseline accepting current findings")
+    p_check.add_argument("--lockgraph", metavar="FILE",
+                         help="runtime lockgraph export to cross-validate against")
+    p_check.add_argument("-v", "--verbose", action="store_true",
+                         help="also show suppressed/baselined findings")
     return parser
 
 
@@ -462,6 +514,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "bench": _cmd_bench,
         "trace": _cmd_trace,
         "lint": _cmd_lint,
+        "check": _cmd_check,
         "stats": _cmd_stats,
         "top": _cmd_top,
     }

@@ -9,6 +9,7 @@ subsequent transfers on the session.
 from __future__ import annotations
 
 import logging
+import time
 from dataclasses import dataclass
 
 from ..core.config import AdocConfig, DEFAULT_CONFIG
@@ -65,14 +66,17 @@ class FileClient:
         server: FileServer,
         config: AdocConfig = DEFAULT_CONFIG,
         retry: RetryPolicy | None = None,
+        io_timeout_s: float | None = 30.0,
     ) -> None:
         self.server = server
         self.config = config
         self.retry = retry
+        self.io_timeout_s = io_timeout_s
         self.mode = "PLAIN"
         self.stripes = 1
         self.reconnects = 0
         self.control: Endpoint = server.connect()
+        self.control.settimeout(io_timeout_s)
         greeting = self._read_reply()
         if greeting.code != 220:
             raise GridFtpError(f"unexpected greeting: {greeting}")
@@ -163,6 +167,7 @@ class FileClient:
         except Exception:  # noqa: BLE001 - the old channel is already dead
             pass
         self.control = self.server.connect()
+        self.control.settimeout(self.io_timeout_s)
         self.reconnects += 1
         _log.warning("control channel lost; reconnect #%d", self.reconnects)
         tele = active_telemetry()
@@ -188,17 +193,24 @@ class FileClient:
 
     # -- control-channel plumbing -------------------------------------------------
 
+    def _op_deadline(self) -> float | None:
+        """Absolute deadline for one control-channel exchange."""
+        if self.io_timeout_s is None:
+            return None
+        return time.monotonic() + self.io_timeout_s
+
     def _command(self, line: str, expect: int | None = None) -> Reply:
-        sendall(self.control, (line + "\r\n").encode("utf-8"))
-        reply = self._read_reply()
+        deadline = self._op_deadline()
+        sendall(self.control, (line + "\r\n").encode("utf-8"), deadline=deadline)
+        reply = self._read_reply(deadline)
         if expect is not None and reply.code != expect:
             raise GridFtpError(f"{line!r} -> {reply}")
         if not reply.ok and expect is None:
             raise GridFtpError(f"{line!r} -> {reply}")
         return reply
 
-    def _read_reply(self) -> Reply:
-        line = read_line(self.control)
+    def _read_reply(self, deadline: float | None = None) -> Reply:
+        line = read_line(self.control, deadline=deadline or self._op_deadline())
         if not line:
             raise ControlConnectionLost("control connection closed")
         try:

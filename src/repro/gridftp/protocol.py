@@ -68,15 +68,24 @@ def parse_reply(line: bytes) -> Reply:
     return Reply(int(text[:3]), text[4:])
 
 
-def read_line(endpoint, max_len: int = 4096) -> bytes:
+def read_line(endpoint, max_len: int = 4096, deadline: float | None = None) -> bytes:
     """Read one CRLF-terminated line from an endpoint (byte at a time is
-    fine: control-channel traffic is tiny)."""
+    fine: control-channel traffic is tiny).
+
+    ``deadline`` is an absolute ``time.monotonic()`` timestamp bounding
+    the *whole line*, not each byte — a peer trickling one byte per
+    timeout period cannot stall the caller indefinitely.
+    """
+    from ..transport.base import _DeadlineScope
+
     buf = bytearray()
-    while len(buf) < max_len:
-        ch = endpoint.recv(1)
-        if not ch:
-            return bytes(buf)
-        buf += ch
-        if buf.endswith(b"\r\n"):
-            return bytes(buf)
+    with _DeadlineScope(endpoint, deadline, "read_line") as scope:
+        while len(buf) < max_len:
+            scope.tick()
+            ch = endpoint.recv(1)
+            if not ch:
+                return bytes(buf)
+            buf += ch
+            if buf.endswith(b"\r\n"):
+                return bytes(buf)
     raise ProtocolViolation("control line too long")

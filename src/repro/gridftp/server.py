@@ -67,19 +67,36 @@ class FileServer:
         self.files: dict[str, bytes] = {}
         self._files_lock = make_lock("FileServer.files_lock")
         self.transfers = 0  # diagnostic counter
+        self._sessions: list[tuple[threading.Thread, Endpoint]] = []
 
     # -- connection management ------------------------------------------------
 
-    def connect(self) -> Endpoint:
+    def connect(self) -> Endpoint:  # adoclint: disable=ADOC111 -- the control loop waits for the next command indefinitely by contract; client-side replies are deadline-bounded
         """Open a control connection; returns the client's end."""
         client_end, server_end = self.transport_factory()
-        threading.Thread(
+        thread = threading.Thread(
             target=self._control_loop,
             args=(server_end,),
             name="gridftp-control",
             daemon=True,
-        ).start()
+        )
+        self._sessions.append((thread, server_end))
+        thread.start()
         return client_end
+
+    def close(self, join_timeout: float = 5.0) -> None:
+        """Tear down every control session: close the server-side
+        endpoints (waking any loop blocked in ``read_line``) and join
+        the control threads.  Idempotent; sessions that already ended
+        are just reaped."""
+        sessions, self._sessions = self._sessions, []
+        for _, endpoint in sessions:
+            try:
+                endpoint.close()
+            except Exception:  # noqa: BLE001 - endpoint may already be dead
+                pass
+        for thread, _ in sessions:
+            thread.join(join_timeout)
 
     # -- file store -------------------------------------------------------------
 

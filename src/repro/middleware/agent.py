@@ -53,7 +53,7 @@ class Agent:
         with self._lock:
             return [r.server for r in self._registrations if service in r.server.registry]
 
-    def connect(self, service: str) -> Endpoint:
+    def connect(self, service: str) -> Endpoint:  # adoclint: disable=ADOC111 -- serve() is called in background mode and returns immediately; the join only runs for foreground serves
         """Pick the best server for ``service`` and return a connected
         client endpoint (the server side starts serving immediately).
 

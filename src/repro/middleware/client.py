@@ -86,6 +86,7 @@ class Client:
         self.communicator_factory = communicator_factory
         self.clock = clock
         self.retry = retry
+        self._async_threads: list[Thread] = []
 
     def call_raw(
         self,
@@ -207,5 +208,21 @@ class Client:
             except BaseException as exc:  # noqa: BLE001 - delivered via future
                 future.set_exception(exc)
 
-        Thread(target=run, name="netsolve-async", daemon=True).start()
+        thread = Thread(target=run, name="netsolve-async", daemon=True)
+        self._async_threads.append(thread)
+        thread.start()
         return future
+
+    def drain_async(self, timeout: float | None = 10.0) -> None:
+        """Wait for every outstanding :meth:`call_async` worker.
+
+        The futures deliver results; this reaps the threads behind
+        them, so a client can be torn down without leaking workers.
+        Threads still running after ``timeout`` are kept for the next
+        drain rather than abandoned silently.
+        """
+        threads, self._async_threads = self._async_threads, []
+        for thread in threads:
+            thread.join(timeout)
+            if thread.is_alive():
+                self._async_threads.append(thread)

@@ -69,7 +69,7 @@ class Server:
     def services(self) -> list[str]:
         return self.registry.names()
 
-    def serve(self, endpoint: Endpoint, background: bool = True) -> threading.Thread:
+    def serve(self, endpoint: Endpoint, background: bool = True) -> threading.Thread:  # adoclint: disable=ADOC111 -- foreground serve blocks until client EOF by contract; background mode returns immediately
         """Serve one connection; requests are handled until EOF."""
         thread = threading.Thread(
             target=self._serve_loop,

@@ -233,7 +233,7 @@ class FaultyEndpoint(Endpoint):
 
     # -- Endpoint surface ------------------------------------------------
 
-    def send(self, data: bytes | bytearray | memoryview) -> int:
+    def send(self, data: bytes | bytearray | memoryview) -> int:  # adoclint: disable=ADOC111 -- fault proxy: mirrors the wrapped endpoint's blocking semantics; the bound is the inner endpoint's settimeout
         view = memoryview(data)
         fault, off = self._take("send", self.sent_bytes, max(len(view), 1), self._send_ops)
         self._send_ops += 1
@@ -292,7 +292,7 @@ class FaultyEndpoint(Endpoint):
             total += n
         return total
 
-    def recv(self, n: int) -> bytes:
+    def recv(self, n: int) -> bytes:  # adoclint: disable=ADOC111 -- fault proxy: mirrors the wrapped endpoint's blocking semantics; the bound is the inner endpoint's settimeout
         fault, _ = self._take("recv", self.recv_bytes, max(n, 1), self._recv_ops)
         self._recv_ops += 1
         if fault is not None:

@@ -96,11 +96,18 @@ def tcp_pair(nodelay: bool = True) -> tuple[SocketEndpoint, SocketEndpoint]:
     """
     listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
     try:
+        # Loopback connect/accept is near-instant when healthy; a bound
+        # here turns a misconfigured host into a crisp error instead of
+        # a silent hang.
+        listener.settimeout(10.0)
         listener.bind(("127.0.0.1", 0))
         listener.listen(1)
         client = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        client.settimeout(10.0)
         client.connect(listener.getsockname())
         server, _ = listener.accept()
+        client.settimeout(None)
+        server.settimeout(None)
     finally:
         listener.close()
     if nodelay:

@@ -1,0 +1,277 @@
+"""Deadline-propagation (ADOC111) and thread-lifecycle (ADOC112) proofs."""
+
+from __future__ import annotations
+
+from repro.analysis.callgraph import build_callgraph
+from repro.analysis.interproc import (
+    check_deadline_propagation,
+    check_thread_lifecycles,
+)
+
+
+def _deadlines(*sources):
+    return check_deadline_propagation(build_callgraph(list(sources)))
+
+
+def _threads(*sources):
+    return check_thread_lifecycles(build_callgraph(list(sources)))
+
+
+# ---------------------------------------------------------------------------
+# ADOC111 — deadline propagation
+# ---------------------------------------------------------------------------
+
+
+def test_seeded_unbounded_blocking_path_fires_adoc111():
+    findings = _deadlines(
+        (
+            "pkg/a.py",
+            """
+__all__ = ["fetch"]
+
+def fetch(sock):
+    return _pull(sock)
+
+def _pull(sock):
+    return sock.recv(4096)
+""",
+        )
+    )
+    [f] = [f for f in findings if f.rule == "ADOC111"]
+    assert "fetch" in f.message and "recv" in f.message
+    # Anchored at the public entry so the fix lands on the API surface.
+    assert f.line == 4
+
+
+def test_bounded_path_is_clean():
+    findings = _deadlines(
+        (
+            "pkg/a.py",
+            """
+__all__ = ["fetch"]
+
+def fetch(sock, io_timeout_s=30.0):
+    sock.settimeout(io_timeout_s)
+    return _pull(sock)
+
+def _pull(sock):
+    return sock.recv(4096)
+""",
+        )
+    )
+    assert not [f for f in findings if f.rule == "ADOC111"]
+
+
+def test_deadline_object_on_path_is_a_bound():
+    findings = _deadlines(
+        (
+            "pkg/a.py",
+            """
+__all__ = ["fetch"]
+
+from repro.transport.base import Deadline
+
+def fetch(sock):
+    dl = Deadline(30.0)
+    return _pull(sock, dl)
+
+def _pull(sock, dl):
+    return sock.recv(4096)
+""",
+        )
+    )
+    assert not [f for f in findings if f.rule == "ADOC111"]
+
+
+def test_private_helpers_are_not_entry_points():
+    findings = _deadlines(
+        (
+            "pkg/a.py",
+            """
+__all__ = []
+
+def _internal(sock):
+    return sock.recv(4096)
+""",
+        )
+    )
+    assert not [f for f in findings if f.rule == "ADOC111"]
+
+
+def test_blocking_reachable_only_via_thread_edge_still_fires():
+    # The spawned worker runs on the public API's behalf; an unbounded
+    # recv there hangs the transfer just the same.
+    findings = _deadlines(
+        (
+            "pkg/a.py",
+            """
+import threading
+
+__all__ = ["start_pump"]
+
+def start_pump(sock):
+    t = threading.Thread(target=_pump, args=(sock,), name="pump")
+    t.start()
+    return t
+
+def _pump(sock):
+    sock.recv(4096)
+""",
+        )
+    )
+    [f] = [f for f in findings if f.rule == "ADOC111"]
+    assert "_pump" in f.message
+
+
+def test_generator_send_is_not_a_transport_op():
+    findings = _deadlines(
+        (
+            "pkg/a.py",
+            """
+__all__ = ["drive"]
+
+def drive(gen):
+    return gen.send(None)
+""",
+        )
+    )
+    assert not [f for f in findings if f.rule == "ADOC111"]
+
+
+def test_public_method_of_dunder_all_class_is_an_entry():
+    findings = _deadlines(
+        (
+            "pkg/a.py",
+            """
+__all__ = ["Client"]
+
+class Client:
+    def __init__(self, sock):
+        self.sock = sock
+
+    def read(self):
+        return self.sock.recv(4096)
+
+    def _private(self):
+        return self.sock.recv(4096)
+""",
+        )
+    )
+    entries = {f.message.split("'")[1] for f in findings if f.rule == "ADOC111"}
+    assert "Client.read" in entries
+    assert all("_private" not in e for e in entries)
+
+
+# ---------------------------------------------------------------------------
+# ADOC112 — thread lifecycle
+# ---------------------------------------------------------------------------
+
+
+def test_seeded_leaked_thread_fires_adoc112():
+    findings = _threads(
+        (
+            "pkg/a.py",
+            """
+import threading
+
+class Pump:
+    def start(self):
+        self._worker = threading.Thread(target=self._run, name="pump")
+        self._worker.start()
+
+    def _run(self):
+        pass
+""",
+        )
+    )
+    [f] = [f for f in findings if f.rule == "ADOC112"]
+    assert "Pump.start" in f.message and "never joined" in f.message
+
+
+def test_join_in_same_function_is_clean():
+    findings = _threads(
+        (
+            "pkg/a.py",
+            """
+import threading
+
+def run_once():
+    t = threading.Thread(target=print, name="once")
+    t.start()
+    t.join(timeout=5.0)
+""",
+        )
+    )
+    assert not [f for f in findings if f.rule == "ADOC112"]
+
+
+def test_join_in_sibling_method_is_shutdown_evidence():
+    findings = _threads(
+        (
+            "pkg/a.py",
+            """
+import threading
+
+class Pump:
+    def start(self):
+        self._worker = threading.Thread(target=self._run, name="pump")
+        self._worker.start()
+
+    def close(self):
+        self._worker.join(timeout=5.0)
+
+    def _run(self):
+        pass
+""",
+        )
+    )
+    assert not [f for f in findings if f.rule == "ADOC112"]
+
+
+def test_join_in_direct_caller_is_shutdown_evidence():
+    findings = _threads(
+        (
+            "pkg/a.py",
+            """
+import threading
+
+def _spawn():
+    t = threading.Thread(target=print, name="w")
+    t.start()
+    return t
+
+def run():
+    t = _spawn()
+    t.join(timeout=5.0)
+""",
+        )
+    )
+    assert not [f for f in findings if f.rule == "ADOC112"]
+
+
+def test_thread_list_with_reap_threads_is_clean():
+    findings = _threads(
+        (
+            "pkg/a.py",
+            """
+import threading
+
+class Pool:
+    def __init__(self):
+        self._threads = []
+
+    def spawn(self):
+        t = threading.Thread(target=print, name="w")
+        t.start()
+        self._threads.append(t)
+
+    def close(self):
+        reap_threads(self._threads, timeout=5.0)
+
+def reap_threads(threads, timeout):
+    for t in threads:
+        t.join(timeout=timeout)
+""",
+        )
+    )
+    assert not [f for f in findings if f.rule == "ADOC112"]

@@ -1,0 +1,69 @@
+"""Runtime lockgraph export / import — the static↔runtime interchange."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.lockgraph import CheckedLock, LockGraph
+
+
+def _nested(g, first, second, times=1):
+    for _ in range(times):
+        with first:
+            with second:
+                pass
+
+
+def test_export_import_round_trip():
+    g = LockGraph()
+    a = CheckedLock("A", g)
+    b = CheckedLock("B", g)
+    _nested(g, a, b)
+
+    doc = json.loads(json.dumps(g.to_json()))  # through a real JSON hop
+    assert doc["version"] == LockGraph.EXPORT_VERSION
+    assert LockGraph.from_export(doc) == {("A", "B")}
+
+
+def test_from_export_rejects_unknown_version():
+    with pytest.raises(ValueError):
+        LockGraph.from_export({"version": 99, "edges": []})
+    with pytest.raises(ValueError):
+        LockGraph.from_export({"edges": []})
+
+
+def test_export_aggregates_same_named_edges_and_sums_counts():
+    # Two instance pairs sharing names (striping: per-stream locks named
+    # after the class) collapse to one name-level edge with summed count.
+    g = LockGraph()
+    a1, b1 = CheckedLock("S.lock", g), CheckedLock("S.buf", g)
+    a2, b2 = CheckedLock("S.lock", g), CheckedLock("S.buf", g)
+    _nested(g, a1, b1, times=2)
+    _nested(g, a2, b2, times=3)
+
+    doc = g.to_json()
+    [edge] = [e for e in doc["edges"] if (e["src"], e["dst"]) == ("S.lock", "S.buf")]
+    assert edge["count"] == 5
+    assert LockGraph.from_export(doc) == {("S.lock", "S.buf")}
+
+
+def test_exported_cycles_match_golden_report():
+    g = LockGraph()
+    a = CheckedLock("A", g)
+    b = CheckedLock("B", g)
+    _nested(g, a, b)
+    _nested(g, b, a)
+
+    doc = g.to_json()
+    assert doc["cycles"], "inverted acquisition order must export a cycle"
+    [cycle] = doc["cycles"]
+    assert set(cycle) >= {"A", "B"}
+
+    # The human-readable report names the same cycle — golden contract
+    # between the export consumed by `adoc check` and what a developer
+    # sees in the REPRO_LOCKCHECK failure output.
+    report = g.report()
+    assert "A" in report and "B" in report
+    assert "cycle" in report.lower()

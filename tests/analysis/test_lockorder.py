@@ -1,0 +1,294 @@
+"""Static lock-order extraction, propagation, and cycle detection."""
+
+from __future__ import annotations
+
+from repro.analysis.callgraph import build_callgraph
+from repro.analysis.lockorder import analyze_locks
+
+
+def _analyze(*sources, runtime_edges=None):
+    return analyze_locks(build_callgraph(list(sources)), runtime_edges=runtime_edges)
+
+
+def test_intra_function_nesting_is_an_edge():
+    la = _analyze(
+        (
+            "pkg/a.py",
+            """
+from repro.analysis.lockgraph import make_lock
+
+class Box:
+    def __init__(self):
+        self._a = make_lock("Box.A")
+        self._b = make_lock("Box.B")
+
+    def both(self):
+        with self._a:
+            with self._b:
+                pass
+""",
+        )
+    )
+    edges = {(s.split(".")[-1], d.split(".")[-1]) for s, d in la.graph.edges}
+    assert ("_a", "_b") in edges
+
+
+def test_interprocedural_nesting_is_an_edge():
+    la = _analyze(
+        (
+            "pkg/a.py",
+            """
+from repro.analysis.lockgraph import make_lock
+
+class Outer:
+    def __init__(self):
+        self._lock = make_lock("Outer.lock")
+        self.inner = Inner()
+
+    def go(self):
+        with self._lock:
+            self.inner.poke()
+
+class Inner:
+    def __init__(self):
+        self._lock = make_lock("Inner.lock")
+
+    def poke(self):
+        with self._lock:
+            pass
+""",
+        )
+    )
+    named = set(la.graph.runtime_named_edges())
+    assert ("Outer.lock", "Inner.lock") in named
+
+
+def test_seeded_lock_order_cycle_is_adoc113():
+    la = _analyze(
+        (
+            "pkg/a.py",
+            """
+from repro.analysis.lockgraph import make_lock
+
+class Pair:
+    def __init__(self):
+        self._a = make_lock("Pair.A")
+        self._b = make_lock("Pair.B")
+
+    def forward(self):
+        with self._a:
+            with self._b:
+                pass
+
+    def backward(self):
+        with self._b:
+            with self._a:
+                pass
+""",
+        )
+    )
+    rules = {f.rule for f in la.findings}
+    assert "ADOC113" in rules
+    [cycle_finding] = [f for f in la.findings if f.rule == "ADOC113"]
+    assert "Pair.A" in cycle_finding.message and "Pair.B" in cycle_finding.message
+
+
+def test_consistent_order_has_no_cycle_finding():
+    la = _analyze(
+        (
+            "pkg/a.py",
+            """
+from repro.analysis.lockgraph import make_lock
+
+class Pair:
+    def __init__(self):
+        self._a = make_lock("Pair.A")
+        self._b = make_lock("Pair.B")
+
+    def one(self):
+        with self._a:
+            with self._b:
+                pass
+
+    def two(self):
+        with self._a:
+            with self._b:
+                pass
+""",
+        )
+    )
+    assert not [f for f in la.findings if f.rule == "ADOC113"]
+
+
+def test_self_nesting_of_one_class_lock_is_not_a_cycle():
+    # Two *instances* of the same class may nest legally (striping,
+    # hand-over-hand); a static self-loop must not be reported.
+    la = _analyze(
+        (
+            "pkg/a.py",
+            """
+from repro.analysis.lockgraph import make_lock
+
+class Node:
+    def __init__(self):
+        self._lock = make_lock("Node.lock")
+
+    def link(self, other):
+        with self._lock:
+            with other._lock:
+                pass
+""",
+        )
+    )
+    assert not [f for f in la.findings if f.rule == "ADOC113"]
+
+
+def test_adoc110_blocking_reachable_under_lock_fires():
+    la = _analyze(
+        (
+            "pkg/a.py",
+            """
+from repro.analysis.lockgraph import make_lock
+
+class Conn:
+    def __init__(self, sock):
+        self._lock = make_lock("Conn.lock")
+        self.sock = sock
+
+    def locked_send(self, data):
+        with self._lock:
+            self._flush(data)
+
+    def _flush(self, data):
+        self.sock.sendall(data)
+""",
+        )
+    )
+    [f] = [f for f in la.findings if f.rule == "ADOC110"]
+    assert "_flush" in f.message and "sendall" in f.message
+
+
+def test_adoc110_quiet_when_callee_does_not_block():
+    la = _analyze(
+        (
+            "pkg/a.py",
+            """
+from repro.analysis.lockgraph import make_lock
+
+class Conn:
+    def __init__(self):
+        self._lock = make_lock("Conn.lock")
+        self.n = 0
+
+    def bump(self):
+        with self._lock:
+            self._count()
+
+    def _count(self):
+        self.n += 1
+""",
+        )
+    )
+    assert not [f for f in la.findings if f.rule == "ADOC110"]
+
+
+def test_thread_spawn_under_lock_does_not_propagate_holding():
+    # Thread(target=...).start() under a lock runs the target on a NEW
+    # thread that does not hold the lock; no ADOC110.
+    la = _analyze(
+        (
+            "pkg/a.py",
+            """
+import threading
+from repro.analysis.lockgraph import make_lock
+
+class Spawner:
+    def __init__(self, sock):
+        self._lock = make_lock("Spawner.lock")
+        self.sock = sock
+
+    def go(self):
+        with self._lock:
+            t = threading.Thread(target=self._worker, name="w", daemon=True)
+            t.start()
+
+    def _worker(self):
+        self.sock.sendall(b"x")
+""",
+        )
+    )
+    assert not [f for f in la.findings if f.rule == "ADOC110"]
+
+
+def test_condition_maps_to_its_underlying_lock():
+    la = _analyze(
+        (
+            "pkg/a.py",
+            """
+from repro.analysis.lockgraph import make_condition, make_lock
+
+class Q:
+    def __init__(self):
+        self._lock = make_lock("Q.lock")
+        self.not_empty = make_condition(self._lock, "Q.not_empty")
+        self._journal = make_lock("Q.journal")
+
+    def wait_then_log(self):
+        with self.not_empty:
+            with self._journal:
+                pass
+""",
+        )
+    )
+    named = set(la.graph.runtime_named_edges())
+    # The condition acquires its *underlying* lock, so the static edge
+    # must be Q.lock -> Q.journal, not Q.not_empty -> Q.journal.
+    assert ("Q.lock", "Q.journal") in named
+
+
+def test_runtime_cross_validation_reports_untested_edges():
+    src = (
+        "pkg/a.py",
+        """
+from repro.analysis.lockgraph import make_lock
+
+class Pair:
+    def __init__(self):
+        self._a = make_lock("Pair.A")
+        self._b = make_lock("Pair.B")
+
+    def nest(self):
+        with self._a:
+            with self._b:
+                pass
+""",
+    )
+    exercised = _analyze(src, runtime_edges={("Pair.A", "Pair.B")})
+    assert exercised.notes == []
+
+    untested = _analyze(src, runtime_edges=set())
+    [note] = untested.notes
+    assert note.rule == "ADOC114"
+    assert "Pair.A" in note.message and "Pair.B" in note.message
+
+
+def test_no_runtime_export_means_no_notes():
+    la = _analyze(
+        (
+            "pkg/a.py",
+            """
+from repro.analysis.lockgraph import make_lock
+
+class Pair:
+    def __init__(self):
+        self._a = make_lock("Pair.A")
+        self._b = make_lock("Pair.B")
+
+    def nest(self):
+        with self._a:
+            with self._b:
+                pass
+""",
+        )
+    )
+    assert la.notes == []

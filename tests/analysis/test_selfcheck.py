@@ -1,0 +1,44 @@
+"""`adoc check` applied to this repository's own source tree.
+
+The analyzer eats its own dogfood: the tree must be clean (every true
+finding fixed, every accepted one suppressed inline with a written
+justification), and the suppression debt is pinned so it can only
+shrink deliberately.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.checker import run_check
+from repro.analysis.linter import iter_python_files
+
+_SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def _sources():
+    return [
+        (str(p), p.read_text(encoding="utf-8"))
+        for p in iter_python_files([str(_SRC)])
+    ]
+
+
+def test_src_repro_is_clean_under_adoc_check():
+    report = run_check(_sources())
+    assert report.files_checked > 50
+    assert report.functions_resolved > 500
+    rendered = report.render(verbose=True)
+    assert report.findings == [], f"adoc check regressions:\n{rendered}"
+    assert report.exit_code == 0
+
+
+def test_suppression_debt_only_shrinks_deliberately():
+    report = run_check(_sources())
+    suppressed_rules = {f.rule for f in report.suppressed}
+    assert suppressed_rules <= {"ADOC110", "ADOC111"}, (
+        "new suppressed rule category — extend this pin only with a "
+        f"written justification: {sorted(suppressed_rules)}"
+    )
+    # 12 accepted-by-design sites as of this PR; update alongside any
+    # new inline suppression so debt growth is visible in review.
+    assert len(report.suppressed) <= 12, report.render(verbose=True)

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 import threading
 
 import pytest
@@ -20,6 +21,16 @@ def pytest_sessionfinish(session, exitstatus):
 
     if not enabled():
         return
+    export_path = os.environ.get("REPRO_LOCKCHECK_EXPORT")
+    if export_path:
+        # Interchange with the static analyzer: `adoc check --lockgraph`
+        # reads this to flag statically-possible orderings the suite
+        # never exercised (ADOC114).
+        import json
+
+        with open(export_path, "w", encoding="utf-8") as fh:
+            json.dump(GLOBAL_GRAPH.to_json(), fh, indent=2)
+            fh.write("\n")
     report = GLOBAL_GRAPH.report()
     cycles = GLOBAL_GRAPH.find_cycles()
     tr = session.config.pluginmanager.get_plugin("terminalreporter")
