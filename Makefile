@@ -31,19 +31,24 @@ adoclint:
 check:
 	$(PYTHON) -m repro.cli check src/repro -v
 
-# Send-path engine benchmark (legacy vs streaming): full matrix writes
-# BENCH_send_path.json and enforces the perf acceptance bars; smoke is
-# the seconds-long CI variant.
+# Send-path engine benchmark (legacy vs streaming) plus the reactor
+# concurrency curve (thread-per-connection vs multiplexed): full runs
+# write BENCH_send_path.json / BENCH_concurrency.json and enforce the
+# perf acceptance bars; smoke is the seconds-long CI variant.
 bench:
 	$(PYTHON) benchmarks/send_path.py
+	$(PYTHON) benchmarks/concurrency.py
 
 bench-smoke:
 	$(PYTHON) benchmarks/send_path.py --smoke
+	$(PYTHON) benchmarks/concurrency.py --smoke
 
-# Gate a fresh smoke run against the committed baseline (>2x fails).
+# Gate fresh smoke runs against the committed baselines (>2x fails).
 bench-compare:
 	$(PYTHON) benchmarks/send_path.py --smoke --out BENCH_send_path.smoke.json
 	$(PYTHON) benchmarks/compare.py BENCH_send_path.json BENCH_send_path.smoke.json
+	$(PYTHON) benchmarks/concurrency.py --smoke --out BENCH_concurrency.smoke.json
+	$(PYTHON) benchmarks/compare.py BENCH_concurrency.json BENCH_concurrency.smoke.json
 
 # The paper-figure benchmarks (tables/figures of RR-5500).
 bench-paper:

@@ -1,13 +1,20 @@
-"""Compare two send-path benchmark result files; fail on regressions.
+"""Compare two benchmark result files; fail on throughput regressions.
 
-CI runs the smoke benchmark (``send_path.py --smoke``) on every push
-and gates it against the committed full-run baseline
-(``BENCH_send_path.json``): scenarios present in *both* files —
-matched on ``(impl, size_mb, level)`` — must not have slowed down by
-more than ``--max-regression`` (default 2x).  CI runners are noisy, so
-the bar is deliberately loose; it exists to catch catastrophic
-regressions (an accidental O(n^2), a lost zero-copy path), not to
-police single-digit percentages.
+CI runs each smoke benchmark (``send_path.py --smoke``,
+``concurrency.py --smoke``) on every push and gates it against the
+committed full-run baseline (``BENCH_send_path.json``,
+``BENCH_concurrency.json``): scenarios present in *both* files must
+not have slowed down by more than ``--max-regression`` (default 2x).
+CI runners are noisy, so the bar is deliberately loose; it exists to
+catch catastrophic regressions (an accidental O(n^2), a lost zero-copy
+path, a reactor that stopped multiplexing), not to police single-digit
+percentages.
+
+Scenarios are matched on the result file's ``key_fields`` — the list
+of row fields that identify one scenario (``["impl", "size_mb",
+"level"]`` for the send path, ``["impl", "streams"]`` for the
+concurrency curve).  Files that predate the field fall back to the
+send-path key.  Every matched row must carry ``throughput_mb_s``.
 
 Usage::
 
@@ -26,14 +33,20 @@ import json
 import sys
 from pathlib import Path
 
-Scenario = tuple[str, int, int]  # (impl, size_mb, level)
+Scenario = tuple  # the row's key_fields values, in order
+
+_DEFAULT_KEY_FIELDS = ["impl", "size_mb", "level"]
 
 
 def load_results(path: Path) -> dict[Scenario, dict]:
     payload = json.loads(path.read_text())
+    key_fields = payload.get("key_fields", _DEFAULT_KEY_FIELDS)
     out: dict[Scenario, dict] = {}
     for row in payload.get("results", []):
-        out[(row["impl"], row["size_mb"], row["level"])] = row
+        key = tuple(row[f] for f in key_fields)
+        # Prefix each value with its field name so two benchmarks'
+        # keys can never collide by coincidence of shape.
+        out[tuple(f"{f}={v}" for f, v in zip(key_fields, key))] = row
     return out
 
 
@@ -48,13 +61,14 @@ def compare(
     if not shared:
         return ["no overlapping scenarios between baseline and candidate"], False
     ok = True
+    label_w = max(24, max(len(" ".join(key)) for key in shared))
     header = (
-        f"{'scenario':<24} {'baseline':>10} {'candidate':>10} {'ratio':>7}  verdict"
+        f"{'scenario':<{label_w}} {'baseline':>10} {'candidate':>10} "
+        f"{'ratio':>7}  verdict"
     )
     lines.append(header)
     lines.append("-" * len(header))
     for key in shared:
-        impl, size_mb, level = key
         base = baseline[key]["throughput_mb_s"]
         cand = candidate[key]["throughput_mb_s"]
         # ratio > 1 means the candidate is slower.
@@ -64,8 +78,8 @@ def compare(
             verdict = f"REGRESSION (> {max_regression:g}x)"
             ok = False
         lines.append(
-            f"{impl:>6} {size_mb:>3} MB lvl {level:<2}      "
-            f"{base:>8.1f} {cand:>10.1f} {ratio:>6.2f}x  {verdict}"
+            f"{' '.join(key):<{label_w}} "
+            f"{base:>10.1f} {cand:>10.1f} {ratio:>6.2f}x  {verdict}"
         )
     return lines, ok
 

@@ -30,7 +30,7 @@ import sys
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
-from . import interproc
+from . import interproc, reactorcheck
 from .baseline import apply_baseline, load_baseline, write_baseline
 from .callgraph import build_callgraph
 from .emitters import json_document, render_document, sarif_document
@@ -124,8 +124,9 @@ def run_check(
     lock_analysis = analyze_locks(cg, runtime_edges=runtime_edges)
     report.lock_edges = len(lock_analysis.graph.edges)
     raw.extend(lock_analysis.findings)
-    raw.extend(interproc.check_deadline_propagation(cg))
+    raw.extend(interproc.check_deadline_propagation(cg, suppress_by_path))
     raw.extend(interproc.check_thread_lifecycles(cg))
+    raw.extend(reactorcheck.check_reactor_callbacks(cg))
     raw.extend(check_struct_symmetry(struct_usage))
 
     live: list[Finding] = []
@@ -217,7 +218,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.list_rules:
-        for rule in ("ADOC110", "ADOC111", "ADOC112", "ADOC113", "ADOC114"):
+        for rule in (
+            "ADOC110", "ADOC111", "ADOC112", "ADOC113", "ADOC114", "ADOC115"
+        ):
             print(f"{rule}  {RULES[rule]}")
         return 0
     if args.update_baseline and not args.baseline:

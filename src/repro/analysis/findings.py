@@ -50,4 +50,5 @@ RULES: dict[str, str] = {
     "ADOC112": "Thread.start() with no join()/reap_threads() on any shutdown path",
     "ADOC113": "statically-possible lock-order cycle",
     "ADOC114": "statically-possible lock ordering never exercised at runtime",
+    "ADOC115": "blocking call reachable from a reactor callback",
 }

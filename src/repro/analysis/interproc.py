@@ -158,20 +158,53 @@ def _entry_points(cg: CallGraph) -> list[FunctionInfo]:
     return out
 
 
-def check_deadline_propagation(cg: CallGraph) -> list[Finding]:
-    """ADOC111: unbounded blocking reachable from the public API."""
+def check_deadline_propagation(
+    cg: CallGraph,
+    suppressions: dict[str, dict[int, set[str]]] | None = None,
+) -> list[Finding]:
+    """ADOC111: unbounded blocking reachable from the public API.
+
+    ``suppressions`` is the per-path, per-line suppressed-rule map the
+    driver already parsed.  A blocking call whose own line carries an
+    ``ADOC111`` suppression is a *justified leaf* — non-blocking by
+    construction (``O_NONBLOCK`` descriptors, self-pipe writes) — and
+    kills every path through it, so a sanctioned leaf does not have to
+    be re-suppressed at each public entry point that can reach it.  The
+    leaf still yields one finding at its own line (which the driver's
+    suppression filter then records as suppressed) so the report stays
+    honest about what was sanctioned.
+    """
+    suppressions = suppressions or {}
     bounded = {
         qual: _mentions_bound(info.node) for qual, info in cg.functions.items()
     }
     blocking = {}
+    findings: list[Finding] = []
+    leaf_seen: set[tuple[str, int]] = set()
     for qual, info in cg.functions.items():
         resolved = frozenset(
             (site.line, site.col)
             for site in cg.calls.get(qual, ())
             if site.callees
         )
-        blocking[qual] = _transport_blocking_ops(info.node, resolved)
-    findings: list[Finding] = []
+        sanctioned = suppressions.get(info.path, {})
+        live_ops = []
+        for op, line in _transport_blocking_ops(info.node, resolved):
+            if "ADOC111" not in sanctioned.get(line, ()):
+                live_ops.append((op, line))
+            elif (info.path, line) not in leaf_seen:
+                leaf_seen.add((info.path, line))
+                findings.append(
+                    Finding(
+                        info.path,
+                        line,
+                        info.node.col_offset,
+                        "ADOC111",
+                        f"blocking '{op}' in '{_short(qual)}' sanctioned "
+                        "at the leaf — paths through it are pruned",
+                    )
+                )
+        blocking[qual] = live_ops
     for entry in _entry_points(cg):
         if bounded.get(entry.qualname, False):
             continue

@@ -30,15 +30,18 @@ Subcommands:
     baseline support.  See ``docs/ANALYSIS.md``.
 
 ``adoc stats``
-    Run a traced demo transfer and print its metrics (Prometheus text
-    by default, ``--json`` for the JSON export); ``--trace-out F``
-    additionally writes a Chrome ``trace_event`` file for
-    ``chrome://tracing`` / Perfetto.
+    Run a traced demo transfer — one blocking pipelined send plus a
+    short reactor-mode echo exchange — and print the combined metrics
+    (Prometheus text by default, ``--json`` for the JSON export): the
+    Figure-2 pipeline counters alongside the serve-layer gauges (loop
+    lag, ready-queue depth, pool utilization, connection count).
+    ``--trace-out F`` additionally writes a Chrome ``trace_event`` file
+    for ``chrome://tracing`` / Perfetto.
 
 ``adoc top``
-    Live view of the adaptive pipeline: per-connection accounting and
-    the level/queue timeline, refreshed every ``--interval`` seconds
-    while a demo transfer runs.
+    Live view of the adaptive pipeline: per-connection accounting, the
+    level/queue timeline, and the reactor/pool gauges, refreshed every
+    ``--interval`` seconds while the demo transfers run.
 
 The global ``--log-level`` flag turns on the library's stdlib logging
 (``repro`` namespace) at the chosen threshold; see
@@ -283,6 +286,68 @@ def _run_demo_transfer(tele, size_mb: int, data_kind: str, seed: int) -> object:
     return stats
 
 
+def _run_demo_reactor(tele) -> None:
+    """A short reactor-mode echo exchange over a real TCP loopback.
+
+    Fills the serve-layer series in the same registry the blocking demo
+    wrote to: ``adoc_reactor_loop_lag_seconds``,
+    ``adoc_reactor_ready_queue_depth``, the ``adoc_pool_*`` gauges
+    (adoc mode + pool dispatch, so codec work actually crosses the
+    worker pool) and ``adoc_server_connections``.
+    """
+    import socket
+    from dataclasses import replace
+
+    from .core import AdocConfig
+    from .data import ascii_data
+    from .middleware.communicator import AdocCommunicator
+    from .middleware.protocol import (
+        MsgType,
+        RpcMessage,
+        read_message,
+        write_message,
+    )
+    from .middleware.server import ReactorRpcServer
+    from .transport import SocketEndpoint
+
+    cfg = replace(AdocConfig(), telemetry=tele)
+    server = ReactorRpcServer(
+        "demo-reactor", config=cfg, mode="adoc", dispatch="pool", telemetry=tele
+    )
+    address = server.listen()
+    payload = ascii_data(512 * 1024, seed=0)
+    try:
+        sock = socket.create_connection(address, timeout=30.0)
+        comm = AdocCommunicator(SocketEndpoint(sock), cfg)
+        try:
+            for _ in range(4):
+                write_message(comm, RpcMessage(MsgType.REQUEST, "echo", [payload]))
+                read_message(comm)
+        finally:
+            comm.close()
+    finally:
+        server.close()
+
+
+def _serve_metric_lines(tele) -> list[str]:
+    """The serve-layer series, one human-readable line each (for top)."""
+    lines: list[str] = []
+    for name, info in sorted(tele.metrics.to_json().items()):
+        if not name.startswith(("adoc_reactor_", "adoc_pool_", "adoc_server_")):
+            continue
+        for entry in info["series"]:
+            labels = ",".join(
+                f"{k}={v}" for k, v in sorted(entry["labels"].items())
+            )
+            if "value" in entry:
+                value = entry["value"]
+                shown = f"{value:g}"
+            else:  # histogram: mean + sample count say enough for a glance
+                shown = f"mean {entry['mean'] * 1000:.3f} ms over {entry['count']}"
+            lines.append(f"  {name}{{{labels}}}: {shown}")
+    return lines
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     from .obs import Telemetry, set_active_telemetry
 
@@ -290,6 +355,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     set_active_telemetry(tele)
     try:
         stats = _run_demo_transfer(tele, args.size_mb, args.data, args.seed)
+        _run_demo_reactor(tele)
     finally:
         set_active_telemetry(None)
     if args.trace_out:
@@ -322,6 +388,7 @@ def _cmd_top(args: argparse.Namespace) -> int:
         try:
             for _ in range(max(args.repeat, 1)):
                 _run_demo_transfer(tele, args.size_mb, args.data, args.seed)
+                _run_demo_reactor(tele)
         finally:
             done.set()
 
@@ -343,6 +410,10 @@ def _cmd_top(args: argparse.Namespace) -> int:
             points = extract_timeline(tele.tracer)
             if points:
                 print(render_timeline(points, table_rows=args.rows))
+            serve_lines = _serve_metric_lines(tele)
+            if serve_lines:
+                print("serve (reactor/pool):")
+                print("\n".join(serve_lines))
             finished = done.is_set()
             if args.iterations and iteration >= args.iterations:
                 break

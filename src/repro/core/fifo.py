@@ -163,6 +163,28 @@ class PacketQueue:
             self._note_op("dequeue", depth, wait_start)
         return item
 
+    def try_put(self, packet: QueuedPacket) -> bool:
+        """Append without blocking; ``False`` when the queue is full.
+
+        The readiness-driven engine (:mod:`repro.serve`) uses this from
+        reactor callbacks, where a full queue is backpressure to act on
+        — stop reading the socket — never a condition to wait out.
+        """
+        with self._lock:
+            if self._closed:
+                raise QueueClosed("queue closed")
+            if len(self._items) >= self.capacity:
+                return False
+            self._items.append(packet)
+            self.total_put += 1
+            depth = len(self._items)
+            if depth > self.peak_size:
+                self.peak_size = depth
+            self._not_empty.notify()
+        if self._tele.enabled:
+            self._note_op("enqueue", depth, 0.0)
+        return True
+
     def poll(self) -> QueuedPacket | None:
         """Pop the oldest packet without blocking; ``None`` if empty.
 

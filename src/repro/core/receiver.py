@@ -29,11 +29,12 @@ from typing import BinaryIO, Callable
 from ..analysis.lockgraph import make_condition, make_lock
 from ..compress.registry import codec_for_level
 from ..obs.telemetry import Telemetry, resolve_telemetry
-from ..transport.base import Endpoint, TransportClosed, TransportTimeout, recv_exact
+from ..transport.base import Endpoint, TransportClosed, TransportTimeout
 from .config import AdocConfig, DEFAULT_CONFIG
 from .deadlines import DeadlineExceeded, TransferError
 from .fifo import PacketQueue, QueueClosed, QueuedPacket
 from .packets import (
+    END_LEVEL,
     MESSAGE_HEADER_SIZE,
     RECORD_HEADER_SIZE,
     ProtocolError,
@@ -42,10 +43,138 @@ from .packets import (
 )
 from .stats import ConnectionStats
 
-__all__ = ["OutputBuffer", "ReceiverPipeline"]
+__all__ = ["OutputBuffer", "ReceiverPipeline", "StreamingParser"]
 
 #: Sentinel chunk marking an end-of-message boundary in the buffers.
 _EOM = object()
+
+#: How much the reception thread asks the transport for per read.  The
+#: parser below is incremental, so reads no longer need to align with
+#: frame boundaries — one syscall can deliver many records (or half a
+#: header), where the pre-parser receiver paid one ``recv`` per frame
+#: field.
+_RECV_CHUNK = 64 * 1024
+
+# StreamingParser states.
+_WANT_MSG_HDR = 0
+_WANT_REC_HDR = 1
+_WANT_PAYLOAD = 2
+
+
+class StreamingParser:
+    """Incremental, push-mode parser for the AdOC wire format.
+
+    Feed it arbitrary byte chunks — whatever the transport happened to
+    deliver — and it emits complete :class:`~repro.core.fifo.QueuedPacket`
+    items: one per record (``payload``/``level``/``original_bytes``) and
+    one marker packet (level :data:`~repro.core.packets.END_LEVEL`) per
+    message boundary, with ``original_bytes`` on the marker carrying the
+    message's total wire size for accounting.
+
+    The same validation as the pull-mode reader applies (END in a
+    known-length message, records overflowing the declared length), and
+    the parser persists across messages: a chunk may end one message and
+    start the next.  Both reception modes sit on this class — the
+    blocking :class:`ReceiverPipeline` thread and the readiness-driven
+    :class:`repro.serve.channel.AdocChannel` — so the two cannot drift.
+    """
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+        self._pos = 0
+        self._state = _WANT_MSG_HDR
+        self._header = None  # current MessageHeader
+        self._remaining = 0  # original bytes still due (known-length)
+        self._rec = None  # current RecordHeader awaiting payload
+        self._message_wire = 0
+        #: Messages completed since construction (diagnostics).
+        self.messages = 0
+
+    @property
+    def mid_message(self) -> bool:
+        """True when bytes of an unfinished frame are outstanding.
+
+        Drives the timeout semantics: idle between messages is legal
+        (the bounded read simply re-arms), a stall mid-message means the
+        peer died and must surface.
+        """
+        return self._state != _WANT_MSG_HDR or self._pos < len(self._buf)
+
+    def _take(self, n: int) -> bytes | None:
+        if len(self._buf) - self._pos < n:
+            return None
+        start = self._pos
+        self._pos += n
+        return bytes(self._buf[start : self._pos])
+
+    def feed(self, data: bytes) -> list[QueuedPacket]:
+        """Consume a chunk, returning every packet it completed."""
+        self._buf += data
+        out: list[QueuedPacket] = []
+        while True:
+            if self._state == _WANT_MSG_HDR:
+                raw = self._take(MESSAGE_HEADER_SIZE)
+                if raw is None:
+                    break
+                self._header = unpack_message_header(raw)
+                self._remaining = self._header.total_length
+                self._message_wire = MESSAGE_HEADER_SIZE
+                self._state = _WANT_REC_HDR
+                if self._header.length_known and self._remaining <= 0:
+                    self._finish_message(out)
+            elif self._state == _WANT_REC_HDR:
+                raw = self._take(RECORD_HEADER_SIZE)
+                if raw is None:
+                    break
+                rec = unpack_record_header(raw)
+                self._message_wire += RECORD_HEADER_SIZE
+                if rec.is_end:
+                    if self._header.length_known:
+                        raise ProtocolError(
+                            "unexpected END in known-length message"
+                        )
+                    self._finish_message(out)
+                else:
+                    self._rec = rec
+                    self._state = _WANT_PAYLOAD
+            else:  # _WANT_PAYLOAD
+                payload = self._take(self._rec.wire_size)
+                if payload is None:
+                    break
+                rec = self._rec
+                self._rec = None
+                self._message_wire += rec.wire_size
+                out.append(QueuedPacket(payload, rec.level, rec.original_size))
+                if self._header.length_known:
+                    self._remaining -= rec.original_size
+                    if self._remaining < 0:
+                        raise ProtocolError("records overflow declared length")
+                    if self._remaining == 0:
+                        self._finish_message(out)
+                    else:
+                        self._state = _WANT_REC_HDR
+                else:
+                    self._state = _WANT_REC_HDR
+        # Compact the consumed prefix so the buffer never grows beyond
+        # one read plus a partial frame.
+        if self._pos:
+            del self._buf[: self._pos]
+            self._pos = 0
+        return out
+
+    def _finish_message(self, out: list[QueuedPacket]) -> None:
+        out.append(QueuedPacket(b"", END_LEVEL, self._message_wire))
+        self.messages += 1
+        self._header = None
+        self._state = _WANT_MSG_HDR
+
+    def feed_eof(self) -> None:
+        """The stream ended; raises unless at a message boundary."""
+        if self.mid_message:
+            raise TransportClosed(
+                f"stream ended mid-message with "
+                f"{len(self._buf) - self._pos} bytes of an unfinished frame"
+            )
 
 
 class OutputBuffer:
@@ -277,16 +406,17 @@ class ReceiverPipeline:
 
     def _reception_thread(self) -> None:
         error: BaseException | None = None
+        parser = StreamingParser()
         try:
             with self.telemetry.span("recv"):
                 while not self._closed:
-                    if not self._read_one_message():
+                    if not self._read_chunk(parser):
                         break
         except QueueClosed:
             pass
         except TransportTimeout as exc:
-            # Only mid-message timeouts escape _read_one_message: bytes
-            # of a frame are outstanding and the peer stopped sending.
+            # Only mid-message timeouts escape _read_chunk: bytes of a
+            # frame are outstanding and the peer stopped sending.
             error = DeadlineExceeded(
                 f"peer stalled mid-message past "
                 f"{self.config.io_timeout_s}s: {exc}",
@@ -301,51 +431,38 @@ class ReceiverPipeline:
             if error is not None:
                 self.output.finish(error)
 
-    def _read_one_message(self) -> bool:
-        """Parse one message; False on clean EOF before a header."""
-        try:
-            first = self.endpoint.recv(MESSAGE_HEADER_SIZE)
-        except TransportTimeout:
-            # Idle between messages is legal — no message is due, the
-            # bounded recv simply re-arms.  Timeouts *after* this first
-            # byte mean a peer died mid-frame and are left to propagate.
-            return not self._closed
-        if not first:
-            return False
-        rest = (
-            recv_exact(self.endpoint, MESSAGE_HEADER_SIZE - len(first))
-            if len(first) < MESSAGE_HEADER_SIZE
-            else b""
-        )
-        header = unpack_message_header(first + rest)
+    def _read_chunk(self, parser: StreamingParser) -> bool:
+        """Read once, feed the parser; False on clean EOF.
 
-        wire = MESSAGE_HEADER_SIZE
-        remaining = header.total_length
-        while True:
-            if header.length_known and remaining <= 0:
-                break
-            rec_hdr = unpack_record_header(
-                recv_exact(self.endpoint, RECORD_HEADER_SIZE)
-            )
-            wire += RECORD_HEADER_SIZE
-            if rec_hdr.is_end:
-                if header.length_known:
-                    raise ProtocolError("unexpected END in known-length message")
-                break
-            payload = recv_exact(self.endpoint, rec_hdr.wire_size)
-            wire += rec_hdr.wire_size
-            if header.length_known:
-                remaining -= rec_hdr.original_size
-                if remaining < 0:
-                    raise ProtocolError("records overflow declared length")
-            self._queue.put(
-                QueuedPacket(payload, rec_hdr.level, rec_hdr.original_size),
-                timeout=self.config.io_timeout_s,
-            )
-        # Message boundary marker rides the queue as a zero-byte packet
-        # with the reserved END level so ordering with data is preserved.
-        self._queue.put(QueuedPacket(b"", 0xFF, 0), timeout=self.config.io_timeout_s)
-        self.stats.record_recv_message(wire)
+        The parser tolerates arbitrary chunking, so reads are sized for
+        throughput (:data:`_RECV_CHUNK`) rather than frame alignment —
+        this thread owns its direction of the socket for the
+        connection's lifetime, so over-reading past a message boundary
+        only primes the parser for the next message.
+        """
+        try:
+            data = self.endpoint.recv(_RECV_CHUNK)
+        except TransportTimeout:
+            # Idle between messages is legal — no frame is outstanding,
+            # the bounded recv simply re-arms.  Mid-message the peer
+            # died: let it propagate.
+            if parser.mid_message:
+                raise
+            return not self._closed
+        if not data:
+            parser.feed_eof()  # truncated frame surfaces as TransportClosed
+            return False
+        timeout = self.config.io_timeout_s
+        for pkt in parser.feed(data):
+            if pkt.level == END_LEVEL:
+                # Message boundary: the marker rides the queue as a
+                # zero-byte packet at the reserved END level so ordering
+                # with data is preserved; its original_bytes carries the
+                # message's wire size for accounting.
+                self.stats.record_recv_message(pkt.original_bytes)
+                self._queue.put(QueuedPacket(b"", 0xFF, 0), timeout=timeout)
+            else:
+                self._queue.put(pkt, timeout=timeout)
         return True
 
     # -- decompression thread: record queue -> output buffer ------------------

@@ -63,7 +63,12 @@ from .packets import Record, end_record_bytes, pack_message_header
 from .sources import BytesSource, ChunkSource, source_for_stream, stream_size
 from .stats import ConnectionStats
 
-__all__ = ["SendResult", "MessageSender"]
+__all__ = [
+    "SendResult",
+    "MessageSender",
+    "packetize_record",
+    "raw_message_vectors",
+]
 
 _log = logging.getLogger("repro.core.sender")
 
@@ -72,6 +77,62 @@ _log = logging.getLogger("repro.core.sender")
 #: batch stays well under the transport's IOV_MAX while still amortising
 #: the per-send cost across a full queue burst.
 _MAX_BATCH = 64
+
+
+def packetize_record(
+    rec: Record,
+    cfg: AdocConfig,
+    emit: Callable[[QueuedPacket], None],
+    buffer_id: int = 0,
+) -> None:
+    """Split one record into packet-size slices, header as first prefix.
+
+    The 9-byte record header rides on the first packet's ``prefix``
+    instead of being copied into a serialized buffer; payload slices
+    stay views of the record's payload.  Original bytes are attributed
+    to slices pro rata, remainder to the last slice, so per-level
+    bandwidth accounting sums exactly.
+
+    ``emit`` receives each packet in wire order: the blocking engine
+    passes a bounded ``PacketQueue.put``, the readiness-driven engine
+    (:mod:`repro.serve.channel`) appends to its write backlog — both
+    produce byte-identical wire output.
+    """
+    payload = rec.payload
+    n = len(payload)
+    prefix = rec.header_bytes()
+    if n == 0:
+        emit(QueuedPacket(b"", rec.level, 0, buffer_id, prefix))
+        return
+    assigned = 0
+    for off in range(0, n, cfg.packet_size):
+        chunk = payload[off : off + cfg.packet_size]
+        if off + len(chunk) >= n:
+            orig = rec.original_size - assigned
+        else:
+            orig = rec.original_size * len(chunk) // n
+        assigned += orig
+        emit(QueuedPacket(chunk, rec.level, orig, buffer_id, prefix))
+        prefix = b""
+
+
+def raw_message_vectors(
+    data: bytes | bytearray | memoryview,
+) -> list[bytes | memoryview]:
+    """Frame one in-memory payload as a raw (level-0) message.
+
+    Returns the wire as vectors — message header, record header,
+    payload view — without copying the payload: the same bytes the
+    blocking engine's small-message bypass emits.  Used by the
+    readiness-driven engine, where small messages are framed inline on
+    the loop thread and only large ones visit the compression pool.
+    """
+    total = len(data)
+    header = pack_message_header(total, length_known=True)
+    if total == 0:
+        return [header]
+    view = data if isinstance(data, memoryview) else memoryview(data)
+    return [header, Record(0, total, view).header_bytes(), view]
 
 
 @dataclass
@@ -434,33 +495,14 @@ class MessageSender:
         inc_guard: IncompressibleGuard,
         buffer_id: int = 0,
     ) -> None:
-        """Push a record as packet-size payload slices, header as prefix.
-
-        The 9-byte record header rides on the first packet's ``prefix``
-        instead of being copied into a serialized buffer; payload slices
-        stay views of the record's payload.  Original bytes are
-        attributed to slices pro rata, remainder to the last slice, so
-        the per-level bandwidth accounting sums exactly.
-        """
-        payload = rec.payload
-        n = len(payload)
-        prefix = rec.header_bytes()
+        """Push a record into the FIFO via :func:`packetize_record`."""
         timeout = cfg.io_timeout_s
-        if n == 0:
-            queue.put(QueuedPacket(b"", rec.level, 0, buffer_id, prefix), timeout)
+
+        def emit(packet: QueuedPacket) -> None:
+            queue.put(packet, timeout)
             inc_guard.note_packet_emitted()
-            return
-        assigned = 0
-        for off in range(0, n, cfg.packet_size):
-            chunk = payload[off : off + cfg.packet_size]
-            if off + len(chunk) >= n:
-                orig = rec.original_size - assigned
-            else:
-                orig = rec.original_size * len(chunk) // n
-            assigned += orig
-            queue.put(QueuedPacket(chunk, rec.level, orig, buffer_id, prefix), timeout)
-            prefix = b""
-            inc_guard.note_packet_emitted()
+
+        packetize_record(rec, cfg, emit, buffer_id)
 
     def _emission_loop(self, queue: PacketQueue, cfg: AdocConfig) -> SendResult:
         """Drain the queue into the socket, observing per-buffer rates.

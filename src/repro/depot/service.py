@@ -17,14 +17,16 @@ from __future__ import annotations
 import struct
 from typing import BinaryIO
 
+from ..core.config import AdocConfig, DEFAULT_CONFIG
 from ..core.deadlines import RetryPolicy
 from ..middleware.agent import Agent
 from ..middleware.client import CallResult, Client
+from ..middleware.server import ReactorRpcServer
 from ..middleware.services import ServiceRegistry
 from ..obs.telemetry import active_telemetry
 from .storage import ByteArrayDepot, DepotError
 
-__all__ = ["depot_registry", "DepotClient"]
+__all__ = ["depot_registry", "serve_depot", "DepotClient"]
 
 _U64 = struct.Struct(">Q")
 
@@ -69,6 +71,33 @@ def depot_registry(depot: ByteArrayDepot) -> ServiceRegistry:
     reg.register("ibp.probe", probe)
     reg.register("ibp.free", free)
     return reg
+
+
+def serve_depot(
+    depot: ByteArrayDepot,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    mode: str = "plain",
+    config: AdocConfig = DEFAULT_CONFIG,
+    **server_kwargs,
+) -> tuple[ReactorRpcServer, tuple[str, int]]:
+    """Serve ``depot`` from a TCP port on the shared reactor core.
+
+    A depot is just a registry on the RPC stack, so reactor-mode depot
+    serving is the RPC server with :func:`depot_registry` mounted — one
+    loop thread and a bounded codec pool regardless of client count,
+    instead of a thread per data mover.  Returns the server and its
+    bound address; ``mode="adoc"`` wraps every connection in AdOC.
+    """
+    server = ReactorRpcServer(
+        "depot",
+        registry=depot_registry(depot),
+        config=config,
+        mode=mode,
+        **server_kwargs,
+    )
+    address = server.listen(host, port)
+    return server, address
 
 
 class DepotClient:

@@ -15,19 +15,40 @@ from __future__ import annotations
 
 import secrets
 import threading
+from collections import deque
+from dataclasses import dataclass
+from functools import partial
 from typing import Callable
 
 from ..analysis.lockgraph import make_lock
 from ..core.config import AdocConfig, DEFAULT_CONFIG
+from ..core.deadlines import TransferError, reap_threads
+from ..obs.telemetry import Telemetry
+from ..serve import PlainChannel, PoolClosed, Reactor, ReactorServer, WorkerPool
 from ..transport.base import Endpoint, TransportClosed, sendall
 from .protocol import ProtocolViolation, format_reply, parse_command, read_line
 from .transfer import DEFAULT_CHUNK, receive_data, send_data
 
-__all__ = ["FileServer", "ChannelBroker"]
+__all__ = ["FileServer", "ReactorFileServer", "ChannelBroker"]
 
 TransportFactory = Callable[[], tuple[Endpoint, Endpoint]]
 
 MAX_STRIPES = 16
+
+#: Longest accepted control line (matches the blocking reader's bound).
+MAX_CONTROL_LINE = 4096
+
+#: Seconds between retries when the worker pool is saturated and a
+#: control session has commands waiting for a transfer slot.
+_POOL_RETRY_S = 0.01
+
+
+@dataclass
+class _SessionState:
+    """Per-control-session settings the commands mutate."""
+
+    mode: str = "PLAIN"
+    stripes: int = 1
 
 
 class ChannelBroker:
@@ -86,17 +107,28 @@ class FileServer:
 
     def close(self, join_timeout: float = 5.0) -> None:
         """Tear down every control session: close the server-side
-        endpoints (waking any loop blocked in ``read_line``) and join
+        endpoints (waking any loop blocked in ``read_line``) and reap
         the control threads.  Idempotent; sessions that already ended
-        are just reaped."""
+        are just reaped.  The seeded error list sends
+        :func:`~repro.core.deadlines.reap_threads` straight to its
+        bounded join, so a session wedged inside a transfer surfaces as
+        a ``teardown`` error instead of a silent half-closed server."""
         sessions, self._sessions = self._sessions, []
-        for _, endpoint in sessions:
-            try:
-                endpoint.close()
-            except Exception:  # noqa: BLE001 - endpoint may already be dead
-                pass
-        for thread, _ in sessions:
-            thread.join(join_timeout)
+
+        def close_endpoints() -> None:
+            for _, endpoint in sessions:
+                try:
+                    endpoint.close()
+                except Exception:  # noqa: BLE001 - endpoint may already be dead
+                    pass
+
+        close_endpoints()
+        reap_threads(
+            [thread for thread, _ in sessions],
+            [TransferError("server closing", stage="teardown")],
+            cancel=close_endpoints,
+            join_timeout=join_timeout,
+        )
 
     # -- file store -------------------------------------------------------------
 
@@ -111,61 +143,77 @@ class FileServer:
     # -- control loop -----------------------------------------------------------
 
     def _control_loop(self, control: Endpoint) -> None:
-        mode = "PLAIN"
-        stripes = 1
+        state = _SessionState()
+
+        def reply(code: int, text: str) -> None:
+            sendall(control, format_reply(code, text))
+
         try:
-            sendall(control, format_reply(220, "gridftp-lite ready"))
+            reply(220, "gridftp-lite ready")
             while True:
                 line = read_line(control)
                 if not line:
                     return
-                try:
-                    verb, args = parse_command(line.decode("utf-8"))
-                except (ProtocolViolation, UnicodeDecodeError):
-                    sendall(control, format_reply(500, "malformed command"))
-                    continue
-
-                if verb == "QUIT":
-                    sendall(control, format_reply(221, "bye"))
+                if not self._dispatch(state, reply, line):
                     return
-                if verb == "MODE":
-                    if len(args) == 1 and args[0].upper() in ("PLAIN", "ADOC"):
-                        mode = args[0].upper()
-                        sendall(control, format_reply(200, f"mode {mode}"))
-                    else:
-                        sendall(control, format_reply(501, "MODE PLAIN|ADOC"))
-                elif verb == "STRIPES":
-                    if len(args) == 1 and args[0].isdigit() and 1 <= int(args[0]) <= MAX_STRIPES:
-                        stripes = int(args[0])
-                        sendall(control, format_reply(200, f"stripes {stripes}"))
-                    else:
-                        sendall(control, format_reply(501, f"STRIPES 1..{MAX_STRIPES}"))
-                elif verb == "LIST":
-                    with self._files_lock:
-                        listing = ",".join(
-                            f"{name}:{len(data)}" for name, data in sorted(self.files.items())
-                        )
-                    sendall(control, format_reply(200, listing or "(empty)"))
-                elif verb == "SIZE":
-                    if len(args) != 1:
-                        sendall(control, format_reply(501, "SIZE name"))
-                        continue
-                    with self._files_lock:
-                        data = self.files.get(args[0])
-                    if data is None:
-                        sendall(control, format_reply(550, "no such file"))
-                    else:
-                        sendall(control, format_reply(213, str(len(data))))
-                elif verb == "STOR":
-                    self._handle_stor(control, args, mode, stripes)
-                elif verb == "RETR":
-                    self._handle_retr(control, args, mode, stripes)
-                else:
-                    sendall(control, format_reply(502, f"unknown command {verb}"))
         except (TransportClosed, ProtocolViolation):
             pass
         finally:
             control.close()
+
+    def _dispatch(self, state: _SessionState, reply, line: bytes) -> bool:
+        """Handle one control line; ``False`` ends the session.
+
+        ``reply(code, text)`` is the session's way of talking back —
+        a blocking ``sendall`` for thread-per-connection sessions, a
+        loop-thread hop for reactor sessions.  Everything else (command
+        grammar, session state, transfer brokering) is identical in
+        both serving models.
+        """
+        try:
+            verb, args = parse_command(line.decode("utf-8"))
+        except (ProtocolViolation, UnicodeDecodeError):
+            reply(500, "malformed command")
+            return True
+
+        if verb == "QUIT":
+            reply(221, "bye")
+            return False
+        if verb == "MODE":
+            if len(args) == 1 and args[0].upper() in ("PLAIN", "ADOC"):
+                state.mode = args[0].upper()
+                reply(200, f"mode {state.mode}")
+            else:
+                reply(501, "MODE PLAIN|ADOC")
+        elif verb == "STRIPES":
+            if len(args) == 1 and args[0].isdigit() and 1 <= int(args[0]) <= MAX_STRIPES:
+                state.stripes = int(args[0])
+                reply(200, f"stripes {state.stripes}")
+            else:
+                reply(501, f"STRIPES 1..{MAX_STRIPES}")
+        elif verb == "LIST":
+            with self._files_lock:
+                listing = ",".join(
+                    f"{name}:{len(data)}" for name, data in sorted(self.files.items())
+                )
+            reply(200, listing or "(empty)")
+        elif verb == "SIZE":
+            if len(args) != 1:
+                reply(501, "SIZE name")
+                return True
+            with self._files_lock:
+                data = self.files.get(args[0])
+            if data is None:
+                reply(550, "no such file")
+            else:
+                reply(213, str(len(data)))
+        elif verb == "STOR":
+            self._handle_stor(reply, args, state.mode, state.stripes)
+        elif verb == "RETR":
+            self._handle_retr(reply, args, state.mode, state.stripes)
+        else:
+            reply(502, f"unknown command {verb}")
+        return True
 
     def _open_channels(self, n: int) -> tuple[list[str], list[Endpoint]]:
         tokens: list[str] = []
@@ -176,37 +224,241 @@ class FileServer:
             server_ends.append(server_end)
         return tokens, server_ends
 
-    def _handle_stor(self, control, args, mode: str, stripes: int) -> None:
+    def _handle_stor(self, reply, args, mode: str, stripes: int) -> None:
         if len(args) != 2 or not args[1].isdigit():
-            sendall(control, format_reply(501, "STOR name size"))
+            reply(501, "STOR name size")
             return
         name, size = args[0], int(args[1])
         tokens, server_ends = self._open_channels(stripes)
-        sendall(control, format_reply(225, " ".join(tokens)))
+        reply(225, " ".join(tokens))
         try:
             data = receive_data(server_ends, size, mode, self.chunk_size, self.config)
         except Exception as exc:  # noqa: BLE001 - reported on control channel
-            sendall(control, format_reply(451, f"transfer failed: {exc}"))
+            reply(451, f"transfer failed: {exc}")
             return
         self.put_file(name, data)
         self.transfers += 1
-        sendall(control, format_reply(226, f"stored {name} ({size} bytes)"))
+        reply(226, f"stored {name} ({size} bytes)")
 
-    def _handle_retr(self, control, args, mode: str, stripes: int) -> None:
+    def _handle_retr(self, reply, args, mode: str, stripes: int) -> None:
         if len(args) != 1:
-            sendall(control, format_reply(501, "RETR name"))
+            reply(501, "RETR name")
             return
         with self._files_lock:
             data = self.files.get(args[0])
         if data is None:
-            sendall(control, format_reply(550, "no such file"))
+            reply(550, "no such file")
             return
         tokens, server_ends = self._open_channels(stripes)
-        sendall(control, format_reply(225, f"{len(data)} " + " ".join(tokens)))
+        reply(225, f"{len(data)} " + " ".join(tokens))
         try:
             send_data(server_ends, data, mode, self.chunk_size, self.config)
         except Exception as exc:  # noqa: BLE001
-            sendall(control, format_reply(451, f"transfer failed: {exc}"))
+            reply(451, f"transfer failed: {exc}")
             return
         self.transfers += 1
-        sendall(control, format_reply(226, f"sent {args[0]}"))
+        reply(226, f"sent {args[0]}")
+
+
+class _ControlSession:
+    """One reactor-served control connection.
+
+    Line assembly runs on the loop thread; each complete command runs
+    on the worker pool (STOR/RETR block on their data endpoints), one
+    command at a time per session so session state and reply order
+    match the thread-per-connection server exactly.  The pool's
+    ``max_pending`` bound is therefore also the transfer-concurrency
+    bound — a storm of STORs queues instead of spawning threads.
+    """
+
+    def __init__(self, server: "ReactorFileServer", channel: PlainChannel) -> None:
+        self.server = server
+        self.channel = channel
+        self.state = _SessionState()
+        self._buf = bytearray()
+        self._lines: deque[bytes] = deque()
+        self._running = False
+        self._retry_armed = False
+
+    def greet(self) -> None:
+        self._send(format_reply(220, "gridftp-lite ready"))
+
+    # -- loop thread -------------------------------------------------------
+
+    def feed(self, data: bytes) -> None:
+        self._buf += data
+        while True:
+            cut = self._buf.find(b"\r\n")
+            if cut < 0:
+                if len(self._buf) > MAX_CONTROL_LINE:
+                    self.channel.close(ProtocolViolation("control line too long"))
+                return
+            self._lines.append(bytes(self._buf[: cut + 2]))
+            del self._buf[: cut + 2]
+            self._pump()
+
+    def _pump(self) -> None:
+        if self._running or not self._lines or self.channel.closed:
+            return
+        try:
+            submitted = self.server.pool.try_submit(
+                self._run_command, self._lines[0], on_done=self._command_done
+            )
+        except PoolClosed:
+            self._lines.clear()
+            return
+        if not submitted:
+            self._arm_retry()
+            return
+        self._lines.popleft()
+        self._running = True
+
+    def _arm_retry(self) -> None:
+        if self._retry_armed or self.channel.closed:
+            return
+        self._retry_armed = True
+        self.channel.reactor.call_later(_POOL_RETRY_S, self._retry_fire)
+
+    def _retry_fire(self) -> None:
+        self._retry_armed = False
+        if not self.channel.closed:
+            self._pump()
+
+    def _send(self, data: bytes) -> None:
+        if not self.channel.closed:
+            self.channel.send_message(data)
+
+    def _finish(self, keep_going, error: BaseException | None) -> None:
+        self._running = False
+        if error is not None:
+            self.channel.close(error)
+        elif keep_going is False:
+            # The farewell reply is already queued ahead of this
+            # callback; tiny replies drain opportunistically on enqueue.
+            self.channel.close()
+        else:
+            self._pump()
+
+    # -- pool worker -------------------------------------------------------
+
+    def _run_command(self, line: bytes) -> bool:
+        def reply(code: int, text: str) -> None:
+            self.channel.reactor.call_soon_threadsafe(
+                partial(self._send, format_reply(code, text))
+            )
+
+        return self.server._dispatch(self.state, reply, line)
+
+    def _command_done(self, keep_going, error: BaseException | None) -> None:
+        self.channel.reactor.call_soon_threadsafe(
+            partial(self._finish, keep_going, error)
+        )
+
+
+class ReactorFileServer(FileServer):
+    """A :class:`FileServer` whose control plane multiplexes on one reactor.
+
+    Control endpoints must be socket-backed (``fileno``/``setblocking``
+    — the reactor selects on them); data channels may be any endpoint
+    the transport factory makes, because transfers run on the worker
+    pool with the blocking engine.  ``close()`` walks listeners,
+    channels, the loop thread, and the pool workers down through
+    :func:`~repro.core.deadlines.reap_threads`.
+    """
+
+    def __init__(
+        self,
+        transport_factory: TransportFactory,
+        config: AdocConfig = DEFAULT_CONFIG,
+        chunk_size: int = DEFAULT_CHUNK,
+        telemetry: Telemetry | None = None,
+        reactor: Reactor | None = None,
+        pool: WorkerPool | None = None,
+        workers: int | None = None,
+        max_pending: int = 256,
+    ) -> None:
+        super().__init__(transport_factory, config, chunk_size)
+        self._server = ReactorServer(
+            name="gridftp",
+            config=config,
+            telemetry=telemetry,
+            reactor=reactor,
+            pool=pool,
+            workers=workers,
+            max_pending=max_pending,
+        )
+
+    @property
+    def reactor(self) -> Reactor:
+        return self._server.reactor
+
+    @property
+    def pool(self) -> WorkerPool:
+        return self._server.pool
+
+    @property
+    def connection_count(self) -> int:
+        return self._server.connection_count
+
+    def connect(self) -> Endpoint:
+        """Open a control connection; returns the client's end.
+
+        Unlike the base class this consumes no thread: the server end
+        becomes a channel on the shared reactor.
+        """
+        client_end, server_end = self.transport_factory()
+        ready = threading.Event()
+        failures: list[BaseException] = []
+
+        def setup() -> None:
+            try:
+                channel = PlainChannel(
+                    self._server.reactor,
+                    server_end,
+                    self.config,
+                    self._server.telemetry,
+                )
+                session = _ControlSession(self, channel)
+                channel.on_data = session.feed
+                self._server.track(channel)
+                channel.open()
+                session.greet()
+            except BaseException as exc:  # noqa: BLE001 - reported to caller
+                failures.append(exc)
+                try:
+                    server_end.close()
+                except Exception:  # noqa: BLE001
+                    pass
+            finally:
+                ready.set()
+
+        self._server.reactor.call_soon_threadsafe(setup)
+        if not ready.wait(10.0):
+            raise TransferError(
+                "reactor loop did not take the control connection", stage="accept"
+            )
+        if failures:
+            raise failures[0]
+        return client_end
+
+    def listen(self, host: str = "127.0.0.1", port: int = 0, backlog: int | None = None):
+        """Serve control connections from a TCP port (socket deployments)."""
+        from ..serve.server import DEFAULT_BACKLOG
+
+        def channel_factory(endpoint, addr):
+            channel = PlainChannel(
+                self._server.reactor, endpoint, self.config, self._server.telemetry
+            )
+            session = _ControlSession(self, channel)
+            channel.on_data = session.feed
+            # Greet once on_accept has opened the channel (this factory
+            # returns before open() runs).
+            self._server.reactor.call_soon(session.greet)
+            return channel
+
+        return self._server.listen(
+            host, port, channel_factory, backlog if backlog is not None else DEFAULT_BACKLOG
+        )
+
+    def close(self, join_timeout: float = 5.0) -> None:
+        self._server.close(join_timeout)

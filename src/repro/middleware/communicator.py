@@ -12,6 +12,11 @@ every ``read`` became ``adoc_read``, every ``write`` became
 Everything above (protocol marshalling, agent, server, client) is
 identical for both; construct a :class:`repro.middleware.client.Client`
 or :class:`repro.middleware.server.Server` with one or the other.
+
+The reactor-mode servers make the same choice through the same seam:
+each communicator class declares its ``channel_mode``, and
+:func:`reactor_channel` builds the matching non-blocking channel — so
+"plain vs AdOC" stays a one-line decision in both threading models.
 """
 
 from __future__ import annotations
@@ -23,7 +28,12 @@ from ..core.api import AdocSocket
 from ..core.config import AdocConfig, DEFAULT_CONFIG
 from ..transport.base import Endpoint, sendall
 
-__all__ = ["Communicator", "PlainCommunicator", "AdocCommunicator"]
+__all__ = [
+    "Communicator",
+    "PlainCommunicator",
+    "AdocCommunicator",
+    "reactor_channel",
+]
 
 #: Chunk size for the default file-streaming path: large enough to
 #: amortise per-call overhead, small enough to keep memory bounded.
@@ -80,6 +90,9 @@ class Communicator(abc.ABC):
 class PlainCommunicator(Communicator):
     """Unmodified NetSolve: plain read/write on the socket."""
 
+    #: Reactor-mode counterpart (see :func:`reactor_channel`).
+    channel_mode = "plain"
+
     def __init__(self, endpoint: Endpoint) -> None:
         self.endpoint = endpoint
         self.bytes_written = 0
@@ -97,6 +110,9 @@ class PlainCommunicator(Communicator):
 
 class AdocCommunicator(Communicator):
     """AdOC-enabled NetSolve: read/write replaced by adoc_read/adoc_write."""
+
+    #: Reactor-mode counterpart (see :func:`reactor_channel`).
+    channel_mode = "adoc"
 
     def __init__(self, endpoint: Endpoint, config: AdocConfig = DEFAULT_CONFIG) -> None:
         self.socket = AdocSocket(endpoint, config)
@@ -123,3 +139,38 @@ class AdocCommunicator(Communicator):
             self.socket.close()
         except ValueError:
             pass  # descriptor already closed
+
+
+def reactor_channel(
+    mode_or_factory,
+    reactor,
+    endpoint,
+    pool,
+    config: AdocConfig = DEFAULT_CONFIG,
+    telemetry=None,
+):
+    """Build the channel matching a communicator choice.
+
+    Accepts either a mode string (``"plain"`` / ``"adoc"``) or any
+    communicator factory carrying a ``channel_mode`` attribute
+    (:class:`PlainCommunicator`, :class:`AdocCommunicator`, or a
+    wrapper that sets it).  Keeping the mapping here preserves the
+    paper's story: this module is the single file that decides whether
+    the middleware speaks plain or AdOC bytes, in both threading
+    models.
+    """
+    from ..serve.channel import AdocChannel, PlainChannel
+
+    mode = (
+        mode_or_factory
+        if isinstance(mode_or_factory, str)
+        else getattr(mode_or_factory, "channel_mode", None)
+    )
+    if mode == "adoc":
+        return AdocChannel(reactor, endpoint, pool, config, telemetry)
+    if mode == "plain":
+        return PlainChannel(reactor, endpoint, config, telemetry)
+    raise TypeError(
+        f"cannot infer a channel mode from {mode_or_factory!r}; pass "
+        "'plain'/'adoc' or a communicator class with channel_mode"
+    )

@@ -38,6 +38,8 @@ __all__ = [
     "RpcMessage",
     "write_message",
     "read_message",
+    "iter_message_segments",
+    "MessageAssembler",
     "RpcError",
     "ConnectionLost",
 ]
@@ -129,21 +131,185 @@ def write_message(comm, msg: RpcMessage) -> int:
     return total
 
 
+def iter_message_segments(msg: RpcMessage):
+    """Yield the exact per-``write`` byte segments of ``msg``.
+
+    The reactor-mode servers frame each yielded segment as its own
+    channel message, which reproduces :func:`write_message`'s traffic
+    shape byte for byte: one write for the header, then per argument one
+    write for the u64 length and one for the payload — the segmentation
+    that lets AdOC compress large arguments independently while headers
+    ride the small-message fast path.  Only ``bytes`` arguments are
+    supported (the readiness-driven path has no blocking stream to pull
+    a file through; marshal files via the blocking engine).
+    """
+    name_b = msg.name.encode("utf-8")
+    yield (
+        _HDR.pack(_MAGIC, msg.type, msg.status)
+        + _U16.pack(len(name_b))
+        + name_b
+        + _U16.pack(len(msg.args))
+    )
+    for arg in msg.args:
+        if hasattr(arg, "read"):
+            raise RpcError(
+                "file-object arguments are not supported on the "
+                "reactor path; pass bytes"
+            )
+        yield _U64.pack(len(arg))
+        if len(arg):
+            yield arg
+
+
+# MessageAssembler states.
+_A_HEADER = 0  # fixed header + name length
+_A_NAME = 1
+_A_NARGS = 2
+_A_ARGLEN = 3
+_A_ARG = 4
+
+
+class MessageAssembler:
+    """Incremental push-mode parser for the NS wire format.
+
+    The reactor-mode servers have no blocking ``read_exact`` to pull
+    fields through; instead the channel pushes whatever bytes arrived
+    and the assembler invokes ``on_message(msg)`` for every complete
+    :class:`RpcMessage` — zero, one, or several per ``feed``.  The
+    format is self-delimiting, so AdOC message boundaries (one blocking
+    ``write`` = one AdOC message) need no special handling: the
+    assembler consumes the decoded byte stream exactly as
+    :func:`read_message` consumes ``comm.read``.
+
+    ``max_arg_bytes`` bounds a single argument so a malformed or
+    hostile length prefix cannot make the server buffer unbounded
+    memory — the blocking reader never needed this because it paid the
+    memory on the reading thread; here the loop thread pays it.
+    """
+
+    def __init__(
+        self,
+        on_message,
+        max_arg_bytes: int = 1 << 31,
+    ) -> None:
+        self.on_message = on_message
+        self.max_arg_bytes = max_arg_bytes
+        self._buf = bytearray()
+        self._pos = 0
+        self._state = _A_HEADER
+        self._type = 0
+        self._status = 0
+        self._name = ""
+        self._name_len = 0
+        self._nargs = 0
+        self._args: list[bytes] = []
+        self._arg_len = 0
+        self.messages = 0
+
+    def _take(self, n: int) -> bytes | None:
+        if len(self._buf) - self._pos < n:
+            return None
+        start = self._pos
+        self._pos += n
+        return bytes(self._buf[start : self._pos])
+
+    def feed(self, data: bytes) -> None:
+        """Consume a chunk, firing ``on_message`` per completed message."""
+        self._buf += data
+        while self._step():
+            pass
+        if self._pos:
+            del self._buf[: self._pos]
+            self._pos = 0
+
+    def _step(self) -> bool:
+        if self._state == _A_HEADER:
+            raw = self._take(_HDR.size + _U16.size)
+            if raw is None:
+                return False
+            magic, self._type, self._status = _HDR.unpack(raw[: _HDR.size])
+            if magic != _MAGIC:
+                raise RpcError(f"bad RPC magic {magic!r}")
+            (self._name_len,) = _U16.unpack(raw[_HDR.size :])
+            self._state = _A_NAME
+        elif self._state == _A_NAME:
+            raw = self._take(self._name_len)
+            if raw is None:
+                return False
+            self._name = raw.decode("utf-8")
+            self._state = _A_NARGS
+        elif self._state == _A_NARGS:
+            raw = self._take(_U16.size)
+            if raw is None:
+                return False
+            (self._nargs,) = _U16.unpack(raw)
+            self._args = []
+            self._state = _A_ARGLEN if self._nargs else _A_HEADER
+            if not self._nargs:
+                self._emit()
+        elif self._state == _A_ARGLEN:
+            raw = self._take(_U64.size)
+            if raw is None:
+                return False
+            (self._arg_len,) = _U64.unpack(raw)
+            if self._arg_len > self.max_arg_bytes:
+                raise RpcError(
+                    f"argument of {self._arg_len} bytes exceeds the "
+                    f"{self.max_arg_bytes}-byte bound"
+                )
+            self._state = _A_ARG
+        else:  # _A_ARG
+            raw = self._take(self._arg_len)
+            if raw is None:
+                return False
+            self._args.append(raw)
+            if len(self._args) == self._nargs:
+                self._emit()
+                self._state = _A_HEADER
+            else:
+                self._state = _A_ARGLEN
+        return True
+
+    def _emit(self) -> None:
+        msg = RpcMessage(self._type, self._name, self._args, self._status)
+        self.messages += 1
+        self._args = []
+        self.on_message(msg)
+
+    @property
+    def mid_message(self) -> bool:
+        """Bytes of an unfinished message are outstanding."""
+        return self._state != _A_HEADER or self._pos < len(self._buf)
+
+
 def read_message(comm) -> RpcMessage | None:
-    """Read one message; ``None`` on clean EOF before a header."""
+    """Read one message; ``None`` on clean EOF before a header.
+
+    EOF *inside* a message raises :exc:`ConnectionLost` — the peer hung
+    up mid-RPC.  (``read_exact`` returns short only at EOF; without
+    this check a truncated field would surface as a bare
+    ``struct.error`` from the unpack below.)
+    """
+
+    def need(n: int) -> bytes:
+        raw = comm.read_exact(n)
+        if len(raw) < n:
+            raise ConnectionLost("connection lost mid-message")
+        return raw
+
     first = comm.read_exact(_HDR.size)
     if not first:
         return None
     if len(first) < _HDR.size:
-        raise RpcError("truncated RPC header")
+        raise ConnectionLost("truncated RPC header")
     magic, mtype, status = _HDR.unpack(first)
     if magic != _MAGIC:
         raise RpcError(f"bad RPC magic {magic!r}")
-    (name_len,) = _U16.unpack(comm.read_exact(_U16.size))
-    name = comm.read_exact(name_len).decode("utf-8")
-    (nargs,) = _U16.unpack(comm.read_exact(_U16.size))
+    (name_len,) = _U16.unpack(need(_U16.size))
+    name = need(name_len).decode("utf-8")
+    (nargs,) = _U16.unpack(need(_U16.size))
     args: list[bytes] = []
     for _ in range(nargs):
-        (alen,) = _U64.unpack(comm.read_exact(_U64.size))
-        args.append(comm.read_exact(alen) if alen else b"")
+        (alen,) = _U64.unpack(need(_U64.size))
+        args.append(need(alen) if alen else b"")
     return RpcMessage(mtype, name, args, status)

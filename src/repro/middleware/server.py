@@ -4,6 +4,13 @@ A :class:`Server` owns a service registry and serves any number of
 connections, each on its own thread (NetSolve forks per request; threads
 are the Python equivalent).  The communicator class is pluggable — this
 is where "NetSolve" differs from "NetSolve + AdOC" and nowhere else.
+
+:class:`ReactorRpcServer` is the multiplexed alternative: every
+connection is a channel on one shared :class:`~repro.serve.Reactor`,
+request payloads are decoded/encoded on the shared codec pool, and
+service execution itself is dispatched to the pool (keyed per
+connection, so replies stay in request order) instead of holding a
+thread per client.  Same registry, same wire format, same stats.
 """
 
 from __future__ import annotations
@@ -11,16 +18,51 @@ from __future__ import annotations
 import threading
 import time
 import traceback
+from collections import deque
 from dataclasses import dataclass, field
+from functools import partial
 
 from ..analysis.lockgraph import make_lock
-from ..obs.telemetry import LATENCY_BUCKETS, active_telemetry
+from ..core.config import AdocConfig, DEFAULT_CONFIG
+from ..core.deadlines import TransferError, reap_threads
+from ..obs.telemetry import LATENCY_BUCKETS, Telemetry, active_telemetry
+from ..serve import PoolClosed, Reactor, ReactorServer, WorkerPool
+from ..serve.server import DEFAULT_BACKLOG
 from ..transport.base import Endpoint, TransportClosed
-from .communicator import Communicator, PlainCommunicator
-from .protocol import MsgType, RpcError, RpcMessage, read_message, write_message
+from .communicator import Communicator, PlainCommunicator, reactor_channel
+from .protocol import (
+    MessageAssembler,
+    MsgType,
+    RpcError,
+    RpcMessage,
+    iter_message_segments,
+    read_message,
+    write_message,
+)
 from .services import ServiceRegistry, default_registry
 
-__all__ = ["Server", "ServerStats"]
+__all__ = ["ReactorRpcServer", "Server", "ServerStats"]
+
+#: Seconds between retries when the codec pool is saturated and a
+#: connection has requests parked waiting for a slot.
+_POOL_RETRY_S = 0.01
+
+
+def _observe_rpc(tele, name: str, failed: bool, t0: float) -> None:
+    """Record one served request (shared by both server flavours)."""
+    if not tele.enabled:
+        return
+    tele.metrics.histogram(
+        "adoc_rpc_latency_seconds",
+        "RPC handling / round-trip latency",
+        ("side", "service"),
+        buckets=LATENCY_BUCKETS,
+    ).observe(time.monotonic() - t0, side="server", service=name)
+    tele.metrics.counter(
+        "adoc_rpc_requests_total",
+        "RPCs served, by outcome",
+        ("service", "status"),
+    ).inc(service=name, status="error" if failed else "ok")
 
 
 @dataclass
@@ -65,12 +107,19 @@ class Server:
         self.communicator_factory = communicator_factory
         self.stats = ServerStats()
         self._threads: list[threading.Thread] = []
+        self._endpoints: set[Endpoint] = set()
+        self._lock = make_lock("Server.lock")
+        self._closed = False
 
     def services(self) -> list[str]:
         return self.registry.names()
 
     def serve(self, endpoint: Endpoint, background: bool = True) -> threading.Thread:  # adoclint: disable=ADOC111 -- foreground serve blocks until client EOF by contract; background mode returns immediately
         """Serve one connection; requests are handled until EOF."""
+        with self._lock:
+            if self._closed:
+                raise TransferError("server is closed", stage="accept")
+            self._endpoints.add(endpoint)
         thread = threading.Thread(
             target=self._serve_loop,
             args=(endpoint,),
@@ -86,6 +135,38 @@ class Server:
     def join(self, timeout: float | None = None) -> None:
         for t in self._threads:
             t.join(timeout)
+
+    def close(self, join_timeout: float = 10.0) -> None:
+        """Close every live connection and reap the serving threads.
+
+        Historically the only way to stop this server was for every
+        client to hang up.  Closing the endpoints kicks each serving
+        thread out of its blocking ``read``; the seeded error list sends
+        :func:`~repro.core.deadlines.reap_threads` straight to the
+        bounded join, so a thread wedged inside a service call surfaces
+        as a ``teardown`` :exc:`~repro.core.deadlines.TransferError`
+        instead of hanging the caller.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._close_endpoints()
+        reap_threads(
+            self._threads,
+            [TransferError("server closing", stage="teardown")],
+            cancel=self._close_endpoints,
+            join_timeout=join_timeout,
+        )
+
+    def _close_endpoints(self) -> None:
+        with self._lock:
+            endpoints = list(self._endpoints)
+        for ep in endpoints:
+            try:
+                ep.close()
+            except Exception:  # noqa: BLE001 - teardown is best-effort
+                pass
 
     # -- request loop ----------------------------------------------------------
 
@@ -105,6 +186,8 @@ class Server:
                 self._handle(comm, msg)
         finally:
             comm.close()
+            with self._lock:
+                self._endpoints.discard(endpoint)
 
     def _handle(self, comm: Communicator, msg: RpcMessage) -> None:
         self.stats.begin()
@@ -124,23 +207,7 @@ class Server:
             self._reply_error(comm, msg.name, detail)
         finally:
             self.stats.end(failed)
-            tele = active_telemetry()
-            if tele.enabled:
-                tele.metrics.histogram(
-                    "adoc_rpc_latency_seconds",
-                    "RPC handling / round-trip latency",
-                    ("side", "service"),
-                    buckets=LATENCY_BUCKETS,
-                ).observe(
-                    time.monotonic() - t0, side="server", service=msg.name
-                )
-                tele.metrics.counter(
-                    "adoc_rpc_requests_total",
-                    "RPCs served, by outcome", ("service", "status"),
-                ).inc(
-                    service=msg.name,
-                    status="error" if failed else "ok",
-                )
+            _observe_rpc(active_telemetry(), msg.name, failed, t0)
 
     def _reply_error(self, comm: Communicator, name: str, detail: str) -> None:
         try:
@@ -150,3 +217,219 @@ class Server:
             )
         except TransportClosed:
             pass
+
+
+class _RpcConnection:
+    """One client on a :class:`ReactorRpcServer`: assembler + dispatch.
+
+    Every method except :meth:`_job_done` runs on the loop thread.
+    Requests parked while the codec pool is saturated stay in FIFO
+    order (``_pending`` drains front-first and stops at the first
+    refusal), so saturation delays replies but never reorders them.
+    """
+
+    def __init__(self, server: "ReactorRpcServer", channel) -> None:
+        self.server = server
+        self.channel = channel
+        self.assembler = MessageAssembler(self._on_message)
+        self._pending: deque[RpcMessage] = deque()
+        self._retry_armed = False
+
+    # -- inbound -----------------------------------------------------------
+
+    def feed(self, data: bytes) -> None:
+        try:
+            self.assembler.feed(data)
+        except RpcError as exc:
+            # Malformed traffic: the blocking server drops the
+            # connection too (its read loop breaks) — no reply, since
+            # framing is no longer trustworthy.
+            self.channel.close(exc)
+
+    def _on_message(self, msg: RpcMessage) -> None:
+        if msg.type != MsgType.REQUEST:
+            self._send(
+                RpcMessage(
+                    MsgType.ERROR, msg.name, [b"expected a REQUEST"], status=1
+                )
+            )
+            return
+        if self.server.dispatch == "inline":
+            self._send(self.server._execute(msg))
+            return
+        self._pending.append(msg)
+        self._pump()
+
+    def _pump(self) -> None:
+        pool = self.server.pool
+        while self._pending:
+            msg = self._pending[0]
+            try:
+                submitted = pool.try_submit(
+                    self.server._execute,
+                    msg,
+                    key=(id(self.channel), "rpc"),
+                    on_done=self._job_done,
+                )
+            except PoolClosed:
+                self._pending.clear()
+                return
+            if not submitted:
+                self._arm_retry()
+                return
+            self._pending.popleft()
+
+    def _arm_retry(self) -> None:
+        if self._retry_armed or self.channel.closed:
+            return
+        self._retry_armed = True
+        self.channel.reactor.call_later(_POOL_RETRY_S, self._retry_fire)
+
+    def _retry_fire(self) -> None:
+        self._retry_armed = False
+        if not self.channel.closed:
+            self._pump()
+
+    # -- outbound ----------------------------------------------------------
+
+    def _job_done(self, reply: RpcMessage, error: BaseException | None) -> None:
+        # Worker thread.  _execute never raises, but the pool may
+        # deliver PoolClosed for jobs caught by a non-drain close.
+        if error is not None:
+            return
+        self.channel.reactor.call_soon_threadsafe(partial(self._send, reply))
+
+    def _send(self, msg: RpcMessage) -> None:
+        if self.channel.closed:
+            return
+        try:
+            if self.channel.mode == "plain":
+                # Raw byte stream: segment boundaries don't exist on the
+                # wire, so one coalesced send replaces three syscalls.
+                self.channel.send_message(b"".join(iter_message_segments(msg)))
+            else:
+                # AdOC framing: each segment is its own message, so
+                # large arguments compress independently while headers
+                # ride the small-message fast path (see
+                # iter_message_segments).
+                for segment in iter_message_segments(msg):
+                    self.channel.send_message(segment)
+        except Exception as exc:  # noqa: BLE001 - connection is unusable
+            self.channel.close(exc)
+
+
+class ReactorRpcServer:
+    """The multiplexed computational server: one reactor, N clients.
+
+    Drop-in peer of :class:`Server` for socket-served deployments: the
+    same registry, wire protocol, and stats, but connections are
+    channels on a shared :class:`~repro.serve.Reactor` instead of a
+    thread each, and service execution runs on the shared
+    :class:`~repro.serve.WorkerPool` (``dispatch="pool"``, keyed per
+    connection so replies keep request order).  ``dispatch="inline"``
+    runs services directly on the loop thread — only for sub-millisecond
+    handlers like ``echo``, where a pool hop would dominate the cost.
+
+    ``mode`` picks the framing: ``"plain"`` speaks raw NS bytes,
+    ``"adoc"`` wraps them in AdOC compression exactly as
+    :class:`~repro.middleware.communicator.AdocCommunicator` does.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        registry: ServiceRegistry | None = None,
+        config: AdocConfig = DEFAULT_CONFIG,
+        mode: str = "plain",
+        dispatch: str = "pool",
+        telemetry: Telemetry | None = None,
+        reactor: Reactor | None = None,
+        pool: WorkerPool | None = None,
+        workers: int | None = None,
+        max_pending: int = 256,
+    ) -> None:
+        if mode not in ("plain", "adoc"):
+            raise ValueError(f"mode must be 'plain' or 'adoc', not {mode!r}")
+        if dispatch not in ("pool", "inline"):
+            raise ValueError(
+                f"dispatch must be 'pool' or 'inline', not {dispatch!r}"
+            )
+        self.name = name
+        self.registry = registry or default_registry()
+        self.config = config
+        self.mode = mode
+        self.dispatch = dispatch
+        self.stats = ServerStats()
+        self._server = ReactorServer(
+            name=name,
+            config=config,
+            telemetry=telemetry,
+            reactor=reactor,
+            pool=pool,
+            workers=workers,
+            max_pending=max_pending,
+        )
+
+    @property
+    def reactor(self) -> Reactor:
+        return self._server.reactor
+
+    @property
+    def pool(self) -> WorkerPool:
+        return self._server.pool
+
+    @property
+    def connection_count(self) -> int:
+        return self._server.connection_count
+
+    def services(self) -> list[str]:
+        return self.registry.names()
+
+    def listen(
+        self, host: str = "127.0.0.1", port: int = 0, backlog: int = DEFAULT_BACKLOG
+    ) -> tuple[str, int]:
+        """Bind and serve; returns the bound ``(host, port)``."""
+        return self._server.listen(host, port, self._make_channel, backlog)
+
+    def _make_channel(self, endpoint, addr):
+        channel = reactor_channel(
+            self.mode,
+            self._server.reactor,
+            endpoint,
+            self._server.pool,
+            self.config,
+            self._server.telemetry,
+        )
+        conn = _RpcConnection(self, channel)
+        channel.on_data = conn.feed
+        return channel
+
+    def _execute(self, msg: RpcMessage) -> RpcMessage:
+        """Run one request; always returns the reply (never raises).
+
+        Runs on a pool worker under ``dispatch="pool"``, on the loop
+        thread under ``dispatch="inline"``.
+        """
+        self.stats.begin()
+        failed = False
+        t0 = time.monotonic()
+        try:
+            service = self.registry.lookup(msg.name)
+            results = service(msg.args)
+            reply = RpcMessage(MsgType.RESPONSE, msg.name, results, status=0)
+        except Exception as exc:  # noqa: BLE001 - converted to RPC error
+            failed = True
+            detail = "".join(
+                traceback.format_exception_only(type(exc), exc)
+            ).strip()
+            reply = RpcMessage(
+                MsgType.ERROR, msg.name, [detail.encode("utf-8")], status=1
+            )
+        finally:
+            self.stats.end(failed)
+            _observe_rpc(self._server.telemetry, msg.name, failed, t0)
+        return reply
+
+    def close(self, join_timeout: float = 10.0) -> None:
+        """Tear down listeners, channels, loop thread, pool workers."""
+        self._server.close(join_timeout)

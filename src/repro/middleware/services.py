@@ -86,9 +86,20 @@ def _norm(args: list[bytes]) -> list[bytes]:
     return [encode_matrix_ascii(np.array([[value]]))]
 
 
+def _echo(args: list[bytes]) -> list[bytes]:
+    """Return the arguments unchanged.
+
+    The concurrency benchmark's workload: zero compute, so round-trip
+    time measures the serving machinery (reactor vs thread-per-
+    connection) and nothing else.
+    """
+    return list(args)
+
+
 def default_registry() -> ServiceRegistry:
     """The stock problem set every server offers by default."""
     reg = ServiceRegistry()
+    reg.register("echo", _echo)
     reg.register("dgemm", _dgemm)
     reg.register("dgemv", _dgemv)
     reg.register("sum", _dsum)

@@ -1,0 +1,39 @@
+"""The shared non-blocking server core: one reactor, one codec pool.
+
+The paper's pipeline is thread-per-stream (compression + emission on
+the send side, reception + decompression on the receive side) — four
+threads per connection before the server's own accept/session threads.
+That shape caps every service in this repo at tens of concurrent
+connections.  This package is the C10K refactor the ROADMAP names: a
+``selectors``-based event loop (:mod:`repro.serve.reactor`) multiplexes
+thousands of non-blocking sockets on one thread, and a bounded worker
+pool (:mod:`repro.serve.pool`) runs the CPU-heavy codec work with
+in-order FIFO reinsertion — AdOC's 200 KB buffers are compressed
+independently (the paper re-evaluates the level per buffer), so the
+pool multiplies codec throughput by core count without reordering the
+wire.
+
+The wire format is untouched: :mod:`repro.serve.channel` drives the
+same framing (:mod:`repro.core.packets`), the same level adaptation,
+and the same guards as the blocking engine, just readiness-driven.
+``docs/CONCURRENCY.md`` has the architecture and the blocking-vs-
+reactor mode matrix.
+"""
+
+from .channel import AdocChannel, NonBlockingEndpoint, PlainChannel
+from .pool import PoolClosed, WorkerPool
+from .reactor import Reactor, TimerHandle, TimerWheel
+from .server import Listener, ReactorServer
+
+__all__ = [
+    "Reactor",
+    "TimerHandle",
+    "TimerWheel",
+    "WorkerPool",
+    "PoolClosed",
+    "NonBlockingEndpoint",
+    "PlainChannel",
+    "AdocChannel",
+    "Listener",
+    "ReactorServer",
+]

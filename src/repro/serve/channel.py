@@ -1,0 +1,683 @@
+"""Readiness-driven AdOC channels: the engine's non-blocking mode.
+
+The blocking engine (:mod:`repro.core.sender` / ``receiver``) spends
+threads to wait; a channel spends none.  It registers one non-blocking
+socket with a :class:`~repro.serve.reactor.Reactor` and moves bytes
+only when the kernel says it can: reads feed the same incremental
+:class:`~repro.core.receiver.StreamingParser` the blocking receiver
+uses, writes drain a backlog of framing vectors built by the same
+helpers (:func:`~repro.core.sender.raw_message_vectors`,
+:class:`~repro.core.packets.Record`), so the two modes are
+byte-compatible on the wire by construction — a blocking sender can
+talk to a reactor channel and vice versa.
+
+CPU-heavy codec work never runs on the loop thread: compression and
+decompression are submitted to a :class:`~repro.serve.pool.WorkerPool`
+keyed per channel direction, whose in-order FIFO reinsertion guarantees
+records are emitted (and decoded payloads delivered) in submission
+order no matter which worker finishes first.  Small messages skip the
+pool entirely — they are framed raw inline, the reactor analog of the
+blocking sender's small-message bypass.
+
+What carries over from the blocking engine, per the mode matrix in
+``docs/CONCURRENCY.md``: zero-copy emission (payloads stay
+``memoryview`` vectors end to end), ``io_timeout_s`` deadlines (a stall
+timer fails the channel when a frame or a write backlog stops making
+progress), level adaptation + divergence/incompressibility guards, and
+telemetry.  What does not: the 256 KB bandwidth probe (it needs timed
+blocking sends; reactor-mode level selection leans on the write-backlog
+depth instead).
+
+Thread model: every public method is **loop-thread-only** — callers on
+other threads go through
+:meth:`~repro.serve.reactor.Reactor.call_soon_threadsafe`.  All channel
+state is loop-confined; the worker pool hands completions back via the
+same door.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from collections import deque
+from functools import partial
+from typing import Callable
+
+from ..compress.registry import codec_for_level
+from ..core.adaptation import LevelAdapter
+from ..core.compressor import compress_buffer
+from ..core.config import AdocConfig, DEFAULT_CONFIG
+from ..core.deadlines import DeadlineExceeded, TransferError
+from ..core.divergence import DivergenceGuard
+from ..core.guards import IncompressibleGuard
+from ..core.packets import END_LEVEL, ProtocolError, Record, pack_message_header
+from ..core.receiver import StreamingParser
+from ..core.sender import raw_message_vectors
+from ..obs.telemetry import Telemetry, resolve_telemetry
+from ..transport.base import Endpoint, TransportClosed
+from .pool import PoolClosed, WorkerPool
+from .reactor import EVENT_READ, EVENT_WRITE, Reactor
+
+__all__ = ["NonBlockingEndpoint", "PlainChannel", "AdocChannel"]
+
+_log = logging.getLogger("repro.serve.channel")
+
+#: Read size per ``recv`` — same rationale as the blocking receiver.
+_CHUNK = 64 * 1024
+#: recv() calls per readiness callback before yielding to other fds.
+_READS_PER_CALLBACK = 4
+#: Buffers coalesced into one vectored send while draining.
+_MAX_VECTORS = 64
+#: Write backlog (bytes) above which the channel stops reading.
+_TX_HIGH_WATER = 4 * 1024 * 1024
+#: Decode slots above which the channel stops reading.
+_RX_HIGH_WATER = 1024
+#: Retry interval while the worker pool is refusing submissions.
+_POOL_RETRY_S = 0.01
+
+#: Slot payload sentinel: decode still in flight.
+_PENDING = object()
+#: Slot payload sentinel: an inbound message boundary.
+_BOUNDARY = object()
+
+
+class NonBlockingEndpoint:
+    """An :class:`~repro.transport.base.Endpoint` in non-blocking mode.
+
+    Translates would-block into values a callback can act on —
+    ``try_recv`` returns ``None``, the send surface returns ``0`` —
+    instead of an exception or a parked thread.  The wrapped endpoint
+    must expose ``fileno()`` and ``setblocking()``
+    (:class:`~repro.transport.socket_transport.SocketEndpoint` and
+    :class:`~repro.transport.faults.FaultyEndpoint` both do).
+    """
+
+    def __init__(self, endpoint: Endpoint) -> None:
+        setblocking = getattr(endpoint, "setblocking", None)
+        if setblocking is None or not hasattr(endpoint, "fileno"):
+            raise TypeError(
+                f"{type(endpoint).__name__} cannot go non-blocking "
+                "(needs setblocking() and fileno())"
+            )
+        setblocking(False)
+        self.endpoint = endpoint
+        self._vectored = hasattr(endpoint, "send_vectors")
+
+    def fileno(self) -> int:
+        return self.endpoint.fileno()  # type: ignore[attr-defined]
+
+    def try_recv(self, n: int) -> bytes | None:
+        """Up to ``n`` bytes; ``None`` on would-block, ``b""`` at EOF."""
+        try:
+            return self.endpoint.recv(n)  # adoclint: disable=ADOC111,ADOC115 -- endpoint is O_NONBLOCK (set in __init__): recv returns EAGAIN immediately, never blocks
+        except BlockingIOError:
+            return None
+
+    def try_send(self, data) -> int:
+        """Bytes accepted; ``0`` on would-block."""
+        try:
+            return self.endpoint.send(data)  # adoclint: disable=ADOC111,ADOC115 -- endpoint is O_NONBLOCK (set in __init__): send returns EAGAIN immediately, never blocks
+        except BlockingIOError:
+            return 0
+
+    def try_send_vectors(self, buffers: list) -> int:
+        """Bytes accepted from a scatter list; ``0`` on would-block."""
+        if not self._vectored:
+            return self.try_send(buffers[0])
+        try:
+            return self.endpoint.send_vectors(buffers)  # type: ignore[attr-defined]  # adoclint: disable=ADOC111,ADOC115 -- endpoint is O_NONBLOCK (set in __init__): sendmsg returns EAGAIN immediately, never blocks
+        except BlockingIOError:
+            return 0
+
+    def close(self) -> None:
+        self.endpoint.close()
+
+
+class _ChannelBase:
+    """Interest management, write backlog, stall timer — mode-agnostic.
+
+    Subclasses implement ``_feed(data)`` (bytes arrived) and
+    ``_on_eof()`` (peer shut its write side).
+    """
+
+    mode = "plain"
+
+    def __init__(
+        self,
+        reactor: Reactor,
+        endpoint: Endpoint | NonBlockingEndpoint,
+        config: AdocConfig = DEFAULT_CONFIG,
+        telemetry: Telemetry | None = None,
+    ) -> None:
+        self.reactor = reactor
+        self.config = config
+        self._tele = telemetry if telemetry is not None else resolve_telemetry(config)
+        if not isinstance(endpoint, NonBlockingEndpoint):
+            endpoint = NonBlockingEndpoint(endpoint)
+        self._nb = endpoint
+        #: Bytes arriving from the wire, decoded: ``on_data(bytes)``.
+        self.on_data: Callable[[bytes], None] = lambda data: None
+        #: Channel finished: ``on_close(error_or_None)``, exactly once.
+        self.on_close: Callable[[BaseException | None], None] = lambda exc: None
+        self._wq: deque[bytes | memoryview] = deque()
+        self._woff = 0  # bytes of _wq[0] already sent
+        self._pending_tx = 0  # bytes in _wq not yet accepted by the kernel
+        self._rx_paused = False
+        self._events = 0
+        self._closed = False
+        self._open = False
+        self._last_progress = time.monotonic()
+        self._stall_timer = None
+        self.bytes_in = 0
+        self.bytes_out = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def open(self) -> None:
+        """Register with the reactor and start the stall timer."""
+        if self._open or self._closed:
+            return
+        self._open = True
+        self._update_interest()
+        if self.config.io_timeout_s is not None:
+            self._arm_stall_timer()
+
+    def close(self, error: BaseException | None = None) -> None:
+        """Tear the channel down (idempotent); fires ``on_close`` once."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._stall_timer is not None:
+            self._stall_timer.cancel()
+            self._stall_timer = None
+        if self._events:
+            self.reactor.unregister(self._nb)
+            self._events = 0
+        self._nb.close()
+        self._wq.clear()
+        self._pending_tx = 0
+        try:
+            self.on_close(error)
+        except Exception:  # noqa: BLE001 - a close hook must not cascade
+            _log.exception("channel on_close hook failed")
+
+    def _fail(self, error: BaseException) -> None:
+        _log.warning("channel failed: %s", error)
+        self.close(error)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # -- interest ----------------------------------------------------------
+
+    def _update_interest(self) -> None:
+        if self._closed or not self._open:
+            return
+        events = 0
+        if not self._rx_paused:
+            events |= EVENT_READ
+        if self._wq:
+            events |= EVENT_WRITE
+        if events == self._events:
+            return
+        if self._events == 0:
+            self.reactor.register(self._nb, events, self._on_ready)
+        elif events == 0:
+            self.reactor.unregister(self._nb)
+        else:
+            self.reactor.modify(self._nb, events, self._on_ready)
+        self._events = events
+
+    def _pause_reading(self) -> None:
+        if not self._rx_paused:
+            self._rx_paused = True
+            self._update_interest()
+
+    def _resume_reading(self) -> None:
+        if self._rx_paused:
+            self._rx_paused = False
+            self._update_interest()
+
+    # -- readiness ---------------------------------------------------------
+
+    def _on_ready(self, mask: int) -> None:
+        if self._closed:
+            return
+        if mask & EVENT_WRITE:
+            self._drain()
+        if self._closed or not mask & EVENT_READ:
+            return
+        for _ in range(_READS_PER_CALLBACK):
+            try:
+                data = self._nb.try_recv(_CHUNK)
+            except TransportClosed:
+                data = b""
+            if data is None:
+                break
+            if not data:
+                self._on_eof()
+                return
+            self.bytes_in += len(data)
+            self._last_progress = time.monotonic()
+            try:
+                self._feed(data)
+            except (ProtocolError, TransportClosed, TransferError) as exc:
+                self._fail(exc)
+                return
+            if self._closed or self._rx_paused:
+                break
+
+    def _feed(self, data: bytes) -> None:
+        raise NotImplementedError
+
+    def _on_eof(self) -> None:
+        raise NotImplementedError
+
+    # -- the write backlog -------------------------------------------------
+
+    def _enqueue(self, vectors: list) -> None:
+        """Append wire buffers and push them as far as the kernel allows."""
+        if self._closed:
+            return
+        for v in vectors:
+            if len(v):
+                self._wq.append(v)
+                self._pending_tx += len(v)
+        self._drain()
+        self._update_interest()
+        if self._pending_tx > _TX_HIGH_WATER:
+            self._pause_reading()
+
+    def _drain(self) -> None:
+        nb = self._nb
+        while self._wq:
+            vectors: list = []
+            woff = self._woff
+            for buf in self._wq:
+                view = memoryview(buf)[woff:] if woff else buf
+                woff = 0
+                if len(view):
+                    vectors.append(view)
+                    if len(vectors) >= _MAX_VECTORS:
+                        break
+            try:
+                sent = nb.try_send_vectors(vectors)
+            except TransportClosed as exc:
+                self._fail(exc)
+                return
+            if sent == 0:
+                break  # kernel buffer full: wait for EVENT_WRITE
+            self._account_tx(sent)
+            while self._wq and sent >= 0:
+                head_left = len(self._wq[0]) - self._woff
+                if sent >= head_left:
+                    sent -= head_left
+                    self._wq.popleft()
+                    self._woff = 0
+                    if not self._wq:
+                        break
+                else:
+                    self._woff += sent
+                    break
+        if not self._wq and self._rx_paused and self._may_resume():
+            self._resume_reading()
+        self._update_interest()
+
+    def _account_tx(self, sent: int) -> None:
+        self.bytes_out += sent
+        self._pending_tx -= sent
+        self._last_progress = time.monotonic()
+
+    def _may_resume(self) -> bool:
+        """Subclass hook: is it safe to read again after backpressure?"""
+        return self._pending_tx <= _TX_HIGH_WATER
+
+    # -- stall detection ---------------------------------------------------
+
+    def _arm_stall_timer(self) -> None:
+        interval = max(self.config.io_timeout_s / 2.0, 0.01)
+        self._stall_timer = self.reactor.call_later(interval, self._check_stall)
+
+    def _check_stall(self) -> None:
+        if self._closed:
+            return
+        timeout = self.config.io_timeout_s
+        stalled = time.monotonic() - self._last_progress
+        if stalled > timeout and self._mid_transfer():
+            self._fail(
+                DeadlineExceeded(
+                    f"channel stalled mid-transfer past {timeout}s",
+                    stage="channel",
+                )
+            )
+            return
+        self._arm_stall_timer()
+
+    def _mid_transfer(self) -> bool:
+        """Idle is legal; a stall only counts with work outstanding."""
+        return bool(self._wq)
+
+
+class PlainChannel(_ChannelBase):
+    """Raw bytes, no framing: the reactor analog of PlainCommunicator."""
+
+    mode = "plain"
+
+    def send_message(self, data: bytes | bytearray | memoryview) -> None:
+        """Queue ``data`` verbatim (loop thread only)."""
+        self._enqueue([data])
+
+    def _feed(self, data: bytes) -> None:
+        self.on_data(data)
+
+    def _on_eof(self) -> None:
+        self.close()
+
+
+class _Slot:
+    """One record's place in the in-order delivery queue."""
+
+    __slots__ = ("data",)
+
+    def __init__(self, data=_PENDING) -> None:
+        self.data = data
+
+
+class AdocChannel(_ChannelBase):
+    """AdOC framing over a non-blocking socket, codec work pooled.
+
+    One ``send_message`` call is one message on the wire, exactly as one
+    ``adoc_write`` is in the blocking engine.  Small messages (below
+    ``small_message_threshold``, compression not forced) are framed raw
+    inline; large ones are cut into ``buffer_size`` chunks, compressed
+    on the worker pool at a level the adapter picks per chunk, and their
+    records enqueued in chunk order (the pool's per-key FIFO
+    reinsertion plus the reactor's ordered cross-thread queue make that
+    order-safe even with every worker busy).
+    """
+
+    mode = "adoc"
+
+    def __init__(
+        self,
+        reactor: Reactor,
+        endpoint: Endpoint | NonBlockingEndpoint,
+        pool: WorkerPool,
+        config: AdocConfig = DEFAULT_CONFIG,
+        telemetry: Telemetry | None = None,
+    ) -> None:
+        super().__init__(reactor, endpoint, config, telemetry)
+        self.pool = pool
+        self._parser = StreamingParser()
+        #: Called at each inbound message boundary (RPC framing hooks).
+        self.on_message_end: Callable[[], None] | None = None
+        # Receive side: in-order delivery across inline + pooled decode.
+        self._rxq: deque[_Slot] = deque()
+        self._decode_parked: deque[tuple[_Slot, int, bytes, int]] = deque()
+        self._retry_timer = None
+        # Send side: one message in flight through the pool at a time;
+        # later messages park until its records are all enqueued.
+        self._tx_busy = False
+        self._tx_msgq: deque[bytes | memoryview] = deque()
+        self._tx_chunks: deque[memoryview] = deque()
+        self._tx_jobs = 0
+        # Adaptation state mirrors MessageSender: per-connection
+        # divergence records persisting across messages.
+        self.divergence = DivergenceGuard(config.divergence_forbid_s)
+        self._inc_guard = IncompressibleGuard(
+            config.incompressible_ratio, config.incompressible_holdoff
+        )
+        self._adapter = LevelAdapter(
+            config, self.divergence, self._inc_guard, self._tele
+        )
+        # Divergence windows over the write backlog: (level, orig
+        # bytes, absolute wire offset at which the window ends).
+        self._tx_enqueued = 0
+        self._tx_acked = 0
+        self._windows: deque[tuple[int, int, int]] = deque()
+        self._window_start: float | None = None
+        self.messages_in = 0
+        self.messages_out = 0
+
+    # -- send --------------------------------------------------------------
+
+    def send_message(self, data: bytes | bytearray | memoryview) -> None:
+        """Queue one AdOC message (loop thread only)."""
+        if self._closed:
+            return
+        if self._tx_busy:
+            self._tx_msgq.append(data)
+            return
+        self._start_message(data)
+
+    def _start_message(self, data: bytes | bytearray | memoryview) -> None:
+        cfg = self.config
+        total = len(data)
+        self.messages_out += 1
+        small = not cfg.compression_forced and total < cfg.small_message_threshold
+        if cfg.compression_disabled or small:
+            self._enqueue(raw_message_vectors(data))
+            return
+        self._tx_busy = True
+        self._enqueue([pack_message_header(total, length_known=True)])
+        view = memoryview(data)
+        for off in range(0, total, cfg.buffer_size):
+            self._tx_chunks.append(view[off : off + cfg.buffer_size])
+        self._pump_tx()
+
+    def _pump_tx(self) -> None:
+        """Submit parked chunks while the pool has room."""
+        cfg = self.config
+        while self._tx_chunks:
+            chunk = self._tx_chunks[0]
+            level = self._adapter.next_level(len(self._wq), time.monotonic())
+            if cfg.compression_disabled:
+                level = 0
+            try:
+                accepted = self.pool.try_submit(
+                    self._compress_job,
+                    chunk,
+                    level,
+                    key=(id(self), "tx"),
+                    on_done=partial(self._tx_job_done, chunk, level),
+                )
+            except PoolClosed as exc:
+                self._fail(exc)
+                return
+            if not accepted:
+                self._arm_retry()
+                return
+            self._tx_chunks.popleft()
+            self._tx_jobs += 1
+
+    def _compress_job(self, chunk: memoryview, level: int) -> list[Record]:
+        records, _ = compress_buffer(chunk, level, self._inc_guard, self.config)
+        return records
+
+    def _tx_job_done(self, chunk, level, records, error) -> None:
+        # Worker thread: hop to the loop.  The pool delivers per-key
+        # completions in submission order and call_soon_threadsafe is
+        # FIFO, so chunk order survives the round trip.
+        self.reactor.call_soon_threadsafe(
+            partial(self._tx_enqueue_records, chunk, level, records, error)
+        )
+
+    def _tx_enqueue_records(self, chunk, level, records, error) -> None:
+        if self._closed:
+            return
+        if error is not None:
+            # Graceful degradation, same as the blocking compression
+            # thread: a codec failure ships the chunk raw.
+            _log.warning(
+                "codec failed at level %d in reactor channel; sending raw: %s",
+                level, error,
+            )
+            records = [Record(0, len(chunk), chunk)]
+        wire = 0
+        vectors: list[bytes | memoryview] = []
+        for rec in records:
+            hdr = rec.header_bytes()
+            vectors.append(hdr)
+            wire += len(hdr)
+            if len(rec.payload):
+                vectors.append(rec.payload)
+                wire += len(rec.payload)
+        self._tx_enqueued += wire
+        self._windows.append((records[0].level, len(chunk), self._tx_enqueued))
+        if self._window_start is None:
+            self._window_start = time.monotonic()
+        self._enqueue(vectors)
+        self._tx_jobs -= 1
+        self._pump_tx()
+        if self._tx_jobs == 0 and not self._tx_chunks:
+            self._tx_busy = False
+            if self._tx_msgq:
+                self._start_message(self._tx_msgq.popleft())
+
+    def _account_tx(self, sent: int) -> None:
+        super()._account_tx(sent)
+        # Observe completed (level, buffer) windows, mirroring the
+        # blocking emission loop's divergence feedback.
+        self._tx_acked += sent
+        now = time.monotonic()
+        while self._windows and self._tx_acked >= self._windows[0][2]:
+            level, orig, _ = self._windows.popleft()
+            if self._window_start is not None and orig > 0:
+                self.divergence.observe(
+                    level, orig, max(now - self._window_start, 1e-9)
+                )
+            self._window_start = now if self._windows else None
+
+    # -- receive -----------------------------------------------------------
+
+    def _feed(self, data: bytes) -> None:
+        for pkt in self._parser.feed(data):
+            if pkt.level == END_LEVEL:
+                self.messages_in += 1
+                if self._rxq:
+                    self._rxq.append(_Slot(_BOUNDARY))
+                elif self.on_message_end is not None:
+                    self.on_message_end()
+                continue
+            if pkt.level == 0:
+                if self._rxq:
+                    self._rxq.append(_Slot(pkt.payload))
+                elif len(pkt.payload):
+                    self.on_data(pkt.payload)
+            else:
+                slot = _Slot()
+                self._rxq.append(slot)
+                self._submit_decode(slot, pkt.level, pkt.payload, pkt.original_bytes)
+        if len(self._rxq) > _RX_HIGH_WATER:
+            self._pause_reading()
+
+    def _submit_decode(
+        self, slot: _Slot, level: int, payload: bytes, orig: int
+    ) -> None:
+        try:
+            accepted = self.pool.try_submit(
+                self._decompress_job,
+                level,
+                payload,
+                orig,
+                key=(id(self), "rx"),
+                on_done=partial(self._rx_job_done, slot, level),
+            )
+        except PoolClosed as exc:
+            self._fail(exc)
+            return
+        if not accepted:
+            self._decode_parked.append((slot, level, payload, orig))
+            self._pause_reading()
+            self._arm_retry()
+
+    def _decompress_job(self, level: int, payload: bytes, orig: int) -> bytes:
+        return codec_for_level(level).decompress(payload, orig)
+
+    def _rx_job_done(self, slot: _Slot, level: int, data, error) -> None:
+        # Worker thread: hop to the loop.
+        self.reactor.call_soon_threadsafe(
+            partial(self._rx_deliver, slot, level, data, error)
+        )
+
+    def _rx_deliver(self, slot: _Slot, level: int, data, error) -> None:
+        if self._closed:
+            return
+        if error is not None:
+            self._fail(
+                TransferError(
+                    f"decompression failed at level {level}: {error}",
+                    stage="decompress",
+                )
+            )
+            return
+        slot.data = data
+        while self._rxq and self._rxq[0].data is not _PENDING:
+            ready = self._rxq.popleft().data
+            if ready is _BOUNDARY:
+                if self.on_message_end is not None:
+                    self.on_message_end()
+            elif len(ready):
+                self.on_data(ready)
+        if self._rx_paused and self._may_resume():
+            self._resume_reading()
+
+    def _pump_parked_decodes(self) -> None:
+        while self._decode_parked:
+            slot, level, payload, orig = self._decode_parked[0]
+            try:
+                accepted = self.pool.try_submit(
+                    self._decompress_job,
+                    level,
+                    payload,
+                    orig,
+                    key=(id(self), "rx"),
+                    on_done=partial(self._rx_job_done, slot, level),
+                )
+            except PoolClosed as exc:
+                self._fail(exc)
+                return
+            if not accepted:
+                self._arm_retry()
+                return
+            self._decode_parked.popleft()
+
+    def _arm_retry(self) -> None:
+        if self._retry_timer is None and not self._closed:
+            self._retry_timer = self.reactor.call_later(
+                _POOL_RETRY_S, self._retry_pool
+            )
+
+    def _retry_pool(self) -> None:
+        self._retry_timer = None
+        if self._closed:
+            return
+        self._pump_parked_decodes()
+        self._pump_tx()
+        if self._decode_parked or (self._tx_chunks and self._tx_busy):
+            self._arm_retry()
+        elif self._rx_paused and self._may_resume():
+            self._resume_reading()
+
+    def _may_resume(self) -> bool:
+        return (
+            self._pending_tx <= _TX_HIGH_WATER
+            and len(self._rxq) <= _RX_HIGH_WATER
+            and not self._decode_parked
+        )
+
+    def _on_eof(self) -> None:
+        try:
+            self._parser.feed_eof()
+        except TransportClosed as exc:
+            self._fail(exc)
+            return
+        if self._rxq or self._tx_jobs or self._wq:
+            # Let in-flight decodes/writes finish before reporting EOF.
+            self.reactor.call_later(_POOL_RETRY_S, self._on_eof)
+            return
+        self.close()
+
+    def _mid_transfer(self) -> bool:
+        return bool(self._wq) or self._parser.mid_message

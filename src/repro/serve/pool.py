@@ -1,0 +1,337 @@
+"""Bounded codec worker pool with in-order FIFO reinsertion.
+
+AdOC re-evaluates the compression level per 200 KB buffer (paper
+Figure 2), which makes buffers *independent* units of codec work: the
+only ordering that matters is that each connection's records hit the
+wire in submission order.  The pool exploits that: ``workers`` threads
+run jobs from a bounded queue in parallel — multiplying codec
+throughput by core count — while completions for the same ``key``
+(one key per connection direction) are *reinserted* strictly in
+submission order, whichever worker finishes first.
+
+Reactor integration: :meth:`WorkerPool.try_submit` never blocks (it
+returns ``False`` when the queue is full, and the caller applies
+backpressure by pausing reads); completion callbacks run on worker
+threads, so reactor users wrap them in
+:meth:`~repro.serve.reactor.Reactor.call_soon_threadsafe`.  The
+blocking :meth:`WorkerPool.submit` exists for non-reactor callers and
+bounds its wait with ``timeout``.
+
+Shutdown is :func:`~repro.core.deadlines.reap_threads`-backed: every
+worker is joined on :meth:`close`, and a wedged worker surfaces as a
+structured teardown error instead of a hung process.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..analysis.lockgraph import make_condition, make_lock
+from ..core.deadlines import DeadlineExceeded, reap_threads
+from ..obs.telemetry import Telemetry, resolve_telemetry
+
+__all__ = ["PoolClosed", "WorkerPool"]
+
+_log = logging.getLogger("repro.serve.pool")
+
+#: Completion callback: ``on_done(result, error)`` — exactly one of the
+#: two is not ``None`` (a job returning ``None`` passes ``(None, None)``).
+DoneCallback = Callable[[Any, BaseException | None], None]
+
+
+class PoolClosed(Exception):
+    """Raised when submitting to a pool that has been closed."""
+
+
+def default_worker_count() -> int:
+    """Codec workers to start by default: the core count, bounded.
+
+    Compression is pure CPU, so more workers than cores only adds
+    contention; fewer than two forfeits the pipeline overlap the paper's
+    two-thread design already had.
+    """
+    return max(2, min(8, os.cpu_count() or 2))
+
+
+@dataclass
+class _Job:
+    fn: Callable[..., Any]
+    args: tuple
+    key: Any
+    seq: int
+    on_done: DoneCallback | None
+
+
+@dataclass
+class _KeyState:
+    """Per-key reorder buffer for in-order completion delivery."""
+
+    next_seq: int = 0  # next sequence number to assign
+    next_deliver: int = 0  # next sequence number to deliver
+    done: dict[int, tuple[Any, BaseException | None, DoneCallback | None]] = field(
+        default_factory=dict
+    )
+    delivering: bool = False  # one thread drains a key at a time
+
+
+class WorkerPool:
+    """A fixed set of named worker threads over one bounded job queue."""
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        max_pending: int = 256,
+        telemetry: Telemetry | None = None,
+        name: str = "codec-pool",
+    ) -> None:
+        if max_pending <= 0:
+            raise ValueError("max_pending must be positive")
+        self.name = name
+        self.workers = workers if workers is not None else default_worker_count()
+        if self.workers <= 0:
+            raise ValueError("workers must be positive")
+        self.max_pending = max_pending
+        self._tele = telemetry if telemetry is not None else resolve_telemetry()
+        self._lock = make_lock("WorkerPool.lock")
+        self._not_empty = make_condition(self._lock, "WorkerPool.not_empty")
+        self._not_full = make_condition(self._lock, "WorkerPool.not_full")
+        self._jobs: deque[_Job] = deque()
+        self._keys: dict[Any, _KeyState] = {}
+        self._busy = 0
+        self._closed = False
+        #: Jobs completed (diagnostics / tests).
+        self.completed = 0
+        #: Exceptions raised by the pool machinery itself (not by jobs —
+        #: job errors go to on_done); read by reap_threads on close.
+        self._errors: list[BaseException] = []
+        self._threads = [
+            threading.Thread(
+                target=self._worker, name=f"adoc-{name}-{i}", daemon=True
+            )
+            for i in range(self.workers)
+        ]
+        for t in self._threads:
+            t.start()
+
+    # -- submission --------------------------------------------------------
+
+    def try_submit(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        key: Any = None,
+        on_done: DoneCallback | None = None,
+    ) -> bool:
+        """Queue a job without blocking; ``False`` when the pool is full.
+
+        Reactor callbacks use this exclusively: a full pool is
+        backpressure (stop reading that connection), never a stall.
+        """
+        with self._lock:
+            if self._closed:
+                raise PoolClosed("worker pool is closed")
+            if len(self._jobs) >= self.max_pending:
+                return False
+            self._enqueue_locked(fn, args, key, on_done)
+        self._note_depth()
+        return True
+
+    def submit(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        key: Any = None,
+        on_done: DoneCallback | None = None,
+        timeout: float | None = None,
+    ) -> None:
+        """Queue a job, blocking while the pool is full.
+
+        ``timeout`` bounds the wait, raising
+        :exc:`~repro.core.deadlines.DeadlineExceeded` on expiry — the
+        same contract as :meth:`repro.core.fifo.PacketQueue.put`.
+        """
+        give_up = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            while len(self._jobs) >= self.max_pending and not self._closed:
+                if give_up is None:
+                    self._not_full.wait()
+                else:
+                    remaining = give_up - time.monotonic()
+                    if remaining <= 0:
+                        raise DeadlineExceeded(
+                            "worker pool stayed full past the deadline",
+                            stage="pool.submit",
+                        )
+                    self._not_full.wait(remaining)
+            if self._closed:
+                raise PoolClosed("worker pool is closed")
+            self._enqueue_locked(fn, args, key, on_done)
+        self._note_depth()
+
+    def _enqueue_locked(
+        self, fn: Callable[..., Any], args: tuple, key: Any, on_done
+    ) -> None:
+        seq = 0
+        if key is not None:
+            state = self._keys.setdefault(key, _KeyState())
+            seq = state.next_seq
+            state.next_seq += 1
+        self._jobs.append(_Job(fn, args, key, seq, on_done))
+        self._not_empty.notify()  # adoclint: disable=ADOC103 -- _locked suffix contract: every caller holds self._lock
+
+    # -- the workers -------------------------------------------------------
+
+    def _worker(self) -> None:
+        try:
+            while True:
+                with self._lock:
+                    while not self._jobs and not self._closed:
+                        self._not_empty.wait()
+                    if not self._jobs:
+                        return  # closed and drained
+                    job = self._jobs.popleft()
+                    self._busy += 1
+                    self._not_full.notify()
+                self._note_depth()
+                result: Any = None
+                error: BaseException | None = None
+                try:
+                    result = job.fn(*job.args)
+                except BaseException as exc:  # noqa: BLE001 - delivered to on_done
+                    error = exc
+                self._deliver(job, result, error)
+                with self._lock:
+                    self._busy -= 1
+                    self.completed += 1
+                self._note_depth()
+        except BaseException as exc:  # noqa: BLE001 - surfaced by close()
+            self._errors.append(exc)
+            raise
+
+    def _deliver(self, job: _Job, result: Any, error: BaseException | None) -> None:
+        """Run completion callbacks, in submission order per key.
+
+        Keyless jobs deliver immediately.  Keyed jobs park their outcome
+        in the key's reorder buffer; whichever worker completes the
+        next-expected sequence number drains the buffer — under a
+        per-key ``delivering`` flag so two workers never interleave one
+        key's callbacks out of order.
+        """
+        if job.key is None:
+            self._run_callback(job.on_done, result, error)
+            return
+        with self._lock:
+            state = self._keys[job.key]
+            state.done[job.seq] = (result, error, job.on_done)
+            if state.delivering:
+                return  # the draining worker will pick this up
+            state.delivering = True
+        try:
+            while True:
+                with self._lock:
+                    outcome = state.done.pop(state.next_deliver, None)
+                    if outcome is None:
+                        state.delivering = False
+                        # A key with no pending work and no parked
+                        # results can be forgotten: unbounded key churn
+                        # (one key per connection) must not leak state.
+                        if state.next_deliver == state.next_seq:
+                            self._keys.pop(job.key, None)
+                        return
+                    state.next_deliver += 1
+                self._run_callback(outcome[2], outcome[0], outcome[1])
+        except BaseException:
+            with self._lock:
+                state.delivering = False
+            raise
+
+    def _run_callback(
+        self, on_done: DoneCallback | None, result: Any, error: BaseException | None
+    ) -> None:
+        if on_done is None:
+            if error is not None:
+                _log.error("pool job failed with no completion callback: %r", error)
+            return
+        try:
+            on_done(result, error)
+        except Exception:  # noqa: BLE001 - a callback must not kill the worker
+            _log.exception("pool completion callback failed")
+
+    # -- observability -----------------------------------------------------
+
+    def _note_depth(self) -> None:
+        if not self._tele.enabled:
+            return
+        with self._lock:
+            depth = len(self._jobs)
+            busy = self._busy
+        metrics = self._tele.metrics
+        metrics.gauge(
+            "adoc_pool_queue_depth", "jobs waiting for a pool worker", ("pool",)
+        ).set(depth, pool=self.name)
+        metrics.gauge(
+            "adoc_pool_busy_workers", "pool workers running a job", ("pool",)
+        ).set(busy, pool=self.name)
+        metrics.gauge(
+            "adoc_pool_utilization",
+            "busy fraction of the worker pool (0..1)",
+            ("pool",),
+        ).set(busy / self.workers, pool=self.name)
+
+    def stats(self) -> dict[str, int]:
+        """Racy-but-consistent snapshot for tests and `adoc top`."""
+        with self._lock:
+            return {
+                "workers": self.workers,
+                "busy": self._busy,
+                "queued": len(self._jobs),
+                "completed": self.completed,
+            }
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    # -- shutdown ----------------------------------------------------------
+
+    def close(self, join_timeout: float = 10.0, drain: bool = True) -> None:
+        """Stop the workers and join them (idempotent).
+
+        With ``drain`` (the default) queued jobs finish first; without
+        it they are discarded — their completions never run, which is
+        acceptable only on a failure path where the connection owning
+        them is already gone.
+        """
+        with self._lock:
+            if self._closed:
+                pending: deque[_Job] = deque()
+            else:
+                self._closed = True
+                if not drain:
+                    pending, self._jobs = self._jobs, deque()
+                else:
+                    pending = deque()
+                self._not_empty.notify_all()
+                self._not_full.notify_all()
+        for job in pending:
+            self._run_callback(
+                job.on_done, None, PoolClosed("pool closed before the job ran")
+            )
+        # reap_threads with a seeded error list: the queue is already
+        # closed (workers exit after draining), so teardown goes
+        # straight to the bounded join — a worker wedged inside a job
+        # surfaces as a structured teardown error within join_timeout
+        # instead of hanging the caller forever.
+        reap_threads(
+            self._threads,
+            self._errors or [PoolClosed("pool closing")],
+            cancel=None,
+            join_timeout=join_timeout,
+        )

@@ -1,0 +1,275 @@
+"""Accept machinery: one listener fd, one reactor, many channels.
+
+The thread-per-connection servers in this repo each grew their own
+accept loop with their own quirks (missing ``SO_REUSEADDR``, hard-coded
+``listen()`` backlogs, close paths that forgot worker threads).
+:class:`Listener` is the one accept implementation they now share —
+non-blocking, reactor-registered, uniform socket options — and
+:class:`ReactorServer` is the bundle a service builds on: a reactor
+running on its own named thread, a bounded codec pool, any number of
+listeners, and a close path that tears all of it down through
+:func:`~repro.core.deadlines.reap_threads`.
+"""
+
+from __future__ import annotations
+
+import logging
+import socket
+import threading
+from functools import partial
+from typing import Callable
+
+from ..core.config import AdocConfig, DEFAULT_CONFIG
+from ..core.deadlines import TransferError, reap_threads
+from ..obs.telemetry import Telemetry, resolve_telemetry
+from ..transport.socket_transport import SocketEndpoint
+from .pool import WorkerPool
+from .reactor import EVENT_READ, Reactor
+
+__all__ = ["Listener", "ReactorServer", "DEFAULT_BACKLOG"]
+
+_log = logging.getLogger("repro.serve.server")
+
+#: Uniform listen() backlog across every service.  The historical
+#: accept loops used the platform default (often 5 under old kernels'
+#: SOMAXCONN clamp) which drops SYNs under a connection storm; 512 is
+#: safely above any burst the chaos suite throws and still clamped by
+#: the kernel's somaxconn.
+DEFAULT_BACKLOG = 512
+
+#: accept() calls per readiness callback before yielding to other fds —
+#: a connection storm must not starve established channels.
+_ACCEPTS_PER_CALLBACK = 64
+
+
+class Listener:
+    """A non-blocking listening socket registered with a reactor.
+
+    ``on_accept(endpoint, addr)`` runs on the loop thread for every
+    accepted connection, with the endpoint already non-blocking.
+    Uniform across services: ``SO_REUSEADDR`` always set, backlog
+    configurable (:data:`DEFAULT_BACKLOG` by default).
+    """
+
+    def __init__(
+        self,
+        reactor: Reactor,
+        host: str,
+        port: int,
+        on_accept: Callable[[SocketEndpoint, tuple], None],
+        backlog: int = DEFAULT_BACKLOG,
+    ) -> None:
+        self.reactor = reactor
+        self.on_accept = on_accept
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        try:
+            sock.bind((host, port))
+            sock.listen(backlog)
+        except OSError:
+            sock.close()
+            raise
+        sock.setblocking(False)
+        self._sock = sock
+        self.address: tuple[str, int] = sock.getsockname()
+        self.accepted = 0
+        self._closed = False
+        # Selector registration must happen on the loop thread once the
+        # loop is running; from elsewhere it hops through the wakeup
+        # pipe so a parked select() notices the new fd.
+        if reactor.in_loop_thread:
+            reactor.register(sock, EVENT_READ, self._on_readable)
+        else:
+            reactor.call_soon_threadsafe(
+                partial(reactor.register, sock, EVENT_READ, self._on_readable)
+            )
+
+    def _on_readable(self, mask: int) -> None:
+        for _ in range(_ACCEPTS_PER_CALLBACK):
+            try:
+                conn, addr = self._sock.accept()  # adoclint: disable=ADOC115 -- listening socket is O_NONBLOCK (set in __init__): accept returns EAGAIN immediately, never blocks
+            except BlockingIOError:
+                return
+            except OSError:
+                return  # listener closed under us
+            self.accepted += 1
+            conn.setblocking(False)
+            try:
+                conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            except OSError:
+                pass  # non-TCP family: nothing to disable
+            try:
+                self.on_accept(SocketEndpoint(conn), addr)
+            except Exception:  # noqa: BLE001 - one bad accept must not stop the rest
+                _log.exception("accept handler failed for %s", addr)
+                conn.close()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self.reactor.in_loop_thread:
+            self.reactor.unregister(self._sock)
+        else:
+            self.reactor.call_soon_threadsafe(
+                partial(self.reactor.unregister, self._sock)
+            )
+        self._sock.close()
+
+
+class ReactorServer:
+    """A reactor thread + codec pool + listeners, torn down as one unit.
+
+    Services (middleware RPC, gridftp, depot) compose this rather than
+    owning threads: ``listen()`` binds a port and hands every accepted
+    endpoint to a channel factory on the loop thread; ``close()`` walks
+    the whole structure down — listeners first (no new connections),
+    then tracked channels, then the loop thread and the pool's workers,
+    each join bounded through :func:`~repro.core.deadlines.reap_threads`
+    so a wedged thread surfaces as a structured teardown error.
+    """
+
+    def __init__(
+        self,
+        name: str = "server",
+        config: AdocConfig = DEFAULT_CONFIG,
+        telemetry: Telemetry | None = None,
+        reactor: Reactor | None = None,
+        pool: WorkerPool | None = None,
+        workers: int | None = None,
+        max_pending: int = 256,
+    ) -> None:
+        self.name = name
+        self.config = config
+        self.telemetry = telemetry if telemetry is not None else resolve_telemetry(config)
+        self._own_reactor = reactor is None
+        self.reactor = reactor if reactor is not None else Reactor(
+            self.telemetry, name=name
+        )
+        self._own_pool = pool is None
+        self.pool = pool if pool is not None else WorkerPool(
+            workers=workers,
+            max_pending=max_pending,
+            telemetry=self.telemetry,
+            name=f"{name}-codec",
+        )
+        self._listeners: list[Listener] = []
+        self._channels: set = set()
+        self._lock = threading.Lock()
+        self._closed = False
+        if self._own_reactor:
+            self.reactor.run_in_thread()
+
+    # -- wiring ------------------------------------------------------------
+
+    def listen(
+        self,
+        host: str,
+        port: int,
+        channel_factory: Callable[[SocketEndpoint, tuple], object],
+        backlog: int = DEFAULT_BACKLOG,
+    ) -> tuple[str, int]:
+        """Bind and serve; returns the bound ``(host, port)``.
+
+        ``channel_factory(endpoint, addr)`` runs on the loop thread and
+        returns an object with ``open()`` and ``close()`` (typically a
+        :class:`~repro.serve.channel.PlainChannel` or ``AdocChannel``
+        with its callbacks wired); the server tracks it for teardown and
+        opens it.
+        """
+
+        def on_accept(endpoint: SocketEndpoint, addr: tuple) -> None:
+            channel = channel_factory(endpoint, addr)
+            if channel is None:
+                endpoint.close()
+                return
+            self.track(channel)
+            channel.open()
+
+        listener = Listener(self.reactor, host, port, on_accept, backlog)
+        self._listeners.append(listener)
+        return listener.address
+
+    def track(self, channel) -> None:
+        """Register a channel for teardown and the connections gauge."""
+        with self._lock:
+            self._channels.add(channel)
+        inner_close = channel.on_close
+
+        def on_close(error: BaseException | None) -> None:
+            with self._lock:
+                self._channels.discard(channel)
+            self._note_connections()
+            inner_close(error)
+
+        channel.on_close = on_close
+        self._note_connections()
+
+    def _note_connections(self) -> None:
+        if self.telemetry.enabled:
+            with self._lock:
+                count = len(self._channels)
+            self.telemetry.metrics.gauge(
+                "adoc_server_connections",
+                "channels currently tracked by a reactor server",
+                ("server",),
+            ).set(count, server=self.name)
+
+    @property
+    def connection_count(self) -> int:
+        with self._lock:
+            return len(self._channels)
+
+    @property
+    def addresses(self) -> list[tuple[str, int]]:
+        return [lst.address for lst in self._listeners]
+
+    # -- teardown ----------------------------------------------------------
+
+    def close(self, join_timeout: float = 10.0) -> None:
+        """Stop accepting, close channels, reap every thread (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for listener in self._listeners:
+            listener.close()
+        with self._lock:
+            channels = list(self._channels)
+
+        if channels:
+            done = threading.Event()
+
+            def close_all() -> None:
+                for ch in channels:
+                    try:
+                        ch.close()
+                    except Exception:  # noqa: BLE001 - keep closing the rest
+                        _log.exception("channel close failed during teardown")
+                done.set()
+
+            self.reactor.call_soon_threadsafe(close_all)
+            if not done.wait(join_timeout):
+                raise TransferError(
+                    f"reactor loop failed to close {len(channels)} channels "
+                    f"within {join_timeout}s",
+                    stage="teardown",
+                )
+
+        if self._own_reactor:
+            self.reactor.stop()
+            thread = self.reactor._thread
+            if thread is not None:
+                # Seeded error list = straight to the bounded join: a
+                # loop wedged inside a callback surfaces as a teardown
+                # error instead of hanging close() forever.
+                reap_threads(
+                    [thread],
+                    [TransferError("server closing", stage="teardown")],
+                    cancel=self.reactor.stop,
+                    join_timeout=join_timeout,
+                )
+            self.reactor.close(join_timeout)
+        if self._own_pool:
+            # reap_threads coverage of the pool workers lives inside
+            # WorkerPool.close.
+            self.pool.close(join_timeout)

@@ -293,7 +293,7 @@ class FaultyEndpoint(Endpoint):
         return total
 
     def recv(self, n: int) -> bytes:  # adoclint: disable=ADOC111 -- fault proxy: mirrors the wrapped endpoint's blocking semantics; the bound is the inner endpoint's settimeout
-        fault, _ = self._take("recv", self.recv_bytes, max(n, 1), self._recv_ops)
+        fault, off = self._take("recv", self.recv_bytes, max(n, 1), self._recv_ops)
         self._recv_ops += 1
         if fault is not None:
             if fault.kind == "stall":
@@ -303,8 +303,17 @@ class FaultyEndpoint(Endpoint):
             elif fault.kind == "corrupt":
                 chunk = self._inner.recv(n)
                 self.recv_bytes += len(chunk)
+                if off >= len(chunk) > 0:
+                    # The read came back short of the trigger byte —
+                    # re-arm the fault so it fires on the recv that
+                    # actually carries that byte, keeping "corrupt at
+                    # byte B" byte-accurate however the stream chunks.
+                    with self._lock:
+                        self.fired.remove(fault)
+                        self._pending.append(fault)
+                    return chunk
                 mangled = bytearray(chunk)
-                for i in range(min(fault.length or 1, len(mangled))):
+                for i in range(off, min(off + (fault.length or 1), len(mangled))):
                     mangled[i] ^= 0xFF
                 return bytes(mangled)
         chunk = self._inner.recv(n)
@@ -316,6 +325,23 @@ class FaultyEndpoint(Endpoint):
 
     def gettimeout(self) -> float | None:
         return self._inner.gettimeout()
+
+    def setblocking(self, flag: bool) -> None:
+        """Delegate non-blocking mode so fault scripts compose with the
+        reactor: a would-block from the inner endpoint propagates
+        unchanged (nothing here catches ``BlockingIOError``), and
+        injected faults still fire at their byte/op triggers."""
+        inner_setblocking = getattr(self._inner, "setblocking", None)
+        if inner_setblocking is None:
+            raise TypeError(
+                f"{type(self._inner).__name__} does not support "
+                "non-blocking mode"
+            )
+        inner_setblocking(flag)
+
+    def fileno(self) -> int:
+        """Delegate fd access for ``selectors`` registration."""
+        return self._inner.fileno()  # type: ignore[attr-defined]
 
     def shutdown_write(self) -> None:
         self._inner.shutdown_write()

@@ -38,11 +38,30 @@ class SocketEndpoint(Endpoint):
         except OSError:
             pass  # closed socket: the next send/recv reports it
 
+    def setblocking(self, flag: bool) -> None:
+        """Switch the socket to non-blocking mode (reactor use).
+
+        In non-blocking mode ``send``/``recv`` re-raise
+        ``BlockingIOError`` unchanged instead of mapping it to a
+        transport error — would-block is a readiness signal for the
+        reactor, not a failure.
+        """
+        try:
+            self._sock.setblocking(flag)
+        except OSError:
+            pass  # closed socket: the next send/recv reports it
+
+    def fileno(self) -> int:
+        """The socket's fd, for ``selectors`` registration."""
+        return self._sock.fileno()
+
     def send(self, data: bytes | bytearray | memoryview) -> int:
         try:
             return self._sock.send(data)
         except TimeoutError as exc:
             raise TransportTimeout(str(exc) or "send timed out") from exc
+        except BlockingIOError:
+            raise  # non-blocking would-block: the reactor's signal
         except (BrokenPipeError, ConnectionResetError, OSError) as exc:
             raise TransportClosed(str(exc)) from exc
 
@@ -52,6 +71,8 @@ class SocketEndpoint(Endpoint):
             return self._sock.sendmsg(buffers)
         except TimeoutError as exc:
             raise TransportTimeout(str(exc) or "sendmsg timed out") from exc
+        except BlockingIOError:
+            raise  # non-blocking would-block: the reactor's signal
         except (BrokenPipeError, ConnectionResetError, OSError) as exc:
             raise TransportClosed(str(exc)) from exc
 
@@ -60,6 +81,8 @@ class SocketEndpoint(Endpoint):
             return self._sock.recv(n)
         except TimeoutError as exc:
             raise TransportTimeout(str(exc) or "recv timed out") from exc
+        except BlockingIOError:
+            raise  # non-blocking would-block: the reactor's signal
         except ConnectionResetError:
             return b""
         except OSError as exc:

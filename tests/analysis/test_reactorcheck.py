@@ -1,0 +1,192 @@
+"""ADOC115: blocking work reachable from reactor callbacks."""
+
+from __future__ import annotations
+
+from repro.analysis.checker import run_check
+
+_REGISTERED_CALLBACK = (
+    "pkg/direct.py",
+    """
+class Handler:
+    def __init__(self, reactor, sock):
+        self.sock = sock
+        reactor.register(sock, 1, self._on_readable)
+
+    def _on_readable(self, mask):
+        return self.sock.recv(4096)
+""",
+)
+
+_INDIRECT_CHAIN = (
+    "pkg/indirect.py",
+    """
+import zlib
+
+
+class Session:
+    def __init__(self, reactor):
+        reactor.call_later(0.1, self._tick)
+
+    def _tick(self):
+        self._flush()
+
+    def _flush(self):
+        data = self._pack()
+        return zlib.compress(data)
+
+    def _pack(self):
+        return b"x"
+""",
+)
+
+_HOOK_ASSIGNMENT = (
+    "pkg/hook.py",
+    """
+import time
+
+
+class Wiring:
+    def attach(self, channel, session):
+        channel.on_data = session.feed
+
+
+class Session:
+    def feed(self, data):
+        time.sleep(1.0)
+""",
+)
+
+_HOOK_ARGUMENT = (
+    "pkg/hookarg.py",
+    """
+class Assembler:
+    def __init__(self, on_message):
+        self._cb = on_message
+
+
+class Conn:
+    def __init__(self, queue):
+        self.queue = queue
+        self.assembler = Assembler(self._on_message)
+
+    def _on_message(self, msg):
+        return self.queue.get()
+""",
+)
+
+_TIMED_WAITS_ARE_FINE = (
+    "pkg/timed.py",
+    """
+class Handler:
+    def __init__(self, reactor, sock, queue):
+        self.queue = queue
+        reactor.call_soon(self._drain)
+
+    def _drain(self):
+        return self.queue.get(timeout=1.0)
+""",
+)
+
+_POOL_HANDOFF_IS_SANCTIONED = (
+    "pkg/pooled.py",
+    """
+import zlib
+
+
+class Conn:
+    def __init__(self, reactor, pool):
+        self.pool = pool
+        reactor.call_soon(self._pump)
+
+    def _pump(self):
+        self.pool.try_submit(self._compress_job, b"x")
+
+    def _compress_job(self, data):
+        return zlib.compress(data)
+""",
+)
+
+
+def _rules(report):
+    return [f for f in report.findings if f.rule == "ADOC115"]
+
+
+def test_blocking_recv_in_registered_callback_is_flagged_at_the_leaf():
+    report = run_check([_REGISTERED_CALLBACK])
+    found = _rules(report)
+    assert len(found) == 1
+    assert found[0].line == 8  # the recv call, not the register site
+    assert "recv" in found[0].message
+    assert "_on_readable" in found[0].message
+
+
+def test_indirect_blocking_through_a_call_chain_is_flagged():
+    report = run_check([_INDIRECT_CHAIN])
+    found = _rules(report)
+    assert len(found) == 1
+    assert "compress" in found[0].message
+    assert "Session._tick" in found[0].message
+    assert "Session._flush" in found[0].message  # the path chain
+
+
+def test_on_attribute_assignment_wires_a_root():
+    report = run_check([_HOOK_ASSIGNMENT])
+    found = _rules(report)
+    assert len(found) == 1
+    assert "sleep" in found[0].message
+
+
+def test_on_named_ctor_argument_wires_a_root():
+    report = run_check([_HOOK_ARGUMENT])
+    found = _rules(report)
+    assert len(found) == 1
+    assert "get" in found[0].message
+
+
+def test_timed_queue_get_is_not_blocking():
+    assert _rules(run_check([_TIMED_WAITS_ARE_FINE])) == []
+
+
+def test_worker_pool_handoff_is_the_sanctioned_escape():
+    # _compress_job runs on a worker thread: the submit call creates no
+    # synchronous call edge, so the compress inside it is fine.
+    assert _rules(run_check([_POOL_HANDOFF_IS_SANCTIONED])) == []
+
+
+def test_leaf_suppression_moves_the_finding_to_suppressed():
+    path, text = _REGISTERED_CALLBACK
+    text = text.replace(
+        "return self.sock.recv(4096)",
+        "return self.sock.recv(4096)  # adoclint: disable=ADOC115 -- "
+        "socket is O_NONBLOCK by construction",
+    )
+    report = run_check([(path, text)])
+    assert "ADOC115" not in {f.rule for f in report.findings}
+    assert "ADOC115" in {f.rule for f in report.suppressed}
+
+
+def test_one_leaf_yields_one_finding_across_many_roots():
+    # Two callbacks reach the same blocking helper; the finding
+    # deduplicates on the leaf line.
+    source = (
+        "pkg/shared.py",
+        """
+class Conn:
+    def __init__(self, reactor, sock):
+        self.sock = sock
+        reactor.register(sock, 1, self._on_readable)
+        reactor.call_soon(self._kick)
+
+    def _on_readable(self, mask):
+        self._pump()
+
+    def _kick(self):
+        self._pump()
+
+    def _pump(self):
+        self.sock.sendall(b"x")
+""",
+    )
+    found = _rules(run_check([source]))
+    assert len(found) == 1
+    assert "sendall" in found[0].message

@@ -35,10 +35,17 @@ def test_src_repro_is_clean_under_adoc_check():
 def test_suppression_debt_only_shrinks_deliberately():
     report = run_check(_sources())
     suppressed_rules = {f.rule for f in report.suppressed}
-    assert suppressed_rules <= {"ADOC110", "ADOC111"}, (
+    # ADOC115 joined the pin with the reactor core: its sanctioned
+    # leaves are the O_NONBLOCK endpoint ops in serve/channel.py, the
+    # non-blocking accept in serve/server.py, and the self-pipe wakeup
+    # write in serve/reactor.py — non-blocking by construction, exactly
+    # the justified-leaf shape the rule's suppression syntax exists for.
+    assert suppressed_rules <= {"ADOC110", "ADOC111", "ADOC115"}, (
         "new suppressed rule category — extend this pin only with a "
         f"written justification: {sorted(suppressed_rules)}"
     )
-    # 12 accepted-by-design sites as of this PR; update alongside any
-    # new inline suppression so debt growth is visible in review.
-    assert len(report.suppressed) <= 12, report.render(verbose=True)
+    # 20 accepted-by-design sites as of this PR (12 pre-reactor + the
+    # reactor core's sanctioned non-blocking leaves, each counted once
+    # per rule that prunes through it); update alongside any new inline
+    # suppression so debt growth is visible in review.
+    assert len(report.suppressed) <= 20, report.render(verbose=True)

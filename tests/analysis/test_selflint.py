@@ -23,9 +23,13 @@ def test_every_suppression_in_tree_is_justified():
     # fail the clean-tree test above; this asserts the inverse shape —
     # the suppressions that do exist were honoured, not just absent.
     report = run_lint([str(PACKAGE_DIR)])
-    assert all(s.rule in {"ADOC101", "ADOC106", "ADOC108"} for s in report.suppressed), [
-        s.render() for s in report.suppressed
-    ]
+    # ADOC103: WorkerPool._enqueue_locked notifies under the lock its
+    # callers hold (the _locked-suffix contract) — invisible to the
+    # per-function lint, hence the justified suppression.
+    assert all(
+        s.rule in {"ADOC101", "ADOC103", "ADOC106", "ADOC108"}
+        for s in report.suppressed
+    ), [s.render() for s in report.suppressed]
 
 
 def test_cli_entry_point_exits_zero():

@@ -1,0 +1,88 @@
+"""serve_depot: the depot registry on the reactor RPC server, over TCP."""
+
+from __future__ import annotations
+
+import socket
+import struct
+
+import pytest
+
+from repro.core import AdocConfig
+from repro.data import ascii_data
+from repro.depot.service import serve_depot
+from repro.depot.storage import ByteArrayDepot
+from repro.middleware.communicator import AdocCommunicator, PlainCommunicator
+from repro.middleware.protocol import (
+    MsgType,
+    RpcMessage,
+    read_message,
+    write_message,
+)
+from repro.transport import SocketEndpoint
+
+_U64 = struct.Struct(">Q")
+
+CFG = AdocConfig(
+    buffer_size=16 * 1024,
+    packet_size=2 * 1024,
+    slice_size=2 * 1024,
+    small_message_threshold=8 * 1024,
+    probe_size=4 * 1024,
+    io_timeout_s=None,
+)
+
+
+@pytest.fixture(params=["plain", "adoc"])
+def depot_conn(request, no_thread_leaks):
+    depot = ByteArrayDepot(total_capacity=16 * 1024 * 1024)
+    server, address = serve_depot(
+        depot, mode=request.param, config=CFG, workers=2
+    )
+    sock = socket.create_connection(address, timeout=10.0)
+    endpoint = SocketEndpoint(sock)
+    comm = (
+        AdocCommunicator(endpoint, CFG)
+        if request.param == "adoc"
+        else PlainCommunicator(endpoint)
+    )
+    yield comm, depot
+    comm.close()
+    server.close()
+
+
+def call(comm, name, args):
+    write_message(comm, RpcMessage(MsgType.REQUEST, name, args))
+    reply = read_message(comm)
+    assert reply is not None
+    assert reply.type == MsgType.RESPONSE, reply.args
+    return reply.args
+
+
+def test_allocate_store_load_roundtrip(depot_conn):
+    comm, depot = depot_conn
+    handle, read_cap, write_cap = (
+        a.decode() for a in call(comm, "ibp.allocate", [_U64.pack(1 << 20)])
+    )
+    payload = ascii_data(256 * 1024, seed=9)
+    (stored,) = call(
+        comm, "ibp.store", [write_cap.encode(), _U64.pack(0), payload]
+    )
+    assert _U64.unpack(stored)[0] == len(payload)
+    (loaded,) = call(
+        comm, "ibp.load", [read_cap.encode(), _U64.pack(0), b""]
+    )
+    assert loaded == payload
+    stored_len, capacity = call(comm, "ibp.probe", [read_cap.encode()])
+    assert _U64.unpack(stored_len)[0] == len(payload)
+    assert _U64.unpack(capacity)[0] == 1 << 20
+    assert depot._used >= len(payload)
+
+
+def test_free_releases_the_allocation(depot_conn):
+    comm, depot = depot_conn
+    _, _, write_cap = (
+        a.decode() for a in call(comm, "ibp.allocate", [_U64.pack(4096)])
+    )
+    call(comm, "ibp.store", [write_cap.encode(), _U64.pack(0), b"abc"])
+    (ok,) = call(comm, "ibp.free", [write_cap.encode()])
+    assert ok == b"ok"

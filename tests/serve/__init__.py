@@ -1,0 +1,1 @@
+"""Tests for the shared reactor core (:mod:`repro.serve`)."""

@@ -1,0 +1,172 @@
+"""WorkerPool: bounded queue, keyed in-order delivery, teardown."""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+
+import pytest
+
+from repro.core.deadlines import DeadlineExceeded
+from repro.serve.pool import PoolClosed, WorkerPool
+
+
+@pytest.fixture
+def pool(no_thread_leaks):
+    p = WorkerPool(workers=4, max_pending=32, name="test-pool")
+    yield p
+    p.close()
+
+
+def test_jobs_run_and_results_reach_on_done(pool):
+    results: list[int] = []
+    done = threading.Event()
+    lock = threading.Lock()
+
+    def on_done(result, error) -> None:
+        assert error is None
+        with lock:
+            results.append(result)
+            if len(results) == 16:
+                done.set()
+
+    for i in range(16):
+        pool.submit(lambda i=i: i * i, on_done=on_done)
+    assert done.wait(10.0)
+    assert sorted(results) == [i * i for i in range(16)]
+    assert pool.stats()["completed"] == 16
+
+
+def test_keyed_completions_deliver_in_submission_order(pool):
+    # Jobs sleep random amounts so workers finish out of order; the
+    # per-key reorder buffer must still deliver 0..N-1 in sequence.
+    rng = random.Random(7)
+    delivered: list[int] = []
+    done = threading.Event()
+
+    def job(i: int) -> int:
+        time.sleep(rng.random() * 0.02)
+        return i
+
+    # Delivery callbacks for one key never interleave, so the plain
+    # list append below is order-faithful.
+    def on_done(result, error) -> None:
+        delivered.append(result)
+        if len(delivered) == 24:
+            done.set()
+
+    for i in range(24):
+        pool.submit(job, i, key="conn-1", on_done=on_done)
+    assert done.wait(10.0)
+    assert delivered == list(range(24))
+
+
+def test_key_state_is_reclaimed_after_the_last_delivery(pool):
+    done = threading.Event()
+    pool.submit(lambda: None, key="ephemeral", on_done=lambda r, e: done.set())
+    assert done.wait(10.0)
+    deadline = time.monotonic() + 5.0
+    while time.monotonic() < deadline:
+        with pool._lock:
+            if "ephemeral" not in pool._keys:
+                return
+        time.sleep(0.01)
+    pytest.fail("per-key reorder state leaked after delivery")
+
+
+def test_try_submit_returns_false_when_full(no_thread_leaks):
+    pool = WorkerPool(workers=1, max_pending=2, name="tiny-pool")
+    release = threading.Event()
+    try:
+        # One job occupies the worker; two more fill the queue.
+        pool.submit(release.wait)
+        deadline = time.monotonic() + 5.0
+        while pool.stats()["busy"] == 0:
+            assert time.monotonic() < deadline
+            time.sleep(0.005)
+        assert pool.try_submit(lambda: None)
+        assert pool.try_submit(lambda: None)
+        assert not pool.try_submit(lambda: None)
+    finally:
+        release.set()
+        pool.close()
+
+
+def test_blocking_submit_times_out_with_deadline_exceeded(no_thread_leaks):
+    pool = WorkerPool(workers=1, max_pending=1, name="stuck-pool")
+    release = threading.Event()
+    try:
+        pool.submit(release.wait)
+        deadline = time.monotonic() + 5.0
+        while pool.stats()["busy"] == 0:
+            assert time.monotonic() < deadline
+            time.sleep(0.005)
+        pool.submit(lambda: None)  # fills the queue
+        with pytest.raises(DeadlineExceeded):
+            pool.submit(lambda: None, timeout=0.05)
+    finally:
+        release.set()
+        pool.close()
+
+
+def test_job_exceptions_are_delivered_not_raised(pool):
+    outcome: list = []
+    done = threading.Event()
+
+    def on_done(result, error) -> None:
+        outcome.append((result, error))
+        done.set()
+
+    def boom() -> None:
+        raise ValueError("job failed")
+
+    pool.submit(boom, on_done=on_done)
+    assert done.wait(10.0)
+    result, error = outcome[0]
+    assert result is None
+    assert isinstance(error, ValueError)
+
+
+def test_submit_after_close_raises_pool_closed(no_thread_leaks):
+    pool = WorkerPool(workers=2, name="closed-pool")
+    pool.close()
+    with pytest.raises(PoolClosed):
+        pool.submit(lambda: None)
+    with pytest.raises(PoolClosed):
+        pool.try_submit(lambda: None)
+
+
+def test_close_drains_queued_jobs_by_default(no_thread_leaks):
+    pool = WorkerPool(workers=1, max_pending=64, name="drain-pool")
+    ran: list[int] = []
+    gate = threading.Event()
+    pool.submit(gate.wait)
+    for i in range(8):
+        pool.submit(lambda i=i: ran.append(i))
+    gate.set()
+    pool.close()
+    assert sorted(ran) == list(range(8))
+
+
+def test_close_without_drain_fails_pending_jobs(no_thread_leaks):
+    pool = WorkerPool(workers=1, max_pending=64, name="abort-pool")
+    errors: list = []
+    gate = threading.Event()
+    pool.submit(gate.wait)
+    deadline = time.monotonic() + 5.0
+    while pool.stats()["busy"] == 0:
+        assert time.monotonic() < deadline
+        time.sleep(0.005)
+    for _ in range(4):
+        pool.submit(lambda: None, on_done=lambda r, e: errors.append(e))
+    gate.set()
+    pool.close(drain=False)
+    assert len(errors) == 4
+    assert all(isinstance(e, PoolClosed) for e in errors)
+
+
+def test_close_is_idempotent(no_thread_leaks):
+    pool = WorkerPool(workers=2, name="idem-pool")
+    pool.close()
+    pool.close()

@@ -1,0 +1,140 @@
+"""Reactor: scheduling surfaces, wakeup, error isolation, teardown."""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.serve.reactor import EVENT_READ, Reactor
+
+
+@pytest.fixture
+def reactor(no_thread_leaks):
+    r = Reactor(name="test")
+    r.run_in_thread()
+    yield r
+    r.close()
+
+
+def run_on_loop(reactor: Reactor, fn, timeout: float = 5.0):
+    """Run ``fn`` on the loop thread, returning its result."""
+    done = threading.Event()
+    box: list = [None, None]
+
+    def call() -> None:
+        try:
+            box[0] = fn()
+        except BaseException as exc:  # noqa: BLE001 - re-raised below
+            box[1] = exc
+        finally:
+            done.set()
+
+    reactor.call_soon_threadsafe(call)
+    assert done.wait(timeout), "loop thread never ran the callback"
+    if box[1] is not None:
+        raise box[1]
+    return box[0]
+
+
+def test_call_soon_threadsafe_runs_in_fifo_order(reactor):
+    order: list[int] = []
+    done = threading.Event()
+    for i in range(10):
+        reactor.call_soon_threadsafe(lambda i=i: order.append(i))
+    reactor.call_soon_threadsafe(done.set)
+    assert done.wait(5.0)
+    assert order == list(range(10))
+
+
+def test_call_soon_threadsafe_wakes_a_parked_select(reactor):
+    # No fds, no timers: the loop parks in select(None).  A cross-thread
+    # callback must still run promptly via the self-pipe.
+    time.sleep(0.05)  # let the loop park
+    t0 = time.monotonic()
+    done = threading.Event()
+    reactor.call_soon_threadsafe(done.set)
+    assert done.wait(5.0)
+    assert time.monotonic() - t0 < 1.0
+
+
+def test_call_later_fires_after_the_delay(reactor):
+    fired = threading.Event()
+    t0 = time.monotonic()
+    run_on_loop(reactor, lambda: reactor.call_later(0.05, fired.set))
+    assert fired.wait(5.0)
+    assert time.monotonic() - t0 >= 0.045
+
+
+def test_cancelled_timer_never_fires(reactor):
+    fired = threading.Event()
+    handle = run_on_loop(reactor, lambda: reactor.call_later(0.05, fired.set))
+    run_on_loop(reactor, handle.cancel)
+    assert not fired.wait(0.2)
+
+
+def test_callback_exception_is_counted_not_fatal(reactor):
+    def boom() -> None:
+        raise RuntimeError("one bad connection")
+
+    reactor.call_soon_threadsafe(boom)
+    survived = threading.Event()
+    reactor.call_soon_threadsafe(survived.set)
+    assert survived.wait(5.0)
+    assert reactor.callback_errors == 1
+
+
+def test_readiness_callback_sees_the_ready_fd(reactor):
+    a, b = socket.socketpair()
+    try:
+        a.setblocking(False)
+        got: list[bytes] = []
+        read = threading.Event()
+
+        def on_readable(mask: int) -> None:
+            assert mask & EVENT_READ
+            got.append(a.recv(64))
+            read.set()
+
+        run_on_loop(
+            reactor, lambda: reactor.register(a, EVENT_READ, on_readable)
+        )
+        assert reactor.registered_count == 1
+        b.sendall(b"ping")
+        assert read.wait(5.0)
+        assert got == [b"ping"]
+        run_on_loop(reactor, lambda: reactor.unregister(a))
+        assert reactor.registered_count == 0
+    finally:
+        a.close()
+        b.close()
+
+
+def test_requeueing_callback_yields_to_the_next_iteration(reactor):
+    # The loop drains only what was queued at entry, so a self-requeuing
+    # callback cannot monopolise an iteration.
+    iterations: list[int] = []
+    done = threading.Event()
+
+    def tick(n: int) -> None:
+        iterations.append(reactor.iterations)
+        if n > 0:
+            reactor.call_soon(lambda: tick(n - 1))
+        else:
+            done.set()
+
+    reactor.call_soon_threadsafe(lambda: tick(3))
+    assert done.wait(5.0)
+    assert len(set(iterations)) == len(iterations), (
+        "self-requeued callbacks ran inside one loop iteration"
+    )
+
+
+def test_close_is_idempotent_and_joins_the_loop(no_thread_leaks):
+    r = Reactor(name="closing")
+    thread = r.run_in_thread()
+    r.close()
+    assert not thread.is_alive()
+    r.close()  # second close is a no-op

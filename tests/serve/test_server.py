@@ -1,0 +1,183 @@
+"""Listener + ReactorServer: accept path, socket options, teardown."""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import pytest
+
+from repro.core.config import AdocConfig
+from repro.serve.channel import PlainChannel
+from repro.serve.reactor import Reactor
+from repro.serve.server import DEFAULT_BACKLOG, Listener, ReactorServer
+
+CFG = AdocConfig(io_timeout_s=None)
+
+
+@pytest.fixture
+def server(no_thread_leaks):
+    srv = ReactorServer(name="test-server", config=CFG, workers=2)
+    yield srv
+    srv.close()
+
+
+def echo_factory(server: ReactorServer):
+    """Channel factory wiring a byte-echo on every accepted connection."""
+
+    def factory(endpoint, addr):
+        channel = PlainChannel(server.reactor, endpoint, server.config)
+        channel.on_data = channel.send_message
+        return channel
+
+    return factory
+
+
+def test_listener_sets_so_reuseaddr_and_binds(no_thread_leaks):
+    reactor = Reactor(name="lst")
+    reactor.run_in_thread()
+    try:
+        listener = Listener(reactor, "127.0.0.1", 0, lambda ep, addr: ep.close())
+        try:
+            assert listener.address[1] > 0
+            assert (
+                listener._sock.getsockopt(
+                    socket.SOL_SOCKET, socket.SO_REUSEADDR
+                )
+                != 0
+            )
+        finally:
+            listener.close()
+    finally:
+        reactor.close()
+
+
+def test_listener_accepts_and_hands_over_nonblocking_endpoints(no_thread_leaks):
+    reactor = Reactor(name="lst2")
+    reactor.run_in_thread()
+    accepted = threading.Event()
+    seen: list = []
+
+    def on_accept(endpoint, addr) -> None:
+        seen.append((endpoint, addr))
+        endpoint.close()
+        accepted.set()
+
+    listener = Listener(reactor, "127.0.0.1", 0, on_accept, backlog=16)
+    try:
+        with socket.create_connection(listener.address, timeout=5.0):
+            assert accepted.wait(5.0)
+        assert listener.accepted == 1
+        endpoint, addr = seen[0]
+        assert addr[0] == "127.0.0.1"
+    finally:
+        listener.close()
+        reactor.close()
+
+
+def test_reactor_server_echoes_and_counts_connections(server):
+    address = server.listen("127.0.0.1", 0, echo_factory(server))
+    with socket.create_connection(address, timeout=5.0) as sock:
+        sock.sendall(b"hello reactor")
+        got = bytearray()
+        while len(got) < len(b"hello reactor"):
+            chunk = sock.recv(1024)
+            assert chunk
+            got += chunk
+        assert bytes(got) == b"hello reactor"
+        deadline = threading.Event()
+        for _ in range(500):
+            if server.connection_count == 1:
+                break
+            deadline.wait(0.01)
+        assert server.connection_count == 1
+    # Channel EOF untracks the connection.
+    for _ in range(500):
+        if server.connection_count == 0:
+            break
+        deadline.wait(0.01)
+    assert server.connection_count == 0
+
+
+def test_reactor_server_serves_many_sockets_on_one_thread(server):
+    address = server.listen("127.0.0.1", 0, echo_factory(server))
+    before = threading.active_count()
+    socks = [socket.create_connection(address, timeout=5.0) for _ in range(32)]
+    try:
+        for i, sock in enumerate(socks):
+            sock.sendall(f"conn-{i}".encode())
+        for i, sock in enumerate(socks):
+            expected = f"conn-{i}".encode()
+            got = bytearray()
+            while len(got) < len(expected):
+                chunk = sock.recv(1024)
+                assert chunk
+                got += chunk
+            assert bytes(got) == expected
+        # The whole fan-in rode the existing loop thread: no per
+        # connection threads appeared.
+        assert threading.active_count() <= before
+    finally:
+        for sock in socks:
+            sock.close()
+
+
+def test_custom_backlog_and_default(server):
+    addr_default = server.listen("127.0.0.1", 0, echo_factory(server))
+    addr_small = server.listen(
+        "127.0.0.1", 0, echo_factory(server), backlog=4
+    )
+    assert addr_default != addr_small
+    assert DEFAULT_BACKLOG == 512
+    for addr in (addr_default, addr_small):
+        with socket.create_connection(addr, timeout=5.0) as sock:
+            sock.sendall(b"x")
+            assert sock.recv(1) == b"x"
+
+
+def test_close_refuses_new_connections_and_is_idempotent(no_thread_leaks):
+    srv = ReactorServer(name="closing-server", config=CFG, workers=2)
+    address = srv.listen("127.0.0.1", 0, echo_factory(srv))
+    srv.close()
+    srv.close()
+    with pytest.raises(OSError):
+        socket.create_connection(address, timeout=0.5).close()
+
+
+def test_close_tears_down_live_channels(no_thread_leaks):
+    srv = ReactorServer(name="teardown-server", config=CFG, workers=2)
+    address = srv.listen("127.0.0.1", 0, echo_factory(srv))
+    sock = socket.create_connection(address, timeout=5.0)
+    try:
+        sock.sendall(b"x")
+        assert sock.recv(1) == b"x"
+        assert srv.connection_count == 1
+        srv.close()
+        assert srv.connection_count == 0
+        # Server side closed the channel: the client sees EOF.
+        sock.settimeout(5.0)
+        assert sock.recv(1) == b""
+    finally:
+        sock.close()
+
+
+def test_shared_reactor_and_pool_are_not_closed(no_thread_leaks):
+    reactor = Reactor(name="shared")
+    reactor.run_in_thread()
+    from repro.serve.pool import WorkerPool
+
+    pool = WorkerPool(workers=2, name="shared-pool")
+    try:
+        srv = ReactorServer(
+            name="guest", config=CFG, reactor=reactor, pool=pool
+        )
+        srv.listen("127.0.0.1", 0, echo_factory(srv))
+        srv.close()
+        # Borrowed infrastructure survives the guest server's close.
+        assert not pool.closed
+        done = threading.Event()
+        reactor.call_soon_threadsafe(done.set)
+        assert done.wait(5.0)
+    finally:
+        pool.close()
+        reactor.close()
