@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test chaos lockcheck lint adoclint check bench bench-smoke bench-compare bench-paper trace-demo
+.PHONY: test chaos lockcheck lint adoclint check bench bench-smoke bench-compare bench-compress bench-paper trace-demo
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -9,7 +9,7 @@ test:
 # Fault-injection suite: deterministic resets/stalls/corruption against
 # the deadline/retry/teardown machinery (tests/faults).
 chaos:
-	$(PYTHON) -m pytest tests/faults -q
+	$(PYTHON) -m pytest tests/faults tests/serve -q
 
 lockcheck:
 	REPRO_LOCKCHECK=1 $(PYTHON) -m pytest -x -q
@@ -38,10 +38,12 @@ check:
 bench:
 	$(PYTHON) benchmarks/send_path.py
 	$(PYTHON) benchmarks/concurrency.py
+	$(PYTHON) benchmarks/compress.py
 
 bench-smoke:
 	$(PYTHON) benchmarks/send_path.py --smoke
 	$(PYTHON) benchmarks/concurrency.py --smoke
+	$(PYTHON) benchmarks/compress.py --smoke
 
 # Gate fresh smoke runs against the committed baselines (>2x fails).
 bench-compare:
@@ -49,6 +51,14 @@ bench-compare:
 	$(PYTHON) benchmarks/compare.py BENCH_send_path.json BENCH_send_path.smoke.json
 	$(PYTHON) benchmarks/concurrency.py --smoke --out BENCH_concurrency.smoke.json
 	$(PYTHON) benchmarks/compare.py BENCH_concurrency.json BENCH_concurrency.smoke.json
+	$(PYTHON) benchmarks/compress.py --smoke --out BENCH_compress.smoke.json
+	$(PYTHON) benchmarks/compare.py BENCH_compress.json BENCH_compress.smoke.json
+
+# Compression benchmark alone: vectorized LZF vs the reference encoder
+# plus pooled zlib-6 worker scaling; the full run enforces the >=5x
+# single-thread floor (docs/PERFORMANCE.md).
+bench-compress:
+	$(PYTHON) benchmarks/compress.py
 
 # The paper-figure benchmarks (tables/figures of RR-5500).
 bench-paper:

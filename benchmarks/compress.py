@@ -1,0 +1,266 @@
+"""Compression benchmark: LZF encoder fast path + pooled worker scaling.
+
+Two questions, one result file:
+
+* **Single-thread codec throughput** — the vectorized LZF encoder
+  (``lzf_compress``, numpy match discovery + ``bytes.find`` literal
+  scanning) against the reference scalar encoder (``_compress_ref``,
+  the format's executable specification), across the paper's Table-1
+  workload families.  The two encoders are bit-identical by
+  construction (pinned by ``tests/compress/test_lzf.py``), so this is
+  purely a speed comparison.  The 8 KB slice pipeline the packetizer
+  uses (``lzf_compress_slices``) is measured as its own impl row.
+* **Pooled worker scaling** — one forced zlib-6 send
+  (``MessageSender`` over a null endpoint) at ``compress_workers`` of
+  0 (the paper's inline pipeline), 1, 2 and 4, sharing nothing between
+  runs (the process-wide pool is torn down and re-created per row).
+
+Output: ``BENCH_compress.json`` (see ``--out``).  Rows are keyed by
+``(impl, corpus, workers)`` for ``compare.py``; CI gates a ``--smoke``
+run against the committed full-run baseline with the usual loose 2x
+bar, so a lost fast path (the vectorized encoder silently falling back
+to the scalar one, the pool pinning everything inline) fails the build
+while runner noise does not.
+
+Acceptance (checked in full runs only, ``--smoke`` skips them):
+
+* aggregate vectorized LZF throughput >= 5x the reference encoder;
+* pooled zlib-6 at 2 workers >= 1.5x inline — only enforced when the
+  machine actually has >= 2 cores (``meta.cpu_count`` records the
+  truth either way).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/compress.py            # full run
+    PYTHONPATH=src python benchmarks/compress.py --smoke    # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+from repro.compress.lzf import _compress_ref, lzf_compress, lzf_compress_slices
+from repro.core.config import AdocConfig
+from repro.core.sender import MessageSender
+from repro.data import (
+    ascii_data,
+    binary_data,
+    incompressible_data,
+    synthetic_hb_bytes,
+    synthetic_tar_bytes,
+)
+from repro.serve.pool import shutdown_shared_pool
+
+MB = 1 << 20
+
+#: Table-1 style workload families (name -> generator of n bytes).
+CORPORA = {
+    "text": lambda n: ascii_data(n, seed=11),
+    "binary": lambda n: binary_data(n, seed=12),
+    "random": lambda n: incompressible_data(n, seed=13),
+    "hb": lambda n: (synthetic_hb_bytes(n=4 * n // 5, seed=14) * 2)[:n],
+    "tar": lambda n: (
+        synthetic_tar_bytes(n_members=max(1, n // 196608 + 1), seed=15) * 2
+    )[:n],
+}
+
+SLICE_SIZE = 8 * 1024
+
+#: Forced zlib-6 (AdOC level 7 maps to ``zlib.compressobj(6)``).
+POOLED_LEVEL = 7
+POOLED_WORKER_COUNTS = (0, 1, 2, 4)
+
+
+class NullEndpoint:
+    """Accepts everything instantly (isolates compression from I/O)."""
+
+    def send(self, data) -> int:
+        return len(data)
+
+    def send_vectors(self, buffers) -> int:
+        return sum(len(b) for b in buffers)
+
+    def recv(self, n: int) -> bytes:
+        return b""
+
+    def close(self) -> None:
+        pass
+
+
+def _time_codec(fn, data: bytes, repeat: int) -> tuple[float, int]:
+    """Best-of-``repeat`` wall time and output size for ``fn(data)``."""
+    best = float("inf")
+    out_len = 0
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        out = fn(data)
+        best = min(best, time.perf_counter() - t0)
+        out_len = len(out)
+    return best, out_len
+
+
+def _codec_row(impl: str, corpus: str, data: bytes, elapsed: float, out_len: int) -> dict:
+    return {
+        "impl": impl,
+        "corpus": corpus,
+        "workers": 1,
+        "bytes": len(data),
+        "elapsed_s": round(elapsed, 6),
+        "throughput_mb_s": round(len(data) / elapsed / MB, 3) if elapsed else 0.0,
+        "ratio": round(len(data) / out_len, 3) if out_len else 1.0,
+    }
+
+
+def bench_lzf(size: int, repeat: int) -> tuple[list[dict], dict[str, float]]:
+    """Per-corpus codec rows plus aggregate throughputs per impl."""
+    rows: list[dict] = []
+    totals: dict[str, list[float]] = {}
+
+    def slices_whole(data: bytes) -> bytes:
+        return b"".join(c for _, _, c in lzf_compress_slices(data, SLICE_SIZE))
+
+    impls = {
+        "lzf-ref": lambda d: _compress_ref(d, len(d)),
+        "lzf-vec": lzf_compress,
+        "lzf-vec-slices": slices_whole,
+    }
+    for corpus, gen in CORPORA.items():
+        data = bytes(gen(size))
+        for impl, fn in impls.items():
+            elapsed, out_len = _time_codec(fn, data, repeat)
+            rows.append(_codec_row(impl, corpus, data, elapsed, out_len))
+            totals.setdefault(impl, []).append(elapsed)
+            print(f"  {impl:16s} {corpus:8s} {rows[-1]['throughput_mb_s']:8.2f} MB/s")
+    # Aggregate = total corpus bytes over total time: the honest average
+    # for "one of everything", dominated by neither best nor worst case.
+    aggregate = {
+        impl: len(CORPORA) * size / sum(times) / MB
+        for impl, times in totals.items()
+    }
+    return rows, aggregate
+
+
+def bench_pooled(payload_mb: int, worker_counts=POOLED_WORKER_COUNTS) -> list[dict]:
+    """Forced zlib-6 send throughput vs ``compress_workers``."""
+    rows: list[dict] = []
+    data = ascii_data(payload_mb * MB, seed=21)
+    for workers in worker_counts:
+        shutdown_shared_pool()  # re-size the shared pool for this row
+        cfg = AdocConfig(compress_workers=workers).with_levels(
+            POOLED_LEVEL, POOLED_LEVEL
+        )
+        sender = MessageSender(NullEndpoint(), cfg)
+        sender.send(data)  # warm-up: pool spawn, codec dictionaries
+        t0 = time.perf_counter()
+        result = sender.send(data)
+        elapsed = time.perf_counter() - t0
+        rows.append(
+            {
+                "impl": "pooled-zlib6",
+                "corpus": "text",
+                "workers": workers,
+                "bytes": len(data),
+                "elapsed_s": round(elapsed, 6),
+                "throughput_mb_s": round(len(data) / elapsed / MB, 3),
+                "ratio": round(result.payload_bytes / result.wire_bytes, 3),
+            }
+        )
+        print(
+            f"  pooled-zlib6 workers={workers} "
+            f"{rows[-1]['throughput_mb_s']:8.2f} MB/s"
+        )
+    shutdown_shared_pool()
+    return rows
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="fast CI run, no acceptance assertions")
+    parser.add_argument("--out", default=None, help="result file (default BENCH_compress[.smoke].json)")
+    args = parser.parse_args(argv)
+
+    # 256 KB per corpus: the codec's production operating point.  The
+    # blocking engine hands the compressor one ~200 KB buffer at a
+    # time (the paper's buffer size), so benching megabyte spans would
+    # measure a cache regime the pipeline never runs in.
+    if args.smoke:
+        size, repeat, payload_mb = 256 * 1024, 1, 4
+        worker_counts = (0, 2)
+    else:
+        # Best-of-15: the vec encoder's short timings are dispropor-
+        # tionately sensitive to scheduler hiccups on busy runners, and
+        # a best-of needs enough draws to land one clean window.
+        size, repeat, payload_mb = 256 * 1024, 15, 8
+        worker_counts = POOLED_WORKER_COUNTS
+
+    print(f"LZF single-thread ({size // 1024} KB per corpus):")
+    rows, aggregate = bench_lzf(size, repeat)
+    print(f"pooled zlib-6 scaling ({payload_mb} MB forced-level send):")
+    rows += bench_pooled(payload_mb, worker_counts)
+
+    speedup = aggregate["lzf-vec"] / aggregate["lzf-ref"]
+    by_workers = {
+        r["workers"]: r["throughput_mb_s"]
+        for r in rows
+        if r["impl"] == "pooled-zlib6"
+    }
+    cpu_count = os.cpu_count() or 1
+    print(f"aggregate LZF speedup (vec/ref): {speedup:.2f}x")
+    if 0 in by_workers and 2 in by_workers:
+        print(
+            f"pooled zlib-6 scaling @2 workers: "
+            f"{by_workers[2] / by_workers[0]:.2f}x inline ({cpu_count} cores)"
+        )
+
+    payload = {
+        "meta": {
+            "mode": "smoke" if args.smoke else "full",
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": cpu_count,
+            "corpus_bytes": size,
+            "pooled_payload_mb": payload_mb,
+            "slice_size": SLICE_SIZE,
+            "aggregate_lzf_speedup": round(speedup, 2),
+        },
+        "key_fields": ["impl", "corpus", "workers"],
+        "results": rows,
+    }
+    out = args.out or ("BENCH_compress.smoke.json" if args.smoke else "BENCH_compress.json")
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=1)
+        fh.write("\n")
+    print(f"wrote {out}")
+
+    if args.smoke:
+        return 0
+    # Acceptance: the fast path must actually be fast.
+    failures: list[str] = []
+    if speedup < 5.0:
+        failures.append(
+            f"aggregate LZF speedup {speedup:.2f}x below the 5x floor"
+        )
+    if cpu_count >= 2 and 0 in by_workers and 2 in by_workers:
+        scaling = by_workers[2] / by_workers[0]
+        if scaling < 1.5:
+            failures.append(
+                f"pooled zlib-6 @2 workers only {scaling:.2f}x inline "
+                f"(floor 1.5x on this {cpu_count}-core machine)"
+            )
+    elif cpu_count < 2:
+        print(
+            f"NOTE: {cpu_count}-core machine — pooled scaling floor not "
+            "enforceable here (CI enforces it on multi-core runners)"
+        )
+    for msg in failures:
+        print(f"ACCEPTANCE FAILURE: {msg}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -333,7 +333,9 @@ def _serve_metric_lines(tele) -> list[str]:
     """The serve-layer series, one human-readable line each (for top)."""
     lines: list[str] = []
     for name, info in sorted(tele.metrics.to_json().items()):
-        if not name.startswith(("adoc_reactor_", "adoc_pool_", "adoc_server_")):
+        if not name.startswith(
+            ("adoc_reactor_", "adoc_pool_", "adoc_server_", "adoc_compress_")
+        ):
             continue
         for entry in info["series"]:
             labels = ",".join(

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import zlib
 
-from ..compress.lzf import lzf_compress
+from ..compress.lzf import lzf_compress_slices
 from .config import AdocConfig, DEFAULT_CONFIG
 from .guards import IncompressibleGuard
 from .packets import Record
@@ -73,19 +73,22 @@ def _compress_lzf(
     config: AdocConfig,
 ) -> tuple[list[Record], bool]:
     records: list[Record] = []
-    slice_size = config.slice_size
     n = len(data)
     offset = 0
     tripped = False
-    while offset < n:
-        chunk = data[offset : offset + slice_size]
-        comp = lzf_compress(chunk)
-        if len(comp) < len(chunk):
-            records.append(Record(1, len(chunk), comp))
+    # The slice iterator is lazy and its numpy match discovery is
+    # amortized over the whole buffer (one pass instead of one per
+    # slice); each yielded chunk is byte-identical to compressing
+    # ``data[start:end]`` standalone, so the wire format is unchanged.
+    for start, end, comp in lzf_compress_slices(data, config.slice_size):
+        chunk_len = end - start
+        if len(comp) < chunk_len:
+            records.append(Record(1, chunk_len, comp))
         else:
-            records.append(Record(0, len(chunk), chunk))
-        offset += len(chunk)
-        if guard is not None and guard.check_packet(len(chunk), len(comp)):
+            # Raw records keep zero-copy slices of the caller's buffer.
+            records.append(Record(0, chunk_len, data[start:end]))
+        offset = end
+        if guard is not None and guard.check_packet(chunk_len, len(comp)):
             tripped = True
             break
     if offset < n:

@@ -99,6 +99,16 @@ class AdocConfig:
     #: guard needs sub-buffer granularity to abort mid-buffer).
     slice_size: int = 8 * KB
 
+    #: Codec workers for the blocking engine's compression stage.
+    #: ``None`` (auto) compresses buffers on the process-wide shared
+    #: :class:`~repro.serve.pool.WorkerPool` (sized to the core count),
+    #: overlapping N buffers across cores with in-order reinsertion —
+    #: the wire stays byte-identical.  ``0`` disables pooling: buffers
+    #: compress inline on the single compression thread (the paper's
+    #: original two-thread pipeline).  ``N > 0`` uses the shared pool,
+    #: sizing it to N if this transfer is the one that creates it.
+    compress_workers: int | None = None
+
     #: Per-operation I/O timeout for every blocking step of a transfer
     #: (socket send/recv, queue put/get, output-buffer read).  ``None``
     #: preserves the paper's unbounded-blocking semantics; set it and a
@@ -139,6 +149,8 @@ class AdocConfig:
             raise ValueError("probe must fit below the small-message threshold")
         if not 0.0 < self.incompressible_ratio <= 1.0:
             raise ValueError("incompressible ratio must be in (0, 1]")
+        if self.compress_workers is not None and self.compress_workers < 0:
+            raise ValueError("compress_workers must be >= 0 or None (auto)")
         if self.io_timeout_s is not None and self.io_timeout_s <= 0:
             raise ValueError("io_timeout_s must be positive or None")
         if self.join_timeout_s <= 0:

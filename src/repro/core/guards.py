@@ -10,11 +10,20 @@ minimum for the next 10 packets before letting adaptation resume.
 
 from __future__ import annotations
 
+from ..analysis.lockgraph import make_lock
+
 __all__ = ["IncompressibleGuard"]
 
 
 class IncompressibleGuard:
-    """Per-packet compression-ratio watchdog with a packet holdoff."""
+    """Per-packet compression-ratio watchdog with a packet holdoff.
+
+    Thread-safe: with pooled compression (``compress_workers``), several
+    codec workers evaluate :meth:`check_packet` for different buffers
+    concurrently while the dispatcher counts emissions, so the holdoff
+    counter is guarded by a leaf lock (no other lock is ever taken while
+    it is held).
+    """
 
     def __init__(self, ratio_threshold: float = 0.95, holdoff_packets: int = 10) -> None:
         if not 0.0 < ratio_threshold <= 1.0:
@@ -23,13 +32,21 @@ class IncompressibleGuard:
             raise ValueError("holdoff cannot be negative")
         self.ratio_threshold = ratio_threshold
         self.holdoff_packets = holdoff_packets
+        self._lock = make_lock("IncompressibleGuard.lock")
         self._remaining = 0
-        self.trips = 0  # diagnostic: how often the guard fired
+        self._trips = 0  # diagnostic: how often the guard fired
 
     @property
     def active(self) -> bool:
         """True while the holdoff pins the level to the minimum."""
-        return self._remaining > 0
+        with self._lock:
+            return self._remaining > 0
+
+    @property
+    def trips(self) -> int:
+        """How often the guard has fired (diagnostics / telemetry)."""
+        with self._lock:
+            return self._trips
 
     def check_packet(self, original_size: int, compressed_size: int) -> bool:
         """Evaluate one compressed packet; return True if the guard trips.
@@ -41,12 +58,14 @@ class IncompressibleGuard:
         if original_size <= 0:
             return False
         if compressed_size >= original_size * self.ratio_threshold:
-            self._remaining = self.holdoff_packets
-            self.trips += 1
+            with self._lock:
+                self._remaining = self.holdoff_packets
+                self._trips += 1
             return True
         return False
 
     def note_packet_emitted(self) -> None:
         """Count one produced packet against the holdoff window."""
-        if self._remaining > 0:
-            self._remaining -= 1
+        with self._lock:
+            if self._remaining > 0:
+                self._remaining -= 1

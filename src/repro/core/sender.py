@@ -17,6 +17,15 @@ the following decision ladder (sections 3 and 5):
    the socket and feeds per-level visible-bandwidth observations back
    to the divergence guard.
 
+By default the compression stage runs on the process-wide shared codec
+pool (``AdocConfig.compress_workers``): the compression thread becomes a
+dispatcher that keeps a window of buffers in flight across the
+:class:`~repro.serve.pool.WorkerPool` workers and drains their
+completions — in submission order, whichever worker finishes first —
+into the FIFO, so N buffers compress concurrently while the wire stays
+byte-identical to the single-threaded path.  ``compress_workers=0``
+restores the paper's original one-buffer-at-a-time compression thread.
+
 Forcing compression (``min_level > 0``) skips steps 1 and 2 — that is
 what the paper's Table 2 "AdOC with forced compression" column
 measures: the full thread/queue/mutex start-up cost on a tiny message.
@@ -47,9 +56,11 @@ from __future__ import annotations
 import logging
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import BinaryIO, Callable
+from typing import Any, BinaryIO, Callable
 
+from ..analysis.lockgraph import make_condition, make_lock
 from ..obs.telemetry import Telemetry, resolve_telemetry
 from ..transport.base import Endpoint, TransportTimeout, sendall, sendall_vectors
 from .adaptation import LevelAdapter
@@ -77,6 +88,12 @@ _log = logging.getLogger("repro.core.sender")
 #: batch stays well under the transport's IOV_MAX while still amortising
 #: the per-send cost across a full queue burst.
 _MAX_BATCH = 64
+
+#: A known-length message shorter than this many buffers compresses
+#: inline even when pooling is enabled: with fewer buffers than a
+#: worker window there is nothing to overlap, and the pool's hand-off
+#: latency would only distort the adaptation signal.
+_MIN_POOLED_BUFFERS = 4
 
 
 def packetize_record(
@@ -163,6 +180,62 @@ class SendResult:
         return self.payload_bytes / self.wire_bytes
 
 
+class _CompletionFIFO:
+    """Hand-off of in-order pool completions to the dispatcher thread.
+
+    Pushers are pool workers and must never block (a slow connection
+    must not stall the shared pool), so the queue is unbounded — its
+    depth is implicitly capped by the dispatcher's in-flight window.
+    The popping dispatcher bounds its wait with ``timeout``; the lock is
+    a leaf (no other lock is ever acquired while it is held).
+    """
+
+    def __init__(self) -> None:
+        self._lock = make_lock("sender.completions.lock")
+        self._ready = make_condition(self._lock, "sender.completions.ready")
+        self._items: deque[tuple] = deque()
+
+    def push(self, item: tuple) -> None:
+        with self._lock:
+            self._items.append(item)
+            self._ready.notify()
+
+    def pop(self, timeout: float | None) -> tuple:
+        give_up = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            while not self._items:
+                if give_up is None:
+                    self._ready.wait()
+                else:
+                    remaining = give_up - time.monotonic()
+                    if remaining <= 0:
+                        raise DeadlineExceeded(
+                            "pooled compression result overdue",
+                            stage="compress",
+                        )
+                    self._ready.wait(remaining)
+            return self._items.popleft()
+
+    def drain(self, count: int, timeout: float) -> None:
+        """Discard up to ``count`` completions, bounded by ``timeout``.
+
+        Failure-path helper: waits for in-flight jobs so the borrowed
+        buffers their closures hold are released before the send call
+        unwinds.  Gives up quietly at the deadline — the jobs run on
+        daemon threads and the process is tearing the message down
+        anyway.
+        """
+        give_up = time.monotonic() + timeout
+        for _ in range(count):
+            remaining = give_up - time.monotonic()
+            if remaining <= 0:
+                return
+            try:
+                self.pop(remaining)
+            except DeadlineExceeded:
+                return
+
+
 class MessageSender:
     """Sends messages over one endpoint with AdOC semantics.
 
@@ -240,7 +313,7 @@ class MessageSender:
             # slice a probe from without buffering), END-terminated.
             header = pack_message_header(0, length_known=False)
             sendall(self.endpoint, header)
-            result, consumed = self._run_pipeline(source, cfg)
+            result, consumed = self._run_pipeline(source, cfg, remaining=None)
             end = end_record_bytes()
             sendall(self.endpoint, end)
             result.payload_bytes = consumed
@@ -270,7 +343,7 @@ class MessageSender:
                     fast_path=True,
                 )
 
-        result, _ = self._run_pipeline(source, cfg)
+        result, _ = self._run_pipeline(source, cfg, remaining=total)
         result.payload_bytes = total
         result.wire_bytes += wire_bytes
         result.elapsed_s = self.clock() - start
@@ -363,13 +436,19 @@ class MessageSender:
 
     # -- the adaptive pipeline -----------------------------------------------
 
-    def _run_pipeline(self, source: ChunkSource, cfg: AdocConfig) -> tuple[SendResult, int]:
+    def _run_pipeline(
+        self,
+        source: ChunkSource,
+        cfg: AdocConfig,
+        remaining: int | None = None,
+    ) -> tuple[SendResult, int]:
         """Compression thread + emission loop over the source's remainder.
 
         Returns ``(result, consumed_bytes)`` where ``consumed_bytes`` is
         how much payload the pipeline pulled from the source (the whole
         message for unknown-length sends, the post-probe remainder
-        otherwise).
+        otherwise).  ``remaining`` is a size hint (``None`` = unknown)
+        used to decide whether pooled compression is worth engaging.
         """
         tele = resolve_telemetry(cfg)
         queue: PacketQueue = PacketQueue(cfg.queue_capacity, tele, "send")
@@ -385,7 +464,7 @@ class MessageSender:
             target=self._compression_thread,
             args=(
                 source, cfg, queue, adapter, inc_guard, error, consumed,
-                degraded, tele,
+                degraded, tele, remaining,
             ),
             name="adoc-compress",
             daemon=True,
@@ -438,54 +517,317 @@ class MessageSender:
         consumed: list[int],
         degraded: list[bool],
         tele: Telemetry,
+        remaining: int | None = None,
     ) -> None:
         try:
             with tele.span("compress"):
-                buffer_id = 0
-                while True:
-                    level = adapter.next_level(queue.size(), self.clock())
-                    if cfg.compression_disabled or degraded[0]:
-                        level = 0
-                    buf = source.read(cfg.buffer_size)
-                    if not len(buf):
-                        break
-                    consumed[0] += len(buf)
-                    try:
-                        records, _ = compress_buffer(buf, level, inc_guard, cfg)
-                    except Exception:  # adoclint: disable=ADOC106 -- graceful degradation by design: the codec failure is absorbed, the buffer ships raw, and SendResult.degraded reports it; re-raising would kill a recoverable message
-                        # Graceful degradation: a codec blowing up on one
-                        # buffer must not kill the message.  Ship this
-                        # buffer raw and pin the rest of the stream to
-                        # level 0 — the receiver needs no special handling,
-                        # raw records are always legal.
-                        degraded[0] = True
-                        records = [Record(0, len(buf), buf)]
-                        _log.warning(
-                            "codec failed at level %d on buffer %d; "
-                            "degrading stream to raw",
-                            level, buffer_id,
-                        )
-                        tele.event(
-                            "degraded", "codec_failure",
-                            buffer_id=buffer_id, level=level,
-                        )
-                    if tele.enabled:
-                        tele.tracer.record(
-                            "buffer", "buffer_compressed",
-                            buffer_id=buffer_id,
-                            level=level,
-                            in_bytes=len(buf),
-                            out_bytes=sum(len(r.payload) for r in records),
-                        )
-                    for rec in records:
-                        self._enqueue_record(rec, cfg, queue, inc_guard, buffer_id)
-                    buffer_id += 1
+                pool = self._resolve_pool(cfg, remaining)
+                if pool is not None:
+                    self._pooled_compression(
+                        source, cfg, queue, adapter, inc_guard, consumed,
+                        degraded, tele, pool,
+                    )
+                else:
+                    self._inline_compression(
+                        source, cfg, queue, adapter, inc_guard, consumed,
+                        degraded, tele,
+                    )
         except QueueClosed:
             pass  # emission side failed; it carries the real error
         except BaseException as exc:  # noqa: BLE001 - reported to caller
             error.append(exc)
         finally:
             queue.close()
+
+    def _resolve_pool(self, cfg: AdocConfig, remaining: int | None):
+        """The shared codec pool to compress on, or ``None`` for inline.
+
+        ``compress_workers=0`` opts out (the paper's original two-thread
+        pipeline); a compression-disabled stream is all raw records, so
+        pooling would be pure overhead.  Short pipelines stay inline
+        too: pooling pays per-buffer hand-off latency to buy overlap,
+        which only exists when there are several buffers to overlap —
+        and the hand-off gaps would let the emission side drain the
+        queue between buffers, distorting the Figure-2 signal for
+        messages too short to ever reach steady state.  Unknown-length
+        sources (pipes) take the pooled path: they are open-ended
+        streams.  The import is lazy because :mod:`repro.serve` sits
+        above this module in the package graph (its channels import the
+        sender's framing helpers).
+        """
+        if cfg.compress_workers == 0 or cfg.compression_disabled:
+            return None
+        if remaining is not None and remaining < _MIN_POOLED_BUFFERS * cfg.buffer_size:
+            return None
+        from ..serve.pool import shared_pool
+
+        return shared_pool(cfg.compress_workers)
+
+    def _inline_compression(
+        self,
+        source: ChunkSource,
+        cfg: AdocConfig,
+        queue: PacketQueue,
+        adapter: LevelAdapter,
+        inc_guard: IncompressibleGuard,
+        consumed: list[int],
+        degraded: list[bool],
+        tele: Telemetry,
+        buffer_id: int = 0,
+        first_buf: bytes | memoryview | None = None,
+    ) -> None:
+        """The paper's single compression thread: one buffer at a time.
+
+        ``first_buf`` lets the pooled path hand over a buffer it had
+        already pulled from the source when it fell back mid-message.
+        """
+        while True:
+            level = adapter.next_level(queue.size(), self.clock())
+            if cfg.compression_disabled or degraded[0]:
+                level = 0
+            if first_buf is not None:
+                buf, first_buf = first_buf, None
+            else:
+                buf = source.read(cfg.buffer_size)
+                if not len(buf):
+                    break
+                consumed[0] += len(buf)
+            try:
+                outcome: tuple[list[Record], bool] | None = compress_buffer(
+                    buf, level, inc_guard, cfg
+                )
+                err: BaseException | None = None
+            except Exception as exc:  # adoclint: disable=ADOC106 -- graceful degradation by design: the codec failure is absorbed, the buffer ships raw, and SendResult.degraded reports it; re-raising would kill a recoverable message
+                outcome, err = None, exc
+            records = self._records_from_outcome(
+                buf, buffer_id, level, outcome, err, degraded, tele, "inline"
+            )
+            for rec in records:
+                self._enqueue_record(rec, cfg, queue, inc_guard, buffer_id)
+            buffer_id += 1
+
+    def _pooled_compression(
+        self,
+        source: ChunkSource,
+        cfg: AdocConfig,
+        queue: PacketQueue,
+        adapter: LevelAdapter,
+        inc_guard: IncompressibleGuard,
+        consumed: list[int],
+        degraded: list[bool],
+        tele: Telemetry,
+        pool: Any,
+    ) -> None:
+        """Dispatch buffers to the shared codec pool, emit in order.
+
+        This thread becomes a *dispatcher*: it keeps a bounded window of
+        buffers in flight on the pool (so N buffers compress on N cores)
+        and drains their completions — delivered strictly in submission
+        order by the pool's per-key FIFO reinsertion — into the packet
+        queue.  The wire is byte-identical to the inline path: same
+        buffers, same per-buffer level decision, same records, same
+        order.
+
+        Two properties the paper's adaptation depends on are preserved:
+
+        * the Figure-2 signal keeps its meaning.  The paper's queue
+          length counts everything the sender has committed to the wire
+          that the network has not yet drained; when buffer *k*'s level
+          is decided inline, buffers ``0..k-1`` have all been compressed
+          and their packets sit in (or have left) the queue.  Pooling
+          breaks that invariant: buffers still on a codec worker have
+          produced nothing yet, so the bare queue under-reads by a
+          window's worth of output — successive submissions would see an
+          unchanged queue, read ``delta == 0``, and Figure 2's ``n < 10``
+          rule would halve the level forever.  The dispatcher therefore
+          adds the in-flight buffers' packet count (at their raw
+          packetization — their compressed size is not known yet, so
+          this is a documented upper bound) to the queue length before
+          each decision.  Decisions stay one-per-input-buffer, exactly
+          the paper's cadence.  The window also *slow-starts* — one
+          buffer in flight at first, +1 per drained completion up to
+          the cap — so cold-start decisions are never a full window
+          ahead of the evidence.  The emission loop's per-(buffer,
+          level) bandwidth observations are unchanged, so the
+          divergence guard sees exactly the data it saw before;
+        * queue backpressure blocks *this* thread (when it enqueues
+          completed records), never a pool worker — a slow connection
+          cannot stall other connections' codec work.
+
+        A codec failure inside a job degrades exactly like inline: the
+        failed buffer ships raw and subsequent *submissions* are pinned
+        to level 0 (buffers already in flight at a higher level still
+        emit compressed — they compressed fine).  If the shared pool is
+        closed mid-message (process shutdown racing a transfer), the
+        in-flight window is drained and the message finishes inline.
+        """
+        from ..serve.pool import PoolClosed
+
+        completions = _CompletionFIFO()
+        stream_key = object()  # per-message identity for in-order delivery
+        window_cap = max(2, 2 * pool.workers)
+        window = 1  # slow-start: grows +1 per drained completion
+        inflight = 0
+        buffer_id = 0
+        next_emit = 0
+        exhausted = False
+        # Packets the in-flight jobs will add to the queue (raw upper
+        # bound); part of the Figure-2 signal — see the docstring.
+        pending_packets = 0
+        packet_size = cfg.packet_size
+        try:
+            while not exhausted or inflight:
+                while inflight < window and not exhausted:
+                    level = adapter.next_level(
+                        queue.size() + pending_packets, self.clock()
+                    )
+                    if cfg.compression_disabled or degraded[0]:
+                        level = 0
+                    buf = source.read(cfg.buffer_size)
+                    if not len(buf):
+                        exhausted = True
+                        break
+                    consumed[0] += len(buf)
+                    pending_packets += -(-len(buf) // packet_size)
+
+                    def on_done(
+                        result: Any,
+                        err: BaseException | None,
+                        _buf: bytes | memoryview = buf,
+                        _bid: int = buffer_id,
+                        _level: int = level,
+                    ) -> None:
+                        # Runs on a pool worker; must never block.
+                        completions.push((_buf, _bid, _level, result, err))
+
+                    try:
+                        pool.submit(
+                            compress_buffer, buf, level, inc_guard, cfg,
+                            key=stream_key, on_done=on_done,
+                            timeout=cfg.io_timeout_s,
+                        )
+                    except PoolClosed:
+                        # Drain what is in flight (their completions
+                        # still arrive in order), then finish the
+                        # message inline starting from this buffer.
+                        while inflight:
+                            item = completions.pop(cfg.io_timeout_s)
+                            inflight -= 1
+                            pending_packets -= -(-len(item[0]) // packet_size)
+                            next_emit = self._emit_completion(
+                                item, cfg, queue, inc_guard, degraded,
+                                tele, next_emit,
+                            )
+                        self._inline_compression(
+                            source, cfg, queue, adapter, inc_guard,
+                            consumed, degraded, tele, buffer_id, buf,
+                        )
+                        return
+                    inflight += 1
+                    buffer_id += 1
+                if inflight == 0:
+                    break
+                # Decrement *before* emitting: once the completion is
+                # popped it no longer counts as in flight, and the
+                # enqueue below may raise (QueueClosed when the emission
+                # loop died) — the failure drain below must then wait
+                # only for completions still genuinely outstanding, not
+                # block join_timeout_s on one that was already consumed.
+                item = completions.pop(cfg.io_timeout_s)
+                inflight -= 1
+                pending_packets -= -(-len(item[0]) // packet_size)
+                next_emit = self._emit_completion(
+                    item, cfg, queue, inc_guard, degraded, tele, next_emit,
+                )
+                if window < window_cap:
+                    window += 1
+        except BaseException:
+            # The message is dead (emission failed, deadline, …).  The
+            # borrowed input buffers captured by in-flight jobs must not
+            # outlive the send call (the caller may reuse them the
+            # moment it returns), so wait — bounded — for the stragglers
+            # before unwinding.
+            completions.drain(inflight, cfg.join_timeout_s)
+            raise
+
+    def _emit_completion(
+        self,
+        item: tuple,
+        cfg: AdocConfig,
+        queue: PacketQueue,
+        inc_guard: IncompressibleGuard,
+        degraded: list[bool],
+        tele: Telemetry,
+        next_emit: int,
+    ) -> int:
+        """Enqueue the records of one popped in-order completion."""
+        buf, bid, level, outcome, err = item
+        assert bid == next_emit, f"pool delivered buffer {bid}, expected {next_emit}"
+        records = self._records_from_outcome(
+            buf, bid, level, outcome, err, degraded, tele, "pooled"
+        )
+        for rec in records:
+            self._enqueue_record(rec, cfg, queue, inc_guard, bid)
+        return next_emit + 1
+
+    def _records_from_outcome(
+        self,
+        buf: bytes | memoryview,
+        buffer_id: int,
+        level: int,
+        outcome: tuple[list[Record], bool] | None,
+        err: BaseException | None,
+        degraded: list[bool],
+        tele: Telemetry,
+        mode: str,
+    ) -> list[Record]:
+        """Turn one buffer's codec outcome into records, degrading on error.
+
+        Graceful degradation: a codec blowing up on one buffer must not
+        kill the message.  Ship this buffer raw and pin the rest of the
+        stream to level 0 — the receiver needs no special handling, raw
+        records are always legal.
+        """
+        if err is not None or outcome is None:
+            degraded[0] = True
+            records = [Record(0, len(buf), buf)]
+            _log.warning(
+                "codec failed at level %d on buffer %d; degrading stream "
+                "to raw",
+                level, buffer_id,
+            )
+            tele.event(
+                "degraded", "codec_failure", buffer_id=buffer_id, level=level
+            )
+        else:
+            records = outcome[0]
+        if tele.enabled:
+            out_bytes = sum(len(r.payload) for r in records)
+            tele.tracer.record(
+                "buffer", "buffer_compressed",
+                buffer_id=buffer_id,
+                level=level,
+                in_bytes=len(buf),
+                out_bytes=out_bytes,
+            )
+            metrics = tele.metrics
+            metrics.counter(
+                "adoc_compress_buffers_total",
+                "buffers through the send compression stage",
+                ("mode",),
+            ).inc(mode=mode)
+            metrics.counter(
+                "adoc_compress_bytes_total",
+                "payload bytes through the send compression stage",
+                ("mode",),
+            ).inc(len(buf), mode=mode)
+            if err is not None:
+                metrics.counter(
+                    "adoc_compress_degraded_total",
+                    "buffers shipped raw after a codec failure",
+                    ("mode",),
+                ).inc(mode=mode)
+        return records
 
     def _enqueue_record(
         self,

@@ -36,7 +36,7 @@ from ..analysis.lockgraph import make_condition, make_lock
 from ..core.deadlines import DeadlineExceeded, reap_threads
 from ..obs.telemetry import Telemetry, resolve_telemetry
 
-__all__ = ["PoolClosed", "WorkerPool"]
+__all__ = ["PoolClosed", "WorkerPool", "shared_pool", "shutdown_shared_pool"]
 
 _log = logging.getLogger("repro.serve.pool")
 
@@ -335,3 +335,53 @@ class WorkerPool:
             cancel=None,
             join_timeout=join_timeout,
         )
+
+
+# -- the process-wide shared codec pool ------------------------------------
+#
+# Blocking senders (one per connection direction) come and go far faster
+# than codec threads should, so they share one process-wide pool instead
+# of owning pools: N connections on a C-core host still run at most
+# ``workers`` codec threads total.  The pool is created lazily on first
+# use — a process that never compresses never starts codec threads —
+# and sized by the first caller (``AdocConfig.compress_workers``; the
+# auto default is :func:`default_worker_count`).
+
+_shared_lock = make_lock("pool.shared_lock")
+_shared: WorkerPool | None = None
+
+#: Thread-name prefix of the shared pool's workers ("adoc-shared-codec-N").
+#: Test fixtures that assert no leaked threads exempt this prefix: the
+#: shared pool intentionally outlives individual transfers and is reaped
+#: by :func:`shutdown_shared_pool` (tested separately).
+SHARED_POOL_NAME = "shared-codec"
+
+
+def shared_pool(workers: int | None = None) -> WorkerPool:
+    """Return the process-wide codec pool, creating it on first use.
+
+    ``workers`` only matters on the call that creates the pool; later
+    callers share whatever was started (connections with different
+    ``compress_workers`` settings still share one pool — the knob is a
+    process-level resource bound, not a per-transfer one).  A pool found
+    closed (e.g. by a prior :func:`shutdown_shared_pool`) is replaced.
+    """
+    global _shared
+    with _shared_lock:
+        if _shared is None or _shared.closed:
+            _shared = WorkerPool(workers=workers, name=SHARED_POOL_NAME)
+        return _shared
+
+
+def shutdown_shared_pool(join_timeout: float = 10.0) -> None:
+    """Close and forget the shared pool (idempotent).
+
+    Long-running processes call this on orderly shutdown; tests call it
+    to prove the codec threads reap.  The next :func:`shared_pool` call
+    simply starts a fresh pool.
+    """
+    global _shared
+    with _shared_lock:
+        pool, _shared = _shared, None
+    if pool is not None:
+        pool.close(join_timeout=join_timeout)

@@ -143,3 +143,101 @@ def test_compress_never_inflates_much(data):
     # Worst case: pure literals, 1 control byte per 32 payload bytes
     # (plus one for a trailing partial run).
     assert len(comp) <= len(data) + len(data) // 32 + 2
+
+
+class TestVectorizedEncoderIdentity:
+    """The numpy fast path must be *bit-identical* to the reference
+    encoder — same hash table, same overwrite-on-store collisions, same
+    greedy matches — so golden wire fixtures cannot tell them apart."""
+
+    def _corpora(self):
+        from repro.data import (
+            ascii_data,
+            binary_data,
+            incompressible_data,
+            synthetic_hb_bytes,
+        )
+
+        yield "text", ascii_data(64 * 1024, seed=3)
+        yield "binary", binary_data(64 * 1024, seed=4)
+        yield "random", incompressible_data(64 * 1024, seed=5)
+        yield "hb", synthetic_hb_bytes(n=9000, seed=6)
+        yield "rle", b"ab" * (32 * 1024)
+        yield "allbytes", bytes(range(256)) * 200
+
+    def test_bit_identical_to_reference_on_corpora(self):
+        from repro.compress.lzf import _compress_ref
+
+        for name, data in self._corpora():
+            d = bytes(data)
+            assert lzf_compress(d) == _compress_ref(d, len(d)), name
+
+    @settings(max_examples=150, deadline=None)
+    @given(st.binary(min_size=0, max_size=3000))
+    def test_bit_identical_to_reference_property(self, data):
+        from repro.compress.lzf import _compress_ref
+
+        assert lzf_compress(data) == _compress_ref(data, len(data))
+
+    @pytest.mark.parametrize("n", [0, 1, 3, 4, 511, 512, 513, 8192])
+    def test_threshold_boundaries(self, n):
+        from repro.compress.lzf import _compress_ref
+
+        from repro.data import ascii_data
+
+        data = ascii_data(n, seed=n or 1)
+        comp = lzf_compress(data)
+        assert comp == _compress_ref(data, len(data))
+        assert lzf_decompress(comp, len(data)) == data
+
+
+class TestSliceApi:
+    """``lzf_compress_slices``: the streaming form the packetizer uses."""
+
+    @pytest.mark.parametrize("slice_size", [2048, 8192])
+    def test_slices_cover_input_and_match_whole_buffer_compression(
+        self, slice_size
+    ):
+        from repro.compress.lzf import lzf_compress_slices
+
+        from repro.data import ascii_data
+
+        data = ascii_data(50_000, seed=8)
+        pos = 0
+        for start, end, comp in lzf_compress_slices(data, slice_size):
+            assert start == pos
+            assert end - start <= slice_size
+            # Identical to compressing the slice standalone: the hash
+            # chains must not leak across slice boundaries.
+            assert comp == lzf_compress(data[start:end])
+            assert lzf_decompress(comp, end - start) == data[start:end]
+            pos = end
+        assert pos == len(data)
+
+    def test_short_input_single_slice(self):
+        from repro.compress.lzf import lzf_compress_slices
+
+        data = b"tiny"
+        out = list(lzf_compress_slices(data, 8192))
+        assert len(out) == 1
+        start, end, comp = out[0]
+        assert (start, end) == (0, 4)
+        assert lzf_decompress(comp, 4) == data
+
+    def test_empty_input_yields_nothing(self):
+        from repro.compress.lzf import lzf_compress_slices
+
+        assert list(lzf_compress_slices(b"", 8192)) == []
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.binary(min_size=1, max_size=40_000),
+        st.sampled_from([1024, 4096, 8192]),
+    )
+    def test_slice_roundtrip_property(self, data, slice_size):
+        from repro.compress.lzf import lzf_compress_slices
+
+        out = bytearray()
+        for start, end, comp in lzf_compress_slices(data, slice_size):
+            out += lzf_decompress(comp, end - start)
+        assert bytes(out) == data

@@ -52,14 +52,29 @@ def no_thread_leaks():
     thread started during the test has exited.  Used (autouse) across
     ``tests/faults``: the fault-tolerance contract is that *failed*
     transfers tear their pipelines down, not just successful ones.
+
+    The process-wide shared codec pool (``adoc-shared-codec-*``) is
+    exempt by design: its workers deliberately outlive individual
+    transfers (that is the point of sharing them), and their reaping is
+    covered by the ``shutdown_shared_pool`` tests in
+    ``tests/core/test_pooled_compression.py``.
     """
     import time as _time
 
+    from repro.serve.pool import SHARED_POOL_NAME
+
+    shared_prefix = f"adoc-{SHARED_POOL_NAME}-"
     before = set(threading.enumerate())
     yield
     deadline = _time.monotonic() + 5.0
     while _time.monotonic() < deadline:
-        leaked = [t for t in threading.enumerate() if t not in before and t.is_alive()]
+        leaked = [
+            t
+            for t in threading.enumerate()
+            if t not in before
+            and t.is_alive()
+            and not t.name.startswith(shared_prefix)
+        ]
         if not leaked:
             return
         _time.sleep(0.05)

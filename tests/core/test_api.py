@@ -32,6 +32,13 @@ CFG = AdocConfig(
     small_message_threshold=8 * 1024,
     probe_size=4 * 1024,
     fast_network_bps=float("inf"),
+    # These tests document the paper's original two-thread pipeline:
+    # with an in-process pipe the consumer is effectively infinitely
+    # fast, and the queue buildup that makes the Figure-2 ladder climb
+    # here comes from the inline thread's tight produce loop.  The
+    # pooled dispatcher (the default) is exercised separately in
+    # test_pooled_compression.py with controlled-speed endpoints.
+    compress_workers=0,
 )
 
 

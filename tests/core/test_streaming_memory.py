@@ -48,7 +48,10 @@ def payload_file(tmp_path_factory):
     ids=["raw-records", "pipeline-zlib6"],
 )
 def test_send_stream_peak_memory_is_o_buffer_size(payload_file, levels):
-    cfg = AdocConfig().with_levels(*levels)
+    # compress_workers=0 pins the paper's inline pipeline, whose peak
+    # buffering is the strictest contract (one buffer in flight);
+    # the pooled default is covered by the window-scaled test below.
+    cfg = AdocConfig(compress_workers=0).with_levels(*levels)
     sender = MessageSender(NullEndpoint(), cfg)
     with open(payload_file, "rb") as f:
         source = FileSource(f, FILE_SIZE)
@@ -70,6 +73,36 @@ def test_send_stream_peak_memory_is_o_buffer_size(payload_file, levels):
     assert peak <= 4 * cfg.buffer_size, (
         f"peak traced memory {peak} exceeds 4x buffer_size "
         f"({4 * cfg.buffer_size}) for a {FILE_SIZE}-byte file"
+    )
+
+
+def test_send_stream_peak_memory_pooled_is_o_window(payload_file):
+    # The pooled pipeline holds an in-flight window of buffers (up to
+    # 2x pool workers) by design; peak memory scales with the window,
+    # never with the file size.
+    from repro.serve.pool import shared_pool
+
+    cfg = AdocConfig().with_levels(6, 6)
+    window = 2 * shared_pool(cfg.compress_workers).workers
+    sender = MessageSender(NullEndpoint(), cfg)
+    with open(payload_file, "rb") as f:
+        source = FileSource(f, FILE_SIZE)
+        tracemalloc.start()
+        try:
+            result = sender._send_source(source, cfg)
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+    assert result.payload_bytes == FILE_SIZE
+    # In-flight input buffers plus their compressed outputs parked in
+    # the completion FIFO plus queued packet views: all O(window),
+    # nothing O(file).  (Measured ~window + 4 buffers; 2x window + 6
+    # absorbs allocator noise across worker counts.)
+    budget = (2 * window + 6) * cfg.buffer_size
+    assert budget < FILE_SIZE  # the bound must stay meaningful
+    assert peak <= budget, (
+        f"peak traced memory {peak} exceeds (2 * window + 6) x "
+        f"buffer_size ({budget}) for a {FILE_SIZE}-byte file"
     )
 
 
