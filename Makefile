@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test chaos lockcheck lint adoclint check bench bench-smoke bench-compare bench-compress bench-paper trace-demo
+.PHONY: test chaos lockcheck lint adoclint check bench bench-smoke bench-compare bench-compress bench-paper fleet-smoke trace-demo
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -59,6 +59,12 @@ bench-compare:
 # single-thread floor (docs/PERFORMANCE.md).
 bench-compress:
 	$(PYTHON) benchmarks/compress.py
+
+# Fleet push-mode smoke: aggregator + 3 pushing child processes,
+# merged exposition + merged cross-process Chrome trace
+# (docs/OBSERVABILITY.md "Fleet mode").
+fleet-smoke:
+	$(PYTHON) benchmarks/fleet_smoke.py --smoke
 
 # The paper-figure benchmarks (tables/figures of RR-5500).
 bench-paper:

@@ -1,0 +1,192 @@
+"""Fleet smoke: aggregator + multi-process push + merged trace.
+
+End-to-end check of the ``repro.obs.fleet`` push pipeline, sized for
+CI.  The scenario is the smallest deployment the fleet view exists
+for:
+
+1. start a :func:`repro.obs.fleet.serve_fleet` aggregator on an
+   ephemeral port;
+2. spawn N (default 3) *separate OS processes*, each running a
+   :class:`repro.obs.fleet.MetricsPusher` against its own
+   process-local registry — the children also trace their work under a
+   shared trace id and write per-process Chrome-trace exports;
+3. assert the merged exposition contains every instance with its
+   per-instance series intact (no cross-instance summing);
+4. merge the per-process traces with
+   :func:`repro.obs.tracer.merge_chrome_traces` and assert the result
+   interleaves the children as distinct pids on one wall-clock axis.
+
+This is deliberately an assertion harness, not a throughput
+benchmark: what CI needs to know is that a freshly built wheel can
+still stand up the aggregator, ingest real pushes over the wire
+protocol, and join the processes' timelines.  Failures exit non-zero.
+
+Artifacts (uploaded by the CI bench job):
+
+* ``fleet-smoke.prom`` — the merged Prometheus exposition as fetched
+  from the live aggregator;
+* ``fleet-trace.json`` — the merged cross-process Chrome trace
+  (loadable in Perfetto / ``chrome://tracing``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/fleet_smoke.py           # full run
+    PYTHONPATH=src python benchmarks/fleet_smoke.py --smoke   # same, fewer pushes
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import time
+
+from repro.obs.fleet import fetch_fleet, serve_fleet
+from repro.obs.tracer import merge_chrome_traces, new_trace_id
+
+# Runs in the child interpreter: push a known registry shape, trace the
+# pushes under the parent-chosen trace id, export the process's Chrome
+# trace.  Kept dependency-free beyond the repo itself so the smoke
+# exercises exactly what a real pushing process would import.
+_CHILD = """
+import json
+import sys
+import time
+
+from repro.obs import Telemetry
+from repro.obs.fleet import MetricsPusher
+
+host, port, name, trace_id, trace_out, seconds = (
+    sys.argv[1], int(sys.argv[2]), sys.argv[3], sys.argv[4],
+    sys.argv[5], float(sys.argv[6]),
+)
+tele = Telemetry(enabled=True)
+tele.tracer.set_trace(trace_id)
+tele.metrics.gauge("adoc_compression_level").set(6)
+tele.metrics.counter("adoc_wire_bytes_total", "", ("direction",)).inc(
+    4096, direction="tx"
+)
+pusher = MetricsPusher(
+    (host, port), tele, job="fleet-smoke", instance=name, interval_s=0.05
+).start()
+deadline = time.monotonic() + seconds
+while time.monotonic() < deadline:
+    with tele.span("work", instance=name):
+        time.sleep(0.01)
+pusher.close()
+tele.sync_trace_metrics()
+with open(trace_out, "w", encoding="utf-8") as fh:
+    json.dump(tele.tracer.to_chrome_trace(process_name=name), fh)
+print("pushed", pusher.pushes)
+"""
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="fast CI run")
+    parser.add_argument("--children", type=int, default=3,
+                        help="pushing processes to spawn (default 3)")
+    parser.add_argument("--prom-out", default="fleet-smoke.prom",
+                        help="merged exposition artifact")
+    parser.add_argument("--trace-out", default="fleet-trace.json",
+                        help="merged Chrome trace artifact")
+    args = parser.parse_args(argv)
+    if args.children < 1:
+        parser.error("--children must be >= 1")
+    seconds = 0.3 if args.smoke else 1.0
+
+    failures: list[str] = []
+    trace_id = new_trace_id()
+    agg, addr = serve_fleet(ttl_s=60.0)
+    procs: list[subprocess.Popen[str]] = []
+    trace_paths = [f"fleet-child-{i}.trace.json" for i in range(args.children)]
+    try:
+        t0 = time.monotonic()
+        for i in range(args.children):
+            procs.append(
+                subprocess.Popen(
+                    [
+                        sys.executable, "-c", _CHILD,
+                        addr[0], str(addr[1]), f"child-{i}",
+                        trace_id, trace_paths[i], str(seconds),
+                    ],
+                    stdout=subprocess.PIPE,
+                    stderr=subprocess.PIPE,
+                    text=True,
+                )
+            )
+        for i, proc in enumerate(procs):
+            out, err = proc.communicate(timeout=120)
+            if proc.returncode != 0:
+                failures.append(f"child-{i} exited {proc.returncode}: {err.strip()}")
+            elif "pushed" not in out:
+                failures.append(f"child-{i} never pushed: {out.strip()}")
+        elapsed = time.monotonic() - t0
+
+        view = fetch_fleet(addr)
+        names = {inst["instance"] for inst in view["instances"]}
+        want = {f"child-{i}" for i in range(args.children)}
+        if names != want:
+            failures.append(f"merged view has instances {sorted(names)}, want {sorted(want)}")
+        prom = fetch_fleet(addr, fmt="prom")["text"]
+        for name in sorted(want):
+            if f'instance="{name}"' not in prom:
+                failures.append(f"exposition is missing instance {name!r}")
+        tx_lines = [
+            line for line in prom.splitlines()
+            if line.startswith("adoc_wire_bytes_total{")
+        ]
+        if len(tx_lines) != args.children or not all(
+            line.endswith(" 4096") for line in tx_lines
+        ):
+            failures.append(
+                "per-instance wire-bytes series were summed or lost: "
+                + repr(tx_lines)
+            )
+        with open(args.prom_out, "w", encoding="utf-8") as fh:
+            fh.write(prom)
+        print(f"wrote {args.prom_out} ({len(names)} instances, {elapsed:.2f}s)")
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.kill()
+        agg.close()
+
+    traces = []
+    for path in trace_paths:
+        try:
+            with open(path, encoding="utf-8") as fh:
+                traces.append(json.load(fh))
+        except OSError as exc:
+            failures.append(f"missing child trace {path}: {exc}")
+    if len(traces) == len(trace_paths):
+        merged = merge_chrome_traces(
+            traces, names=[f"child-{i}" for i in range(len(traces))]
+        )
+        pids = {
+            event["pid"]
+            for event in merged["traceEvents"]
+            if event.get("ph") != "M"
+        }
+        if pids != set(range(1, len(traces) + 1)):
+            failures.append(f"merged trace pids {sorted(pids)} not interleaved")
+        if not any(
+            event.get("args", {}).get("trace") == trace_id
+            for event in merged["traceEvents"]
+        ):
+            failures.append("shared trace id absent from merged trace events")
+        with open(args.trace_out, "w", encoding="utf-8") as fh:
+            json.dump(merged, fh)
+        print(
+            f"wrote {args.trace_out} "
+            f"({len(merged['traceEvents'])} events, {len(traces)} pids)"
+        )
+
+    for msg in failures:
+        print(f"SMOKE FAILURE: {msg}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

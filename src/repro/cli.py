@@ -18,6 +18,9 @@ Subcommands:
 
 ``adoc trace``
     Print a per-buffer adaptation trace for a simulated transfer.
+    ``adoc trace merge A.json B.json --out merged.json`` joins
+    per-process Chrome-trace exports into one cross-process timeline
+    (each input on its own pid, aligned on the shared wall clock).
 
 ``adoc lint [PATH...]``
     Run the adoclint static analyzer (concurrency + wire-protocol
@@ -41,7 +44,18 @@ Subcommands:
 ``adoc top``
     Live view of the adaptive pipeline: per-connection accounting, the
     level/queue timeline, and the reactor/pool gauges, refreshed every
-    ``--interval`` seconds while the demo transfers run.
+    ``--interval`` seconds while the demo transfers run.  On an ANSI
+    terminal each refresh clears and redraws in place.  ``--once``
+    prints a single snapshot, ``--json`` emits machine-readable
+    snapshots, and ``--fleet HOST:PORT`` renders the *fleet* view — the
+    merged per-instance metrics a fleet aggregator collected from many
+    pushing processes.
+
+``adoc fleet``
+    Run the fleet aggregator: processes push their metrics snapshots to
+    it (``repro.obs.fleet.MetricsPusher``) and ``adoc top --fleet`` /
+    ``adoc stats --fleet`` read the merged view back.  See
+    ``docs/OBSERVABILITY.md`` ("Fleet mode").
 
 The global ``--log-level`` flag turns on the library's stdlib logging
 (``repro`` namespace) at the chosen threshold; see
@@ -218,7 +232,58 @@ def _bench_all(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_trace(path: Path) -> dict:
+    """Load one trace file: Chrome ``trace_event`` JSON, or tracer JSONL
+    (replayed through an :class:`~repro.obs.tracer.EventTracer`)."""
+    import json
+
+    text = path.read_text()
+    try:
+        obj = json.loads(text)
+    except ValueError:
+        obj = None  # multi-line JSONL; replayed below
+    if isinstance(obj, dict) and "traceEvents" in obj:
+        return obj
+    from .obs.tracer import EventTracer
+
+    tracer = EventTracer(clock=lambda: 0.0)
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        event = json.loads(line)
+        tracer.record(
+            event["kind"],
+            event["name"],
+            ts=event["ts"],
+            dur=event.get("dur", 0.0),
+            thread=event.get("thread"),
+            **event.get("args", {}),
+        )
+    return tracer.to_chrome_trace(process_name=path.stem)
+
+
+def _cmd_trace_merge(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs.tracer import merge_chrome_traces
+
+    paths = [Path(f) for f in args.files]
+    merged = merge_chrome_traces(
+        [_load_trace(p) for p in paths],
+        names=[p.stem for p in paths],
+        align=not args.no_align,
+    )
+    Path(args.out).write_text(json.dumps(merged, indent=1) + "\n")
+    print(
+        f"merged {len(paths)} traces "
+        f"({len(merged['traceEvents'])} events) -> {args.out}"
+    )
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
+    if getattr(args, "trace_cmd", None) == "merge":
+        return _cmd_trace_merge(args)
     from .core.adaptation import LevelAdapter
     from .simulator import profile_by_name, simulate_adoc_message
     from .transport import ALL_PROFILES
@@ -353,6 +418,16 @@ def _serve_metric_lines(tele) -> list[str]:
 def _cmd_stats(args: argparse.Namespace) -> int:
     from .obs import Telemetry, set_active_telemetry
 
+    if args.fleet is not None:
+        import json
+
+        from .obs.fleet import fetch_fleet
+
+        if args.json:
+            print(json.dumps(fetch_fleet(args.fleet), indent=2, sort_keys=True))
+        else:
+            print(fetch_fleet(args.fleet, fmt="prom")["text"], end="")
+        return 0
     tele = Telemetry(enabled=True)
     set_active_telemetry(tele)
     try:
@@ -360,6 +435,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         _run_demo_reactor(tele)
     finally:
         set_active_telemetry(None)
+    tele.sync_trace_metrics()
     if args.trace_out:
         tele.tracer.write_chrome_trace(args.trace_out)
         print(f"wrote Chrome trace to {args.trace_out}", file=sys.stderr)
@@ -376,7 +452,84 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _ansi_clear() -> str:
+    """Clear-and-home escape when stdout is an ANSI terminal, else ''.
+
+    Redrawing in place (instead of scrolling a banner per refresh)
+    makes ``adoc top`` behave like ``top``; piped output keeps the
+    plain banner-per-refresh form so logs stay diffable.
+    """
+    import os
+
+    if sys.stdout.isatty() and os.environ.get("TERM", "") not in ("", "dumb"):
+        return "\x1b[2J\x1b[H"
+    return ""
+
+
+def _render_fleet(view: dict) -> str:
+    """The fleet table: one row per pushing instance plus a total row."""
+    instances = view.get("instances", [])
+    if not instances:
+        return "(no live instances)"
+    header = (
+        f"{'instance':<24} {'job':<12} {'lvl':>4} {'queue':>6} "
+        f"{'wire MB':>8} {'retry':>6} {'degr':>5} {'push':>5} {'age s':>6}"
+    )
+    lines = [header]
+    for inst in instances:
+        s = inst.get("summary", {})
+        lines.append(
+            f"{inst.get('instance', '?'):<24} {inst.get('job', '?'):<12} "
+            f"{s.get('level', 0):>4.0f} {s.get('queue', 0):>6.0f} "
+            f"{s.get('wire_bytes', 0) / 1e6:>8.2f} {s.get('retries', 0):>6.0f} "
+            f"{s.get('degraded', 0):>5.0f} {inst.get('pushes', 0):>5} "
+            f"{inst.get('age_s', 0):>6.1f}"
+        )
+    n = len(instances)
+
+    def total(key: str) -> float:
+        return sum(i.get("summary", {}).get(key, 0) for i in instances)
+
+    lines.append(
+        f"{f'TOTAL ({n})':<24} {'':<12} "
+        f"{total('level') / n:>4.1f} "
+        f"{max(i.get('summary', {}).get('queue', 0) for i in instances):>6.0f} "
+        f"{total('wire_bytes') / 1e6:>8.2f} {total('retries'):>6.0f} "
+        f"{total('degraded'):>5.0f} "
+        f"{sum(i.get('pushes', 0) for i in instances):>5} {'':>6}"
+    )
+    return "\n".join(lines)
+
+
+def _cmd_top_fleet(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs.fleet import fetch_fleet
+
+    host, port = args.fleet
+    iteration = 0
+    while True:
+        iteration += 1
+        view = fetch_fleet(args.fleet)
+        if args.json:
+            print(json.dumps(view, indent=2, sort_keys=True))
+        else:
+            clear = _ansi_clear()
+            if clear:
+                print(clear, end="")
+                print(f"== adoc top --fleet {host}:{port} (refresh {iteration}) ==")
+            else:
+                print(f"\n== adoc top --fleet {host}:{port} (refresh {iteration}) ==")
+            print(_render_fleet(view))
+        if args.once or (args.iterations and iteration >= args.iterations):
+            break
+        time.sleep(args.interval)
+    return 0
+
+
 def _cmd_top(args: argparse.Namespace) -> int:
+    if args.fleet is not None:
+        return _cmd_top_fleet(args)
     import threading
 
     from .obs import Telemetry, set_active_telemetry
@@ -401,29 +554,70 @@ def _cmd_top(args: argparse.Namespace) -> int:
         while True:
             iteration += 1
             time.sleep(args.interval)
-            print(f"\n== adoc top (refresh {iteration}) ==")
-            conns = tele.live_connections()
-            if not conns:
-                print("(no live connections)")
-            for name, owner in conns:
-                stats = getattr(owner, "stats", None)
-                if stats is not None:
-                    print(f"{name}: {stats.summary()}")
-            points = extract_timeline(tele.tracer)
-            if points:
-                print(render_timeline(points, table_rows=args.rows))
-            serve_lines = _serve_metric_lines(tele)
-            if serve_lines:
-                print("serve (reactor/pool):")
-                print("\n".join(serve_lines))
+            if args.json:
+                import json
+
+                tele.sync_trace_metrics()
+                print(json.dumps(
+                    {
+                        "refresh": iteration,
+                        "digest": tele.digest(),
+                        "metrics": tele.metrics.to_json(),
+                    },
+                    sort_keys=True,
+                ))
+            else:
+                clear = _ansi_clear()
+                if clear:
+                    print(clear, end="")
+                    print(f"== adoc top (refresh {iteration}) ==")
+                else:
+                    print(f"\n== adoc top (refresh {iteration}) ==")
+                conns = tele.live_connections()
+                if not conns:
+                    print("(no live connections)")
+                for name, owner in conns:
+                    stats = getattr(owner, "stats", None)
+                    if stats is not None:
+                        print(f"{name}: {stats.summary()}")
+                points = extract_timeline(tele.tracer)
+                if points:
+                    print(render_timeline(points, table_rows=args.rows))
+                serve_lines = _serve_metric_lines(tele)
+                if serve_lines:
+                    print("serve (reactor/pool):")
+                    print("\n".join(serve_lines))
             finished = done.is_set()
-            if args.iterations and iteration >= args.iterations:
+            if args.once or (args.iterations and iteration >= args.iterations):
                 break
             if finished and not args.iterations:
                 break
         worker.join(5.0)
     finally:
         set_active_telemetry(None)
+    return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from .obs.fleet import DEFAULT_FLEET_PORT, serve_fleet
+
+    port = args.port if args.port is not None else DEFAULT_FLEET_PORT
+    aggregator, address = serve_fleet(host=args.host, port=port, ttl_s=args.ttl)
+    print(
+        f"fleet aggregator on {address[0]}:{address[1]} "
+        f"(ttl {args.ttl:g}s)",
+        flush=True,
+    )
+    try:
+        if args.duration > 0:
+            time.sleep(args.duration)
+        else:
+            while True:  # until Ctrl-C
+                time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        aggregator.close()
     return 0
 
 
@@ -459,6 +653,14 @@ def _cmd_check(args: argparse.Namespace) -> int:
     if args.lockgraph:
         argv += ["--lockgraph", args.lockgraph]
     return check_main(argv)
+
+
+def _hostport(value: str) -> tuple[str, int]:
+    """Parse a ``HOST:PORT`` argument (host defaults to loopback)."""
+    host, sep, port = value.rpartition(":")
+    if not sep or not port.isdigit():
+        raise argparse.ArgumentTypeError(f"expected HOST:PORT, got {value!r}")
+    return host or "127.0.0.1", int(port)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -502,6 +704,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_trace.add_argument("--size-mb", type=int, default=8)
     p_trace.add_argument("--seed", type=int, default=0)
+    t_sub = p_trace.add_subparsers(dest="trace_cmd")
+    p_tmerge = t_sub.add_parser(
+        "merge", help="join per-process Chrome traces into one timeline"
+    )
+    p_tmerge.add_argument("files", nargs="+",
+                          help="Chrome trace_event JSON or tracer JSONL files")
+    p_tmerge.add_argument("--out", default="merged-trace.json",
+                          help="output file (default: merged-trace.json)")
+    p_tmerge.add_argument("--no-align", action="store_true",
+                          help="keep each trace's private time zero instead "
+                               "of aligning on the shared wall clock")
 
     p_stats = sub.add_parser(
         "stats", help="run a traced demo transfer and print its metrics"
@@ -516,6 +729,10 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("ascii", "binary", "incompressible"),
     )
     p_stats.add_argument("--seed", type=int, default=0)
+    p_stats.add_argument("--fleet", type=_hostport, default=None,
+                         metavar="HOST:PORT",
+                         help="print a fleet aggregator's merged metrics "
+                              "instead of running the local demo")
 
     p_top = sub.add_parser(
         "top", help="live per-connection view of the adaptive pipeline"
@@ -535,6 +752,27 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("ascii", "binary", "incompressible"),
     )
     p_top.add_argument("--seed", type=int, default=0)
+    p_top.add_argument("--once", action="store_true",
+                       help="print one snapshot and exit")
+    p_top.add_argument("--json", action="store_true",
+                       help="machine-readable snapshots instead of tables")
+    p_top.add_argument("--fleet", type=_hostport, default=None,
+                       metavar="HOST:PORT",
+                       help="render a fleet aggregator's merged view "
+                            "instead of running the local demo")
+
+    p_fleet = sub.add_parser(
+        "fleet", help="run the fleet metrics aggregator"
+    )
+    p_fleet.add_argument("--host", default="127.0.0.1")
+    p_fleet.add_argument("--port", type=int, default=None,
+                         help="listen port (default: the fleet port, 9464)")
+    p_fleet.add_argument("--ttl", type=float, default=15.0,
+                         help="seconds without a push before an instance "
+                              "is expired (default: 15)")
+    p_fleet.add_argument("--duration", type=float, default=0.0,
+                         help="serve for N seconds then exit "
+                              "(default: until Ctrl-C)")
 
     p_lint = sub.add_parser("lint", help="run the adoclint static analyzer")
     p_lint.add_argument("paths", nargs="*",
@@ -590,6 +828,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "check": _cmd_check,
         "stats": _cmd_stats,
         "top": _cmd_top,
+        "fleet": _cmd_fleet,
     }
     return handlers[args.cmd](args)
 

@@ -20,6 +20,7 @@ import numpy as np
 from ..core.deadlines import Deadline, DeadlineExceeded, RetryPolicy
 from ..data.matrices import decode_matrix_ascii, encode_matrix_ascii
 from ..obs.telemetry import LATENCY_BUCKETS, active_telemetry
+from ..obs.tracer import new_span_id, new_trace_id
 from ..transport.base import TransportClosed, TransportTimeout
 from .agent import Agent
 from .communicator import Communicator, PlainCommunicator
@@ -148,11 +149,31 @@ class Client:
 
     def _call_once(self, service: str, args: list) -> CallResult:
         start = self.clock()
+        tele = active_telemetry()
+        trace_id: str | None = None
+        span_id: str | None = None
+        prev_trace: str | None = None
+        if tele.enabled:
+            # Propagate the thread's current trace (or start one) so the
+            # server's events join this call in `adoc trace merge`.
+            trace_id = tele.tracer.current_trace() or new_trace_id()
+            span_id = new_span_id()
+            prev_trace = tele.tracer.set_trace(trace_id)
+            tele.event("rpc", service, side="client", span=span_id)
         endpoint = self.agent.connect(service)
         comm: Communicator = self.communicator_factory(endpoint)
         try:
             payload = sum(arg_length(a) for a in args)
-            write_message(comm, RpcMessage(MsgType.REQUEST, service, args))
+            write_message(
+                comm,
+                RpcMessage(
+                    MsgType.REQUEST,
+                    service,
+                    args,
+                    trace_id=trace_id,
+                    span_id=span_id,
+                ),
+            )
             wire = comm.bytes_written
             reply = read_message(comm)
             if reply is None:
@@ -161,7 +182,6 @@ class Client:
                 detail = reply.args[0].decode("utf-8") if reply.args else "unknown"
                 raise RpcError(f"remote {service!r} failed: {detail}")
             result = CallResult(reply.args, self.clock() - start, wire, payload)
-            tele = active_telemetry()
             if tele.enabled:
                 tele.metrics.histogram(
                     "adoc_rpc_latency_seconds",
@@ -171,6 +191,8 @@ class Client:
                 ).observe(result.elapsed_s, side="client", service=service)
             return result
         finally:
+            if tele.enabled:
+                tele.tracer.set_trace(prev_trace)
             comm.close()
 
     def call(self, service: str, *matrices: np.ndarray) -> np.ndarray:

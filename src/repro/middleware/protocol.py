@@ -19,6 +19,14 @@ Message layout (big-endian)::
       length 8
       bytes
 
+A message carrying trace context (``RpcMessage.trace_id`` set) uses the
+*traced* header instead — magic ``b"NT"``, then a wire version byte,
+then the usual type/status, then 16 trace-id + 8 span-id bytes — and
+continues identically from the name field.  Messages without trace
+context stay byte-identical to the legacy layout (golden-tested), so a
+traced client interoperates with any peer on a message-by-message
+basis and tracing costs nothing when disabled.
+
 Each argument is written with its own ``write`` call, which is what
 lets AdOC compress large matrix payloads independently while tiny
 headers take the small-message fast path — the same traffic pattern the
@@ -42,12 +50,23 @@ __all__ = [
     "MessageAssembler",
     "RpcError",
     "ConnectionLost",
+    "TRACE_WIRE_VERSION",
 ]
 
 _MAGIC = b"NS"
 _HDR = struct.Struct(">2sBB")
 _U16 = struct.Struct(">H")
 _U64 = struct.Struct(">Q")
+
+#: Traced-header wire version; bumped if the trace field layout changes.
+TRACE_WIRE_VERSION = 1
+
+_TMAGIC = b"NT"
+#: magic, version, type, status, 16-byte trace id, 8-byte span id.
+_THDR = struct.Struct(">2sBBB16s8s")
+
+#: All-zero span id on the wire means "no span" (trace id only).
+_NO_SPAN = b"\x00" * 8
 
 
 class MsgType:
@@ -85,6 +104,10 @@ class RpcMessage:
     name: str
     args: list[bytes | BinaryIO] = field(default_factory=list)
     status: int = 0
+    #: Optional trace context (lowercase hex: 32 chars / 16 chars).
+    #: ``None`` keeps the legacy header — byte-identical wire.
+    trace_id: str | None = None
+    span_id: str | None = None
 
 
 def arg_length(arg: bytes | BinaryIO) -> int:
@@ -100,19 +123,46 @@ def arg_length(arg: bytes | BinaryIO) -> int:
     return len(arg)  # type: ignore[arg-type]
 
 
+def _trace_bytes(value: str | None, size: int, what: str) -> bytes:
+    if value is None:
+        return b"\x00" * size
+    try:
+        raw = bytes.fromhex(value)
+    except ValueError:
+        raise RpcError(f"{what} must be hex, got {value!r}")
+    if len(raw) != size:
+        raise RpcError(
+            f"{what} must be {size * 2} hex chars, got {len(value)}"
+        )
+    return raw
+
+
+def _pack_header(msg: RpcMessage) -> bytes:
+    """The fixed header + name + nargs prefix (legacy or traced form)."""
+    name_b = msg.name.encode("utf-8")
+    tail = _U16.pack(len(name_b)) + name_b + _U16.pack(len(msg.args))
+    if msg.trace_id is None:
+        return _HDR.pack(_MAGIC, msg.type, msg.status) + tail
+    return (
+        _THDR.pack(
+            _TMAGIC,
+            TRACE_WIRE_VERSION,
+            msg.type,
+            msg.status,
+            _trace_bytes(msg.trace_id, 16, "trace_id"),
+            _trace_bytes(msg.span_id, 8, "span_id"),
+        )
+        + tail
+    )
+
+
 def write_message(comm, msg: RpcMessage) -> int:
     """Marshal ``msg`` through ``comm``; returns payload bytes written.
 
     The header and each argument go through separate ``write`` calls
     (see module docstring); file-object arguments are streamed.
     """
-    name_b = msg.name.encode("utf-8")
-    header = (
-        _HDR.pack(_MAGIC, msg.type, msg.status)
-        + _U16.pack(len(name_b))
-        + name_b
-        + _U16.pack(len(msg.args))
-    )
+    header = _pack_header(msg)
     comm.write(header)
     total = len(header)
     for arg in msg.args:
@@ -143,13 +193,7 @@ def iter_message_segments(msg: RpcMessage):
     supported (the readiness-driven path has no blocking stream to pull
     a file through; marshal files via the blocking engine).
     """
-    name_b = msg.name.encode("utf-8")
-    yield (
-        _HDR.pack(_MAGIC, msg.type, msg.status)
-        + _U16.pack(len(name_b))
-        + name_b
-        + _U16.pack(len(msg.args))
-    )
+    yield _pack_header(msg)
     for arg in msg.args:
         if hasattr(arg, "read"):
             raise RpcError(
@@ -199,6 +243,8 @@ class MessageAssembler:
         self._state = _A_HEADER
         self._type = 0
         self._status = 0
+        self._trace_id: str | None = None
+        self._span_id: str | None = None
         self._name = ""
         self._name_len = 0
         self._nargs = 0
@@ -224,13 +270,34 @@ class MessageAssembler:
 
     def _step(self) -> bool:
         if self._state == _A_HEADER:
-            raw = self._take(_HDR.size + _U16.size)
+            # Peek the magic to know which header size to wait for; the
+            # two forms interleave freely on one connection.
+            if len(self._buf) - self._pos < len(_TMAGIC):
+                return False
+            traced = (
+                bytes(self._buf[self._pos : self._pos + len(_TMAGIC)]) == _TMAGIC
+            )
+            hdr = _THDR if traced else _HDR
+            raw = self._take(hdr.size + _U16.size)
             if raw is None:
                 return False
-            magic, self._type, self._status = _HDR.unpack(raw[: _HDR.size])
-            if magic != _MAGIC:
-                raise RpcError(f"bad RPC magic {magic!r}")
-            (self._name_len,) = _U16.unpack(raw[_HDR.size :])
+            if traced:
+                (magic, version, self._type, self._status, trace_raw, span_raw) = (
+                    _THDR.unpack(raw[: _THDR.size])
+                )
+                if version != TRACE_WIRE_VERSION:
+                    raise RpcError(
+                        f"unsupported traced-header version {version}"
+                    )
+                self._trace_id = trace_raw.hex()
+                self._span_id = None if span_raw == _NO_SPAN else span_raw.hex()
+            else:
+                magic, self._type, self._status = _HDR.unpack(raw[: _HDR.size])
+                if magic != _MAGIC:
+                    raise RpcError(f"bad RPC magic {magic!r}")
+                self._trace_id = None
+                self._span_id = None
+            (self._name_len,) = _U16.unpack(raw[hdr.size :])
             self._state = _A_NAME
         elif self._state == _A_NAME:
             raw = self._take(self._name_len)
@@ -271,7 +338,14 @@ class MessageAssembler:
         return True
 
     def _emit(self) -> None:
-        msg = RpcMessage(self._type, self._name, self._args, self._status)
+        msg = RpcMessage(
+            self._type,
+            self._name,
+            self._args,
+            self._status,
+            trace_id=self._trace_id,
+            span_id=self._span_id,
+        )
         self.messages += 1
         self._args = []
         self.on_message(msg)
@@ -302,9 +376,21 @@ def read_message(comm) -> RpcMessage | None:
         return None
     if len(first) < _HDR.size:
         raise ConnectionLost("truncated RPC header")
-    magic, mtype, status = _HDR.unpack(first)
-    if magic != _MAGIC:
-        raise RpcError(f"bad RPC magic {magic!r}")
+    trace_id: str | None = None
+    span_id: str | None = None
+    if first[:2] == _TMAGIC:
+        rest = need(_THDR.size - _HDR.size)
+        magic, version, mtype, status, trace_raw, span_raw = _THDR.unpack(
+            first + rest
+        )
+        if version != TRACE_WIRE_VERSION:
+            raise RpcError(f"unsupported traced-header version {version}")
+        trace_id = trace_raw.hex()
+        span_id = None if span_raw == _NO_SPAN else span_raw.hex()
+    else:
+        magic, mtype, status = _HDR.unpack(first)
+        if magic != _MAGIC:
+            raise RpcError(f"bad RPC magic {magic!r}")
     (name_len,) = _U16.unpack(need(_U16.size))
     name = need(name_len).decode("utf-8")
     (nargs,) = _U16.unpack(need(_U16.size))
@@ -312,4 +398,4 @@ def read_message(comm) -> RpcMessage | None:
     for _ in range(nargs):
         (alen,) = _U64.unpack(need(_U64.size))
         args.append(need(alen) if alen else b"")
-    return RpcMessage(mtype, name, args, status)
+    return RpcMessage(mtype, name, args, status, trace_id=trace_id, span_id=span_id)

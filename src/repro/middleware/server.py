@@ -193,27 +193,62 @@ class Server:
         self.stats.begin()
         failed = False
         t0 = time.monotonic()
+        tele = active_telemetry()
+        adopted = tele.enabled and msg.trace_id is not None
+        if adopted:
+            # Adopt the caller's trace for the duration of the request:
+            # every event this thread records joins the caller's
+            # timeline in `adoc trace merge`.
+            prev_trace = tele.tracer.set_trace(msg.trace_id)
+            tele.event("rpc", msg.name, side="server", span=msg.span_id)
         try:
             service = self.registry.lookup(msg.name)
             results = service(msg.args)
             write_message(
-                comm, RpcMessage(MsgType.RESPONSE, msg.name, results, status=0)
+                comm,
+                RpcMessage(
+                    MsgType.RESPONSE,
+                    msg.name,
+                    results,
+                    status=0,
+                    trace_id=msg.trace_id,
+                    span_id=msg.span_id,
+                ),
             )
         except Exception as exc:  # noqa: BLE001 - converted to RPC error
             failed = True
             detail = "".join(
                 traceback.format_exception_only(type(exc), exc)
             ).strip()
-            self._reply_error(comm, msg.name, detail)
+            self._reply_error(
+                comm, msg.name, detail,
+                trace_id=msg.trace_id, span_id=msg.span_id,
+            )
         finally:
+            if adopted:
+                tele.tracer.set_trace(prev_trace)
             self.stats.end(failed)
-            _observe_rpc(active_telemetry(), msg.name, failed, t0)
+            _observe_rpc(tele, msg.name, failed, t0)
 
-    def _reply_error(self, comm: Communicator, name: str, detail: str) -> None:
+    def _reply_error(
+        self,
+        comm: Communicator,
+        name: str,
+        detail: str,
+        trace_id: str | None = None,
+        span_id: str | None = None,
+    ) -> None:
         try:
             write_message(
                 comm,
-                RpcMessage(MsgType.ERROR, name, [detail.encode("utf-8")], status=1),
+                RpcMessage(
+                    MsgType.ERROR,
+                    name,
+                    [detail.encode("utf-8")],
+                    status=1,
+                    trace_id=trace_id,
+                    span_id=span_id,
+                ),
             )
         except TransportClosed:
             pass
@@ -413,21 +448,40 @@ class ReactorRpcServer:
         self.stats.begin()
         failed = False
         t0 = time.monotonic()
+        tele = self._server.telemetry
+        adopted = tele.enabled and msg.trace_id is not None
+        if adopted:
+            prev_trace = tele.tracer.set_trace(msg.trace_id)
+            tele.event("rpc", msg.name, side="server", span=msg.span_id)
         try:
             service = self.registry.lookup(msg.name)
             results = service(msg.args)
-            reply = RpcMessage(MsgType.RESPONSE, msg.name, results, status=0)
+            reply = RpcMessage(
+                MsgType.RESPONSE,
+                msg.name,
+                results,
+                status=0,
+                trace_id=msg.trace_id,
+                span_id=msg.span_id,
+            )
         except Exception as exc:  # noqa: BLE001 - converted to RPC error
             failed = True
             detail = "".join(
                 traceback.format_exception_only(type(exc), exc)
             ).strip()
             reply = RpcMessage(
-                MsgType.ERROR, msg.name, [detail.encode("utf-8")], status=1
+                MsgType.ERROR,
+                msg.name,
+                [detail.encode("utf-8")],
+                status=1,
+                trace_id=msg.trace_id,
+                span_id=msg.span_id,
             )
         finally:
+            if adopted:
+                tele.tracer.set_trace(prev_trace)
             self.stats.end(failed)
-            _observe_rpc(self._server.telemetry, msg.name, failed, t0)
+            _observe_rpc(tele, msg.name, failed, t0)
         return reply
 
     def close(self, join_timeout: float = 10.0) -> None:

@@ -14,7 +14,12 @@ observable end to end:
   extracted from any traced transfer;
 * :mod:`repro.obs.telemetry` — the :class:`Telemetry` handle threading
   all of it through the stack, zero-cost when disabled, enabled
-  process-wide with ``REPRO_TRACE=1``.
+  process-wide with ``REPRO_TRACE=1``;
+* :mod:`repro.obs.fleet` — push-mode exposition and cross-process
+  aggregation: a :class:`~repro.obs.fleet.MetricsPusher` per process, a
+  reactor-hosted :func:`~repro.obs.fleet.serve_fleet` aggregator, and
+  the merged view behind ``adoc top --fleet`` (imported lazily; pull it
+  in as ``from repro.obs import fleet``).
 
 See ``docs/OBSERVABILITY.md`` for the event schema, metric names and
 exporter formats; ``adoc stats`` and ``adoc top`` surface this at the
@@ -30,8 +35,15 @@ from .telemetry import (
     set_active_telemetry,
     telemetry_enabled_by_env,
 )
+from .metrics import expose_snapshot, merge_snapshots
 from .timeline import TimelinePoint, extract_timeline, render_timeline
-from .tracer import EventTracer, TraceEvent
+from .tracer import (
+    EventTracer,
+    TraceEvent,
+    merge_chrome_traces,
+    new_span_id,
+    new_trace_id,
+)
 
 __all__ = [
     "Counter",
@@ -49,4 +61,9 @@ __all__ = [
     "TimelinePoint",
     "extract_timeline",
     "render_timeline",
+    "expose_snapshot",
+    "merge_snapshots",
+    "merge_chrome_traces",
+    "new_trace_id",
+    "new_span_id",
 ]

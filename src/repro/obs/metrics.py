@@ -34,6 +34,8 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "DEFAULT_BUCKETS",
+    "expose_snapshot",
+    "merge_snapshots",
 ]
 
 #: Default histogram buckets: latency-flavoured seconds plus enough
@@ -54,10 +56,24 @@ def _label_key(labelnames: tuple[str, ...], labels: dict[str, str]) -> _LabelKey
     return tuple((name, str(labels[name])) for name in labelnames)
 
 
+def _escape_label_value(value: str) -> str:
+    """Prometheus text-format label escaping: ``\\``, ``\"``, newline.
+
+    Label values come from the wild — hostnames, file paths, error
+    strings — and an unescaped quote or newline would corrupt the whole
+    exposition, not just one line.
+    """
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def _render_labels(key: _LabelKey) -> str:
     if not key:
         return ""
-    inner = ",".join(f'{name}="{value}"' for name, value in key)
+    inner = ",".join(
+        f'{name}="{_escape_label_value(value)}"' for name, value in key
+    )
     return "{" + inner + "}"
 
 
@@ -345,38 +361,7 @@ class MetricsRegistry:
 
     def expose(self) -> str:
         """Prometheus text exposition format (version 0.0.4)."""
-        lines: list[str] = []
-        for metric in self._all():
-            if metric.help:
-                lines.append(f"# HELP {metric.name} {metric.help}")
-            lines.append(f"# TYPE {metric.name} {metric.kind}")
-            for key, value in metric._snapshot():
-                if isinstance(value, _HistogramSnapshot):
-                    cumulative = 0
-                    for bound, n in zip(value.buckets, value.counts):
-                        cumulative += n
-                        bucket_key = key + (("le", _format_float(bound)),)
-                        lines.append(
-                            f"{metric.name}_bucket{_render_labels(bucket_key)} "
-                            f"{cumulative}"
-                        )
-                    cumulative += value.counts[-1]
-                    inf_key = key + (("le", "+Inf"),)
-                    lines.append(
-                        f"{metric.name}_bucket{_render_labels(inf_key)} {cumulative}"
-                    )
-                    lines.append(
-                        f"{metric.name}_sum{_render_labels(key)} "
-                        f"{_format_float(value.total)}"
-                    )
-                    lines.append(
-                        f"{metric.name}_count{_render_labels(key)} {value.count}"
-                    )
-                else:
-                    lines.append(
-                        f"{metric.name}{_render_labels(key)} {_format_float(value)}"
-                    )
-        return "\n".join(lines) + ("\n" if lines else "")
+        return expose_snapshot(self.to_json())
 
     def to_json(self) -> dict:
         """Plain-data export (what ``adoc stats --json`` prints)."""
@@ -417,3 +402,96 @@ def _format_float(value: float) -> str:
     if float(value).is_integer():
         return str(int(value))
     return repr(float(value))
+
+
+# -- snapshot-level exposition (fleet aggregation) ---------------------------
+#
+# A registry snapshot (the ``to_json()`` shape) is the unit that crosses
+# the fleet wire: plain data, so an aggregator can merge snapshots from
+# many processes and render the result without reconstructing metric
+# objects.  ``expose_snapshot`` is the one Prometheus-text renderer —
+# ``MetricsRegistry.expose`` delegates to it, so local and merged
+# exposition can never drift apart.
+
+
+def expose_snapshot(
+    snapshot: dict, extra_labels: dict[str, str] | None = None
+) -> str:
+    """Render a ``to_json()``-shaped snapshot as Prometheus text.
+
+    ``extra_labels`` are appended to every series (overriding same-named
+    labels in place) — the aggregator uses this to stamp ``job`` and
+    ``instance`` onto re-exposed fleet series.
+    """
+    extra = dict(extra_labels) if extra_labels else {}
+    lines: list[str] = []
+    for name in sorted(snapshot):
+        info = snapshot[name]
+        if info.get("help"):
+            # HELP escaping: backslash and newline (quotes stay raw here,
+            # per the Prometheus text-format spec).
+            help_text = str(info["help"]).replace("\\", "\\\\").replace("\n", "\\n")
+            lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {info.get('type', 'untyped')}")
+        keyed = []
+        for entry in info.get("series", ()):
+            labels = dict(entry.get("labels", {}))
+            labels.update(extra)
+            keyed.append((tuple(labels.items()), entry))
+        for key, entry in sorted(keyed):
+            if "value" in entry:
+                lines.append(
+                    f"{name}{_render_labels(key)} {_format_float(entry['value'])}"
+                )
+                continue
+            cumulative = 0
+            for edge, n in entry.get("buckets", {}).items():
+                cumulative += n
+                bucket_key = key + (("le", edge),)
+                lines.append(
+                    f"{name}_bucket{_render_labels(bucket_key)} {cumulative}"
+                )
+            cumulative += entry.get("inf", 0)
+            inf_key = key + (("le", "+Inf"),)
+            lines.append(f"{name}_bucket{_render_labels(inf_key)} {cumulative}")
+            lines.append(
+                f"{name}_sum{_render_labels(key)} {_format_float(entry['sum'])}"
+            )
+            lines.append(f"{name}_count{_render_labels(key)} {entry['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def merge_snapshots(
+    tagged: list[tuple[dict[str, str], dict]],
+) -> dict:
+    """Merge per-process snapshots into one, stamping identity labels.
+
+    ``tagged`` is ``[(extra_labels, snapshot), ...]`` — typically
+    ``({"job": ..., "instance": ...}, registry.to_json())`` per process.
+    Series keep their per-process identity (no cross-instance summing:
+    counters from different processes are different time series, exactly
+    as a Prometheus federation would scrape them).  A metric registered
+    with different types across instances keeps the first type seen and
+    drops the clashing series rather than emitting a corrupt exposition.
+    """
+    merged: dict[str, dict] = {}
+    for extra, snapshot in tagged:
+        extra = dict(extra)
+        for name in sorted(snapshot):
+            info = snapshot[name]
+            kind = info.get("type", "untyped")
+            slot = merged.get(name)
+            if slot is None:
+                slot = {"type": kind, "help": info.get("help", ""), "series": []}
+                merged[name] = slot
+            elif slot["type"] != kind:
+                continue
+            if not slot["help"] and info.get("help"):
+                slot["help"] = info["help"]
+            for entry in info.get("series", ()):
+                entry = dict(entry)
+                labels = dict(entry.get("labels", {}))
+                labels.update(extra)
+                entry["labels"] = labels
+                slot["series"].append(entry)
+    return merged

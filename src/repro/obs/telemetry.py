@@ -107,6 +107,8 @@ class Telemetry:
         )
         self._conn_names: dict[int, str] = {}
         self._next_conn = 0
+        self._trace_sync_lock = make_lock("Telemetry.trace_sync")
+        self._trace_dropped_synced = 0
 
     # -- recording shims (safe to call unconditionally per message) ---------
 
@@ -129,6 +131,31 @@ class Telemetry:
         if buckets is None:
             return self.metrics.histogram(name, help_text, labelnames)
         return self.metrics.histogram(name, help_text, labelnames, buckets)
+
+    def sync_trace_metrics(self) -> None:
+        """Fold tracer-ring counters into the metrics registry.
+
+        The ring's ``dropped`` count lives on the tracer; fleet
+        dashboards only see the registry, so callers about to expose or
+        push a snapshot (the pusher does, ``adoc stats`` does) sync the
+        delta into ``repro_trace_dropped_total`` first.  Idempotent and
+        monotonic: each drop is counted once, and a ``tracer.clear()``
+        resets the baseline without ever decrementing the counter.
+        """
+        if not self.enabled:
+            return
+        dropped = self.tracer.dropped
+        with self._trace_sync_lock:
+            delta = dropped - self._trace_dropped_synced
+            if delta < 0:  # ring was clear()ed; restart the baseline
+                delta = dropped
+            self._trace_dropped_synced = dropped
+        # inc(0) still materializes the series, so dashboards see the
+        # metric (at zero) even while the ring is lossless.
+        self.metrics.counter(
+            "repro_trace_dropped_total",
+            "trace events evicted from the bounded ring",
+        ).inc(max(delta, 0))
 
     # -- live connection registry (adoc top) --------------------------------
 

@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import io
 import json
+import os
 import threading
 import time
 from collections import deque
@@ -47,7 +48,24 @@ from typing import Callable, Iterable, Mapping
 
 from ..analysis.lockgraph import make_lock
 
-__all__ = ["TraceEvent", "EventTracer", "SpanTimer"]
+__all__ = [
+    "TraceEvent",
+    "EventTracer",
+    "SpanTimer",
+    "new_trace_id",
+    "new_span_id",
+    "merge_chrome_traces",
+]
+
+
+def new_trace_id() -> str:
+    """A fresh 128-bit trace id as 32 lowercase hex chars (W3C-sized)."""
+    return os.urandom(16).hex()
+
+
+def new_span_id() -> str:
+    """A fresh 64-bit span id as 16 lowercase hex chars."""
+    return os.urandom(8).hex()
 
 
 @dataclass(frozen=True)
@@ -116,15 +134,43 @@ class EventTracer:
         self,
         capacity: int = 65536,
         clock: Callable[[], float] = time.monotonic,
+        wall_base: float | None = None,
     ) -> None:
         if capacity <= 0:
             raise ValueError("tracer capacity must be positive")
         self.capacity = capacity
         self.clock = clock
+        # Epoch seconds at clock() == 0, so exported timestamps can be
+        # placed on a shared wall-clock axis when traces from several
+        # processes are merged.  Only derivable for the real monotonic
+        # clock; injected test clocks leave it None (and the export
+        # deterministic).
+        if wall_base is None and clock is time.monotonic:
+            wall_base = time.time() - time.monotonic()
+        self.wall_base = wall_base
         self._lock = make_lock("EventTracer.lock")
+        self._tls = threading.local()
         self._events: deque[TraceEvent] = deque(maxlen=capacity)
         self.dropped = 0
         self.recorded = 0
+
+    # -- trace context ------------------------------------------------------
+
+    def set_trace(self, trace_id: str | None) -> str | None:
+        """Set this thread's current trace id; returns the previous one.
+
+        While set, every event this thread records carries a
+        ``trace=<id>`` arg — the join key ``adoc trace merge`` uses to
+        line up work across processes.  Callers restore the returned
+        previous value when their scope ends (RPC handlers do).
+        """
+        previous = getattr(self._tls, "trace", None)
+        self._tls.trace = trace_id
+        return previous
+
+    def current_trace(self) -> str | None:
+        """This thread's current trace id, or ``None``."""
+        return getattr(self._tls, "trace", None)
 
     # -- recording ----------------------------------------------------------
 
@@ -137,6 +183,9 @@ class EventTracer:
         thread: str | None = None,
         **args: object,
     ) -> None:
+        trace = getattr(self._tls, "trace", None)
+        if trace is not None and "trace" not in args:
+            args["trace"] = trace
         event = TraceEvent(
             ts=self.clock() if ts is None else ts,
             kind=kind,
@@ -237,7 +286,15 @@ class EventTracer:
             if event.args:
                 entry["args"] = dict(event.args)
             out.append(entry)
-        meta = {"dropped_events": self.dropped, "recorded_events": self.recorded}
+        meta: dict[str, object] = {
+            "dropped_events": self.dropped,
+            "recorded_events": self.recorded,
+        }
+        if self.wall_base is not None:
+            # Epoch seconds of the rebased zero: merge_chrome_traces
+            # shifts each trace by the difference of these bases to put
+            # every process on one wall-clock axis.
+            meta["epoch_base"] = self.wall_base + base
         return {"traceEvents": out, "otherData": meta}
 
     def write_chrome_trace(self, path: str, process_name: str = "adoc") -> None:
@@ -246,12 +303,57 @@ class EventTracer:
             f.write("\n")
 
 
-def merge_chrome_traces(traces: Iterable[dict]) -> dict:  # pragma: no cover - helper
-    """Concatenate several exported traces into one (multi-run views)."""
+def merge_chrome_traces(
+    traces: Iterable[dict],
+    names: list[str] | None = None,
+    align: bool = True,
+) -> dict:
+    """Join per-process Chrome-trace exports into one timeline.
+
+    Each input keeps its events but moves to its own ``pid`` (1-based
+    input order), so Perfetto / ``chrome://tracing`` render the
+    processes as separate labelled groups.  When every input carries an
+    ``otherData.epoch_base`` (exported by :meth:`EventTracer.to_chrome_trace`
+    under the real clock) and ``align`` is true, timestamps are shifted
+    onto the shared wall-clock axis — cross-process ordering in the
+    merged view matches reality, not each trace's private zero.
+
+    ``names`` overrides (or supplies) the per-process ``process_name``
+    metadata, one entry per input — ``adoc trace merge`` passes the
+    source file stems.
+    """
+    inputs = list(traces)
+    if names is not None and len(names) != len(inputs):
+        raise ValueError("names must have one entry per trace")
+    bases = [
+        trace.get("otherData", {}).get("epoch_base") for trace in inputs
+    ]
+    do_align = (
+        align
+        and bool(inputs)
+        and all(isinstance(b, (int, float)) for b in bases)
+    )
+    zero = min(bases) if do_align else 0.0
     events: list[dict] = []
-    for i, trace in enumerate(traces):
+    for i, trace in enumerate(inputs):
+        pid = i + 1
+        shift_us = (bases[i] - zero) * 1e6 if do_align else 0.0
+        if names is not None:
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": names[i]},
+                }
+            )
         for event in trace.get("traceEvents", []):
+            if names is not None and event.get("name") == "process_name":
+                continue  # replaced above
             event = dict(event)
-            event["pid"] = i + 1
+            event["pid"] = pid
+            if shift_us and event.get("ph") != "M":
+                event["ts"] = round(event.get("ts", 0.0) + shift_us, 3)
             events.append(event)
     return {"traceEvents": events}

@@ -16,7 +16,14 @@ from .pipeline import (
     simulate_adoc_message,
     simulate_posix_message,
 )
-from .runner import SweepPoint, pingpong_latency, sweep, transfer_bandwidth
+from .runner import (
+    SweepPoint,
+    flow_snapshot,
+    pingpong_latency,
+    simulate_fleet,
+    sweep,
+    transfer_bandwidth,
+)
 
 __all__ = [
     "Environment",
@@ -37,5 +44,7 @@ __all__ = [
     "transfer_bandwidth",
     "sweep",
     "pingpong_latency",
+    "simulate_fleet",
+    "flow_snapshot",
     "SweepPoint",
 ]

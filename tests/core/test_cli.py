@@ -136,3 +136,158 @@ class TestBenchAll:
             "fig8.csv", "fig9.csv",
         }
         assert (tmp_path / "fig5.csv").read_text().startswith("size_bytes,")
+
+
+class TestTraceMerge:
+    def make_chrome_trace(self, path: Path, name: str, epoch: float) -> None:
+        import json
+
+        trace = {
+            "traceEvents": [
+                {"name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+                 "args": {"name": name}},
+                {"name": f"{name}-work", "cat": "span", "ph": "X", "pid": 1,
+                 "tid": 1, "ts": 0.0, "dur": 100.0},
+            ],
+            "otherData": {"epoch_base": epoch},
+        }
+        path.write_text(json.dumps(trace))
+
+    def test_merge_interleaves_processes(self, tmp_path: Path, capsys):
+        import json
+
+        a, b, c = (tmp_path / f"p{i}.json" for i in range(3))
+        self.make_chrome_trace(a, "alpha", 10.0)
+        self.make_chrome_trace(b, "beta", 10.0005)
+        self.make_chrome_trace(c, "gamma", 10.001)
+        out = tmp_path / "merged.json"
+        assert main(
+            ["trace", "merge", str(a), str(b), str(c), "--out", str(out)]
+        ) == 0
+        assert "merged 3 traces" in capsys.readouterr().out
+        merged = json.loads(out.read_text())
+        events = merged["traceEvents"]
+        pids = {e["pid"] for e in events}
+        assert pids == {1, 2, 3}
+        # process_name metadata replaced by the file stems.
+        names = {
+            e["pid"]: e["args"]["name"]
+            for e in events
+            if e.get("name") == "process_name"
+        }
+        assert names == {1: "p0", 2: "p1", 3: "p2"}
+        # Wall-clock alignment: later epochs shift right (us).
+        spans = sorted(
+            (e["pid"], e["ts"]) for e in events if e["ph"] == "X"
+        )
+        assert spans == [(1, 0.0), (2, 500.0), (3, 1000.0)]
+
+    def test_merge_accepts_tracer_jsonl(self, tmp_path: Path, capsys):
+        import json
+
+        from repro.obs.tracer import EventTracer
+
+        tracer = EventTracer(capacity=8, clock=lambda: 1.0)
+        tracer.record("buffer", "done", ts=1.0)
+        jsonl = tmp_path / "proc.jsonl"
+        jsonl.write_text(tracer.to_jsonl())
+        out = tmp_path / "merged.json"
+        assert main(["trace", "merge", str(jsonl), "--out", str(out)]) == 0
+        merged = json.loads(out.read_text())
+        assert any(
+            e.get("name") == "done" for e in merged["traceEvents"]
+        )
+
+    def test_plain_trace_still_works_after_subparser(self, capsys):
+        assert main(["trace", "--network", "gbit", "--size-mb", "1"]) == 0
+        assert "ratio" in capsys.readouterr().out
+
+
+class TestTopFlags:
+    def test_top_once_prints_single_snapshot(self, capsys):
+        assert main(
+            ["top", "--once", "--interval", "0.2", "--size-mb", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert out.count("== adoc top (refresh") == 1
+
+    def test_top_json_emits_machine_readable_snapshots(self, capsys):
+        import json
+
+        assert main(
+            ["top", "--once", "--json", "--interval", "0.2", "--size-mb", "1"]
+        ) == 0
+        line = capsys.readouterr().out.strip().splitlines()[0]
+        snap = json.loads(line)
+        assert snap["refresh"] == 1
+        assert "metrics" in snap and "digest" in snap
+        assert "repro_trace_dropped_total" in snap["metrics"]
+
+    def test_non_tty_output_has_no_ansi_escapes(self, capsys):
+        assert main(["top", "--once", "--interval", "0.2", "--size-mb", "1"]) == 0
+        assert "\x1b[" not in capsys.readouterr().out
+
+
+class TestFleetCli:
+    def test_top_and_stats_fleet_render_live_instances(self, capsys):
+        import json
+
+        from repro.obs.fleet import push_once, serve_fleet
+        from repro.obs.metrics import MetricsRegistry
+
+        agg, addr = serve_fleet(ttl_s=30.0)
+        try:
+            for name in ("cli-a", "cli-b", "cli-c"):
+                reg = MetricsRegistry()
+                reg.counter(
+                    "adoc_wire_bytes_total", "", ("direction",)
+                ).inc(512, direction="tx")
+                push_once(addr, reg, job="clitest", instance=name)
+            target = f"{addr[0]}:{addr[1]}"
+            assert main(["top", "--fleet", target, "--once"]) == 0
+            out = capsys.readouterr().out
+            for name in ("cli-a", "cli-b", "cli-c"):
+                assert name in out
+            assert "TOTAL (3)" in out
+
+            assert main(["top", "--fleet", target, "--once", "--json"]) == 0
+            view = json.loads(capsys.readouterr().out)
+            assert len(view["instances"]) == 3
+
+            assert main(["stats", "--fleet", target]) == 0
+            prom = capsys.readouterr().out
+            assert 'instance="cli-a"' in prom
+        finally:
+            agg.close()
+
+    def test_fleet_command_serves_for_duration(self, capsys):
+        import re
+
+        from repro.obs.fleet import fetch_fleet
+
+        result = {}
+
+        def run() -> None:
+            result["rc"] = main(
+                ["fleet", "--port", "0", "--duration", "1.5", "--ttl", "5"]
+            )
+
+        t = threading.Thread(target=run, name="fleet-cli")
+        t.start()
+        deadline = time.monotonic() + 5.0
+        out = ""
+        while "aggregator on" not in out:
+            assert time.monotonic() < deadline
+            time.sleep(0.05)
+            out += capsys.readouterr().out
+        match = re.search(r"aggregator on ([\d.]+):(\d+)", out)
+        assert match, out
+        address = (match.group(1), int(match.group(2)))
+        assert fetch_fleet(address)["instances"] == []
+        t.join(10.0)
+        assert not t.is_alive()
+        assert result["rc"] == 0
+
+    def test_bad_hostport_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["top", "--fleet", "nonsense"])

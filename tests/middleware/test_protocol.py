@@ -127,3 +127,190 @@ def test_roundtrip_property(name, args):
     got = roundtrip(RpcMessage(MsgType.REQUEST, name, args))
     assert got.name == name
     assert got.args == args
+
+
+TRACE = "0123456789abcdef" * 2  # 32 hex chars / 16 bytes
+SPAN = "fedcba9876543210"      # 16 hex chars / 8 bytes
+
+
+class TestTracedHeader:
+    def test_traced_roundtrip(self):
+        got = roundtrip(
+            RpcMessage(
+                MsgType.REQUEST, "dgemm", [b"a", b"b"],
+                trace_id=TRACE, span_id=SPAN,
+            )
+        )
+        assert got.trace_id == TRACE
+        assert got.span_id == SPAN
+        assert got.name == "dgemm" and got.args == [b"a", b"b"]
+
+    def test_trace_without_span_roundtrips_as_none(self):
+        got = roundtrip(
+            RpcMessage(MsgType.RESPONSE, "x", [], trace_id=TRACE)
+        )
+        assert got.trace_id == TRACE
+        assert got.span_id is None
+
+    def test_legacy_messages_carry_no_trace(self):
+        got = roundtrip(RpcMessage(MsgType.REQUEST, "x", [b"y"]))
+        assert got.trace_id is None and got.span_id is None
+
+    def test_invalid_trace_hex_raises(self):
+        from repro.transport import pipe_pair as _pp
+
+        a, _b = _pp()
+        tx = PlainCommunicator(a)
+        with pytest.raises(RpcError, match="hex"):
+            write_message(
+                tx, RpcMessage(MsgType.REQUEST, "x", [], trace_id="zz" * 16)
+            )
+        with pytest.raises(RpcError, match="32 hex"):
+            write_message(
+                tx, RpcMessage(MsgType.REQUEST, "x", [], trace_id="abcd")
+            )
+        tx.close()
+
+    def test_unsupported_traced_version_raises(self):
+        a, b = pipe_pair()
+        wire = bytearray()
+
+        class Sink:
+            def write(self, data):
+                wire.extend(data)
+
+        write_message(
+            Sink(), RpcMessage(MsgType.REQUEST, "x", [], trace_id=TRACE)
+        )
+        wire[2] = 99  # the version byte after b"NT"
+        a.send(bytes(wire))
+        a.close()
+        with pytest.raises(RpcError, match="version"):
+            read_message(PlainCommunicator(b))
+
+
+class TestGoldenHeaderBytes:
+    """The two header forms are frozen byte layouts (wire compatibility)."""
+
+    @staticmethod
+    def capture(msg: RpcMessage) -> bytes:
+        wire = bytearray()
+
+        class Sink:
+            def write(self, data):
+                wire.extend(data)
+
+        write_message(Sink(), msg)
+        return bytes(wire)
+
+    def test_legacy_message_bytes_are_pinned(self):
+        wire = self.capture(RpcMessage(MsgType.REQUEST, "svc", [b"hi"]))
+        assert wire == (
+            b"NS"            # magic
+            b"\x01"          # type = REQUEST
+            b"\x00"          # status
+            b"\x00\x03svc"   # name
+            b"\x00\x01"      # nargs
+            b"\x00\x00\x00\x00\x00\x00\x00\x02hi"  # arg: u64 length + bytes
+        )
+
+    def test_absent_trace_is_byte_identical_to_legacy(self):
+        plain = self.capture(RpcMessage(MsgType.REQUEST, "svc", [b"hi"]))
+        defaulted = self.capture(
+            RpcMessage(
+                MsgType.REQUEST, "svc", [b"hi"], trace_id=None, span_id=None
+            )
+        )
+        assert plain == defaulted
+
+    def test_traced_message_bytes_are_pinned(self):
+        wire = self.capture(
+            RpcMessage(
+                MsgType.REQUEST, "svc", [b"hi"], trace_id=TRACE, span_id=SPAN
+            )
+        )
+        assert wire == (
+            b"NT"            # traced magic
+            b"\x01"          # TRACE_WIRE_VERSION
+            b"\x01"          # type = REQUEST
+            b"\x00"          # status
+            + bytes.fromhex(TRACE)
+            + bytes.fromhex(SPAN)
+            + b"\x00\x03svc"
+            + b"\x00\x01"
+            + b"\x00\x00\x00\x00\x00\x00\x00\x02hi"
+        )
+
+    def test_traced_without_span_pins_zero_span(self):
+        wire = self.capture(
+            RpcMessage(MsgType.REQUEST, "s", [], trace_id=TRACE)
+        )
+        assert bytes.fromhex(TRACE) in wire
+        assert b"\x00" * 8 + b"\x00\x01s" in wire  # zero span, then name
+
+
+class TestAssemblerTraced:
+    def test_mixed_legacy_and_traced_stream(self):
+        from repro.middleware.protocol import (
+            MessageAssembler,
+            iter_message_segments,
+        )
+
+        msgs = [
+            RpcMessage(MsgType.REQUEST, "plain", [b"x"]),
+            RpcMessage(
+                MsgType.REQUEST, "traced", [b"y"], trace_id=TRACE, span_id=SPAN
+            ),
+            RpcMessage(MsgType.ERROR, "plain2", [b"z"], status=1),
+        ]
+        stream = b"".join(
+            b"".join(iter_message_segments(m)) for m in msgs
+        )
+        got: list[RpcMessage] = []
+        asm = MessageAssembler(got.append)
+        for i in range(len(stream)):  # worst case: one byte at a time
+            asm.feed(stream[i : i + 1])
+        assert [m.name for m in got] == ["plain", "traced", "plain2"]
+        assert [m.trace_id for m in got] == [None, TRACE, None]
+        assert got[1].span_id == SPAN
+        assert not asm.mid_message
+
+    def test_assembler_rejects_bad_traced_version(self):
+        from repro.middleware.protocol import (
+            MessageAssembler,
+            iter_message_segments,
+        )
+
+        wire = bytearray(
+            b"".join(
+                iter_message_segments(
+                    RpcMessage(MsgType.REQUEST, "x", [], trace_id=TRACE)
+                )
+            )
+        )
+        wire[2] = 7
+        asm = MessageAssembler(lambda m: None)
+        with pytest.raises(RpcError, match="version"):
+            asm.feed(bytes(wire))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    name=st.text(min_size=1, max_size=20),
+    args=st.lists(st.binary(max_size=500), max_size=3),
+    trace=st.binary(min_size=16, max_size=16),
+    span=st.one_of(st.none(), st.binary(min_size=8, max_size=8)),
+)
+def test_traced_roundtrip_property(name, args, trace, span):
+    span_hex = span.hex() if span is not None else None
+    got = roundtrip(
+        RpcMessage(
+            MsgType.REQUEST, name, args,
+            trace_id=trace.hex(), span_id=span_hex,
+        )
+    )
+    assert got.trace_id == trace.hex()
+    # All-zero span bytes mean "no span" on the wire.
+    expected_span = None if span == b"\x00" * 8 else span_hex
+    assert got.span_id == expected_span
+    assert got.args == args

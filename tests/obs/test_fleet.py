@@ -1,0 +1,385 @@
+"""Fleet telemetry: frame protocol, store, pusher, aggregator.
+
+The integration tests exercise the acceptance path for ``adoc top
+--fleet``: a live aggregator fed by several *concurrently pushing
+processes*, whose merged exposition must contain every instance.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.obs.fleet import (
+    FLEET_WIRE_VERSION,
+    PUSH,
+    QUERY,
+    REPLY,
+    FleetProtocolError,
+    FleetStore,
+    FrameAssembler,
+    MetricsPusher,
+    encode_frame,
+    fetch_fleet,
+    instance_name,
+    push_many,
+    push_once,
+    serve_fleet,
+    summarize_snapshot,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import Telemetry
+
+
+def sample_registry(wire: int = 100, level: float = 5.0) -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("adoc_wire_bytes_total", "", ("direction",)).inc(
+        wire, direction="tx"
+    )
+    reg.gauge("adoc_compression_level").set(level)
+    return reg
+
+
+class TestFrameProtocol:
+    def test_roundtrip_through_assembler(self):
+        got: list[tuple[int, dict]] = []
+        asm = FrameAssembler(lambda t, p: got.append((t, p)))
+        asm.feed(encode_frame(PUSH, {"a": 1}) + encode_frame(QUERY, {"b": 2}))
+        assert got == [(PUSH, {"a": 1}), (QUERY, {"b": 2})]
+        assert asm.frames == 2
+
+    def test_byte_at_a_time_feed(self):
+        got: list[tuple[int, dict]] = []
+        asm = FrameAssembler(lambda t, p: got.append((t, p)))
+        wire = encode_frame(REPLY, {"x": [1, 2, 3]})
+        for i in range(len(wire)):
+            asm.feed(wire[i : i + 1])
+        assert got == [(REPLY, {"x": [1, 2, 3]})]
+
+    def test_frame_header_layout(self):
+        wire = encode_frame(PUSH, {})
+        assert wire[:2] == b"FP"
+        assert wire[2] == FLEET_WIRE_VERSION
+        assert wire[3] == PUSH
+        assert int.from_bytes(wire[4:8], "big") == len(wire) - 8
+
+    def test_bad_magic_raises(self):
+        asm = FrameAssembler(lambda t, p: None)
+        with pytest.raises(FleetProtocolError, match="magic"):
+            asm.feed(b"XX\x01\x01\x00\x00\x00\x00")
+
+    def test_version_mismatch_raises(self):
+        wire = bytearray(encode_frame(PUSH, {}))
+        wire[2] = 99
+        asm = FrameAssembler(lambda t, p: None)
+        with pytest.raises(FleetProtocolError, match="version"):
+            asm.feed(bytes(wire))
+
+    def test_oversize_frame_rejected_before_buffering(self):
+        asm = FrameAssembler(lambda t, p: None, max_frame_bytes=16)
+        header = b"FP" + bytes([FLEET_WIRE_VERSION, PUSH]) + (1 << 20).to_bytes(4, "big")
+        with pytest.raises(FleetProtocolError, match="bound"):
+            asm.feed(header)
+
+    def test_non_object_payload_rejected(self):
+        import struct
+
+        body = b"[1,2]"
+        wire = struct.pack(">2sBBI", b"FP", FLEET_WIRE_VERSION, PUSH, len(body)) + body
+        asm = FrameAssembler(lambda t, p: None)
+        with pytest.raises(FleetProtocolError, match="object"):
+            asm.feed(wire)
+
+
+class TestFleetStore:
+    def test_update_and_merge_stamps_identity_labels(self):
+        store = FleetStore(ttl_s=10.0, clock=lambda: 0.0)
+        store.update(
+            {"job": "adoc", "instance": "a"}, sample_registry(wire=10).to_json()
+        )
+        store.update(
+            {"job": "adoc", "instance": "b"}, sample_registry(wire=20).to_json()
+        )
+        merged = store.merged()
+        series = merged["adoc_wire_bytes_total"]["series"]
+        labels = {tuple(sorted(e["labels"].items())) for e in series}
+        assert (
+            ("direction", "tx"), ("instance", "a"), ("job", "adoc")
+        ) in labels
+        assert len(series) == 2
+
+    def test_repeat_push_replaces_not_duplicates(self):
+        store = FleetStore(ttl_s=10.0, clock=lambda: 0.0)
+        for wire in (10, 50):
+            store.update(
+                {"job": "j", "instance": "i"}, sample_registry(wire=wire).to_json()
+            )
+        assert store.instance_count == 1
+        (inst,) = store.to_json()["instances"]
+        assert inst["pushes"] == 2
+        assert inst["summary"]["wire_bytes"] == 50.0
+
+    def test_expiry_drops_silent_instances(self):
+        now = [0.0]
+        store = FleetStore(ttl_s=5.0, clock=lambda: now[0])
+        store.update({"job": "j", "instance": "old"}, {})
+        now[0] = 4.0
+        store.update({"job": "j", "instance": "new"}, {})
+        now[0] = 6.0
+        assert store.expire() == [("j", "old")]
+        assert store.instance_count == 1
+        assert store.expired == 1
+
+    def test_push_resets_staleness(self):
+        now = [0.0]
+        store = FleetStore(ttl_s=5.0, clock=lambda: now[0])
+        store.update({"job": "j", "instance": "i"}, {})
+        now[0] = 4.0
+        store.update({"job": "j", "instance": "i"}, {})
+        now[0] = 8.0
+        assert store.expire() == []
+
+    def test_summary_row_fields(self):
+        summary = summarize_snapshot(sample_registry(wire=42, level=7).to_json())
+        assert summary["wire_bytes"] == 42.0
+        assert summary["level"] == 7.0
+        assert summary["retries"] == 0.0
+        assert summary["degraded"] == 0.0
+
+    def test_ttl_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FleetStore(ttl_s=0.0)
+
+
+class TestAggregator:
+    def test_push_query_roundtrip(self):
+        agg, addr = serve_fleet(ttl_s=30.0)
+        try:
+            push_once(addr, sample_registry(wire=123), job="t", instance="one")
+            push_once(addr, sample_registry(wire=456), job="t", instance="two")
+            view = fetch_fleet(addr)
+            names = [i["instance"] for i in view["instances"]]
+            assert names == ["one", "two"]
+            assert view["ttl_s"] == 30.0
+            prom = fetch_fleet(addr, fmt="prom")["text"]
+            assert (
+                'adoc_wire_bytes_total{direction="tx",job="t",instance="one"} 123'
+                in prom
+            )
+        finally:
+            agg.close()
+
+    def test_push_accepts_telemetry_and_counts_trace_drops(self):
+        agg, addr = serve_fleet(ttl_s=30.0)
+        try:
+            tele = Telemetry(enabled=True, tracer_capacity=2)
+            for i in range(5):
+                tele.event("buffer", f"b{i}")
+            push_once(addr, tele, instance="traced")
+            prom = fetch_fleet(addr, fmt="prom")["text"]
+            assert (
+                'repro_trace_dropped_total{job="adoc",instance="traced"} 3'
+                in prom
+            )
+        finally:
+            agg.close()
+
+    def test_query_expires_stale_instances(self):
+        agg, addr = serve_fleet(ttl_s=0.2)
+        try:
+            push_once(addr, sample_registry(), instance="ghost")
+            assert [i["instance"] for i in fetch_fleet(addr)["instances"]] == [
+                "ghost"
+            ]
+            deadline = time.monotonic() + 5.0
+            while fetch_fleet(addr)["instances"]:
+                assert time.monotonic() < deadline, "instance never expired"
+                time.sleep(0.05)
+        finally:
+            agg.close()
+
+    def test_push_many_over_one_connection(self):
+        agg, addr = serve_fleet(ttl_s=30.0)
+        try:
+            n = push_many(
+                addr,
+                (
+                    (f"flow-{i}", sample_registry(wire=i).to_json())
+                    for i in range(5)
+                ),
+                job="sim",
+            )
+            assert n == 5
+            deadline = time.monotonic() + 5.0
+            while len(fetch_fleet(addr)["instances"]) < 5:
+                assert time.monotonic() < deadline
+                time.sleep(0.02)
+        finally:
+            agg.close()
+
+    def test_close_is_idempotent(self):
+        agg, _ = serve_fleet()
+        agg.close()
+        agg.close()
+
+
+class TestMetricsPusher:
+    def test_periodic_push_and_final_snapshot(self):
+        agg, addr = serve_fleet(ttl_s=30.0)
+        try:
+            reg = sample_registry(wire=7)
+            pusher = MetricsPusher(
+                addr, reg, job="bg", instance="p1", interval_s=0.05
+            ).start()
+            deadline = time.monotonic() + 5.0
+            while pusher.pushes < 3:
+                assert time.monotonic() < deadline, "pusher never pushed"
+                time.sleep(0.02)
+            pusher.close()
+            view = fetch_fleet(addr)
+            (inst,) = view["instances"]
+            assert inst["instance"] == "p1"
+            assert inst["pushes"] >= 3
+            assert pusher.errors == 0
+        finally:
+            agg.close()
+
+    def test_absent_aggregator_is_recorded_not_raised(self):
+        pusher = MetricsPusher(
+            ("127.0.0.1", 1), MetricsRegistry(), interval_s=0.01, timeout=0.2
+        ).start()
+        deadline = time.monotonic() + 5.0
+        while pusher.errors < 1:
+            assert time.monotonic() < deadline, "error never recorded"
+            time.sleep(0.02)
+        pusher.close()
+        assert pusher.last_error is not None
+
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ValueError):
+            MetricsPusher(("h", 1), MetricsRegistry(), interval_s=0.0)
+
+    def test_default_instance_identity(self):
+        assert ":" in instance_name()
+
+
+_CHILD = """
+import sys
+from repro.obs.fleet import MetricsPusher
+from repro.obs.metrics import MetricsRegistry
+
+host, port, name = sys.argv[1], int(sys.argv[2]), sys.argv[3]
+reg = MetricsRegistry()
+reg.counter("adoc_wire_bytes_total", "", ("direction",)).inc(
+    1000, direction="tx"
+)
+reg.gauge("adoc_compression_level").set(6)
+pusher = MetricsPusher(
+    (host, port), reg, job="itest", instance=name, interval_s=0.05
+).start()
+import time
+time.sleep(0.5)
+pusher.close()
+print("pushed", pusher.pushes)
+"""
+
+
+class TestMultiProcessIntegration:
+    def test_three_processes_push_concurrently(self, tmp_path):
+        """The acceptance path: >=3 separate pushing processes, one
+        merged exposition containing every instance."""
+        agg, addr = serve_fleet(ttl_s=30.0)
+        procs = []
+        try:
+            for i in range(3):
+                procs.append(
+                    subprocess.Popen(
+                        [sys.executable, "-c", _CHILD, addr[0], str(addr[1]), f"proc-{i}"],
+                        stdout=subprocess.PIPE,
+                        stderr=subprocess.PIPE,
+                        text=True,
+                    )
+                )
+            for p in procs:
+                out, err = p.communicate(timeout=60)
+                assert p.returncode == 0, err
+                assert "pushed" in out
+            view = fetch_fleet(addr)
+            names = {i["instance"] for i in view["instances"]}
+            assert names == {"proc-0", "proc-1", "proc-2"}
+            prom = fetch_fleet(addr, fmt="prom")["text"]
+            for name in names:
+                assert f'instance="{name}"' in prom
+            # Per-instance series keep their identity (no cross-instance
+            # summing): three tx series, 1000 wire bytes each.
+            lines = [
+                line
+                for line in prom.splitlines()
+                if line.startswith("adoc_wire_bytes_total{")
+            ]
+            assert len(lines) == 3
+            assert all(line.endswith(" 1000") for line in lines)
+        finally:
+            for p in procs:
+                if p.poll() is None:
+                    p.kill()
+            agg.close()
+
+    def test_simulator_fleet_publishes_flows(self):
+        from repro.simulator import simulate_fleet
+
+        agg, addr = serve_fleet(ttl_s=30.0)
+        try:
+            results = simulate_fleet(addr, flows=3, size=1 << 18)
+            assert len(results) == 3
+            deadline = time.monotonic() + 5.0
+            while len(fetch_fleet(addr)["instances"]) < 3:
+                assert time.monotonic() < deadline
+                time.sleep(0.02)
+            view = fetch_fleet(addr)
+            assert [i["instance"] for i in view["instances"]] == [
+                "flow-0000", "flow-0001", "flow-0002"
+            ]
+            assert all(i["job"] == "adoc-sim" for i in view["instances"])
+            for inst in view["instances"]:
+                assert inst["summary"]["payload_bytes"] == float(1 << 18)
+        finally:
+            agg.close()
+
+    def test_aggregator_self_telemetry(self):
+        tele = Telemetry(enabled=True)
+        agg, addr = serve_fleet(ttl_s=30.0, telemetry=tele)
+        try:
+            push_once(addr, sample_registry(), job="j", instance="i")
+            deadline = time.monotonic() + 5.0
+            counter = tele.metrics.counter(
+                "adoc_fleet_pushes_total",
+                "metric snapshots ingested by the aggregator",
+                ("job",),
+            )
+            while counter.value(job="j") < 1:
+                assert time.monotonic() < deadline
+                time.sleep(0.02)
+            assert (
+                tele.metrics.gauge(
+                    "adoc_fleet_instances",
+                    "instances currently in the merged fleet view",
+                ).value()
+                == 1
+            )
+        finally:
+            agg.close()
+
+
+def test_fetch_fleet_rejects_unknown_format():
+    with pytest.raises(ValueError, match="fmt"):
+        fetch_fleet(("127.0.0.1", 1), fmt="xml")
+
+
+def test_encoded_frames_are_valid_json_payloads():
+    wire = encode_frame(PUSH, {"meta": {"job": "j"}, "metrics": {}})
+    assert json.loads(wire[8:]) == {"meta": {"job": "j"}, "metrics": {}}

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import time
 import threading
 
 import pytest
@@ -127,3 +128,187 @@ def test_json_export_is_json_safe_and_complete():
     assert data["a_total"]["series"][0] == {"labels": {"k": "v"}, "value": 3.0}
     hist = data["h"]["series"][0]
     assert hist["count"] == 1 and hist["inf"] == 1
+
+
+class TestLabelEscaping:
+    def test_backslash_quote_and_newline_are_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("esc_total", "", ("path",)).inc(
+            path='C:\\tmp\\"log"\nline'
+        )
+        text = reg.expose()
+        assert 'esc_total{path="C:\\\\tmp\\\\\\"log\\"\\nline"} 1' in text
+        # The exposition itself stays one-line-per-sample.
+        assert all(
+            line.startswith(("#", "esc_total")) for line in text.strip().splitlines()
+        )
+
+    def test_merged_exposition_escapes_identity_labels(self):
+        from repro.obs.metrics import expose_snapshot
+
+        reg = MetricsRegistry()
+        reg.counter("a_total").inc()
+        text = expose_snapshot(
+            reg.to_json(), extra_labels={"instance": 'host"1"\n'}
+        )
+        assert 'a_total{instance="host\\"1\\"\\n"} 1' in text
+
+    def test_help_text_newlines_do_not_break_exposition(self):
+        reg = MetricsRegistry()
+        reg.counter("h_total", "line1\nline2").inc()
+        for line in reg.expose().strip().splitlines():
+            assert line.startswith("#") or line.startswith("h_total")
+
+
+class TestHistogramInvariantsUnderConcurrency:
+    def test_sum_count_and_buckets_agree_after_concurrent_observe(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", "", (), buckets=(1.0, 2.0, 4.0))
+        n_threads, per_thread = 8, 2000
+        values = (0.5, 1.5, 3.0, 9.0)
+
+        def hammer() -> None:
+            for i in range(per_thread):
+                h.observe(values[i % len(values)])
+
+        threads = [
+            threading.Thread(target=hammer, name=f"obs-{i}")
+            for i in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        snap = h.snapshot()
+        total = n_threads * per_thread
+        assert snap.count == total
+        assert sum(snap.counts) == total  # bucket cells partition the count
+        assert snap.total == pytest.approx(
+            sum(values) / len(values) * total, rel=1e-9
+        )
+        assert snap.mean == pytest.approx(snap.total / snap.count)
+        per_cell = total // len(values)
+        assert snap.counts == (per_cell, per_cell, per_cell, per_cell)
+        # Percentile interpolates within a bucket; the +Inf cell reports
+        # its lower bound.
+        assert snap.percentile(25) <= 1.0
+        assert snap.percentile(99) >= 4.0
+
+    def test_snapshot_during_concurrent_mutation_is_coherent(self):
+        """A snapshot taken mid-hammer must itself be internally
+        consistent: count equals the bucket total, sum never behind
+        what the buckets imply."""
+        reg = MetricsRegistry()
+        h = reg.histogram("race", "", (), buckets=(1.0,))
+        stop = threading.Event()
+
+        def hammer() -> None:
+            while not stop.is_set():
+                h.observe(0.5)
+
+        threads = [
+            threading.Thread(target=hammer, name=f"mut-{i}") for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        try:
+            for _ in range(200):
+                snap = h.snapshot()
+                assert sum(snap.counts) == snap.count
+                assert snap.total == pytest.approx(0.5 * snap.count)
+        finally:
+            stop.set()
+            for t in threads:
+                t.join()
+
+    def test_registry_snapshot_during_registration_race(self):
+        """to_json()/expose() while other threads register and bump new
+        metrics: every exported series must be complete (no partially
+        initialized entries), never an exception."""
+        reg = MetricsRegistry()
+        stop = threading.Event()
+        failures: list[BaseException] = []
+
+        def register() -> None:
+            i = 0
+            while not stop.is_set():
+                reg.counter(f"c{i % 50}_total", "", ("k",)).inc(k="v")
+                reg.histogram(f"h{i % 50}", "", (), buckets=(1.0,)).observe(0.5)
+                i += 1
+
+        def snapshot() -> None:
+            try:
+                while not stop.is_set():
+                    data = reg.to_json()
+                    for info in data.values():
+                        assert info["type"] in ("counter", "gauge", "histogram")
+                        for entry in info["series"]:
+                            assert "labels" in entry
+                            assert "value" in entry or "count" in entry
+                    reg.expose()
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                failures.append(exc)
+
+        writers = [
+            threading.Thread(target=register, name=f"w-{i}") for i in range(3)
+        ]
+        reader = threading.Thread(target=snapshot, name="reader")
+        for t in [*writers, reader]:
+            t.start()
+        time.sleep(0.3)
+        stop.set()
+        for t in [*writers, reader]:
+            t.join()
+        assert failures == []
+
+
+class TestSnapshotRendering:
+    def test_expose_snapshot_matches_live_expose(self):
+        from repro.obs.metrics import expose_snapshot
+
+        reg = MetricsRegistry()
+        reg.counter("a_total", "help", ("k",)).inc(k="v")
+        reg.gauge("g").set(1.5)
+        reg.histogram("h", "", (), buckets=(1.0, 2.0)).observe(1.5)
+        assert expose_snapshot(reg.to_json()) == reg.expose()
+
+    def test_merge_snapshots_keeps_per_instance_series(self):
+        from repro.obs.metrics import merge_snapshots
+
+        a = MetricsRegistry()
+        a.counter("x_total").inc(5)
+        b = MetricsRegistry()
+        b.counter("x_total").inc(7)
+        merged = merge_snapshots(
+            [
+                ({"instance": "a"}, a.to_json()),
+                ({"instance": "b"}, b.to_json()),
+            ]
+        )
+        series = merged["x_total"]["series"]
+        got = {e["labels"]["instance"]: e["value"] for e in series}
+        assert got == {"a": 5.0, "b": 7.0}  # identity kept, not summed
+
+    def test_merge_snapshots_drops_type_clashes(self):
+        from repro.obs.metrics import merge_snapshots
+
+        a = MetricsRegistry()
+        a.counter("x_total").inc()
+        b = MetricsRegistry()
+        b.gauge("x_total").set(3)
+        merged = merge_snapshots(
+            [({"i": "a"}, a.to_json()), ({"i": "b"}, b.to_json())]
+        )
+        assert merged["x_total"]["type"] == "counter"
+        assert len(merged["x_total"]["series"]) == 1
+
+    def test_merged_histograms_render(self):
+        from repro.obs.metrics import expose_snapshot, merge_snapshots
+
+        a = MetricsRegistry()
+        a.histogram("h", "", (), buckets=(1.0,)).observe(0.5)
+        text = expose_snapshot(
+            merge_snapshots([({"instance": "a"}, a.to_json())])
+        )
+        assert 'h_bucket{instance="a",le="1"} 1' in text
+        assert 'h_count{instance="a"} 1' in text

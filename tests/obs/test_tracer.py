@@ -134,3 +134,153 @@ if __name__ == "__main__":  # regenerate the golden fixture
         + "\n"
     )
     print(f"wrote {GOLDEN}")
+
+
+class TestTraceContext:
+    def test_set_trace_returns_previous_and_tags_events(self):
+        tracer = EventTracer(capacity=8, clock=StepClock())
+        assert tracer.current_trace() is None
+        assert tracer.set_trace("t1") is None
+        assert tracer.current_trace() == "t1"
+        tracer.record("buffer", "work")
+        assert tracer.set_trace(None) == "t1"
+        tracer.record("buffer", "untraced")
+        first, second = tracer.events()
+        assert first.args["trace"] == "t1"
+        assert "trace" not in second.args
+
+    def test_explicit_trace_arg_wins_over_context(self):
+        tracer = EventTracer(capacity=8, clock=StepClock())
+        tracer.set_trace("ctx")
+        tracer.record("buffer", "x", trace="explicit")
+        assert tracer.events()[0].args["trace"] == "explicit"
+
+    def test_trace_context_is_thread_local(self):
+        tracer = EventTracer(capacity=8)
+        tracer.set_trace("main-trace")
+        seen: list[str | None] = []
+
+        def worker() -> None:
+            seen.append(tracer.current_trace())
+            tracer.set_trace("worker-trace")
+            tracer.record("buffer", "w")
+
+        t = threading.Thread(target=worker, name="ctx-worker")
+        t.start()
+        t.join()
+        assert seen == [None]  # the worker does not inherit main's trace
+        assert tracer.current_trace() == "main-trace"
+
+    def test_new_ids_are_hex_and_distinct(self):
+        from repro.obs.tracer import new_span_id, new_trace_id
+
+        t1, t2 = new_trace_id(), new_trace_id()
+        assert len(t1) == 32 and len(t2) == 32 and t1 != t2
+        s = new_span_id()
+        assert len(s) == 16
+        int(t1, 16), int(s, 16)  # both parse as hex
+
+
+class TestTraceDroppedMetric:
+    def test_sync_counts_each_drop_once(self):
+        from repro.obs.telemetry import Telemetry
+
+        tele = Telemetry(enabled=True, tracer_capacity=2)
+        counter = tele.metrics.counter(
+            "repro_trace_dropped_total",
+            "trace events evicted from the bounded ring",
+        )
+        tele.sync_trace_metrics()
+        assert counter.value() == 0  # series materializes at zero
+        for i in range(5):
+            tele.event("buffer", f"b{i}")
+        tele.sync_trace_metrics()
+        tele.sync_trace_metrics()  # idempotent: no double count
+        assert counter.value() == 3
+
+    def test_sync_survives_ring_clear(self):
+        from repro.obs.telemetry import Telemetry
+
+        tele = Telemetry(enabled=True, tracer_capacity=2)
+        for i in range(4):
+            tele.event("buffer", f"b{i}")
+        tele.sync_trace_metrics()
+        tele.tracer.clear()
+        for i in range(3):
+            tele.event("buffer", f"c{i}")
+        tele.sync_trace_metrics()
+        counter = tele.metrics.counter(
+            "repro_trace_dropped_total",
+            "trace events evicted from the bounded ring",
+        )
+        assert counter.value() == 2 + 1  # pre-clear drops + post-clear drop
+
+
+class TestMergeChromeTraces:
+    def make_trace(self, name: str, epoch_base: float | None = None) -> dict:
+        tracer = EventTracer(capacity=16, clock=StepClock())
+        tracer.record("buffer", f"{name}-event", thread="worker")
+        trace = tracer.to_chrome_trace(process_name=name)
+        if epoch_base is not None:
+            trace["otherData"]["epoch_base"] = epoch_base
+        return trace
+
+    def test_each_input_gets_its_own_pid(self):
+        from repro.obs.tracer import merge_chrome_traces
+
+        merged = merge_chrome_traces(
+            [self.make_trace("a"), self.make_trace("b"), self.make_trace("c")]
+        )
+        pids = {e["pid"] for e in merged["traceEvents"]}
+        assert pids == {1, 2, 3}
+
+    def test_names_replace_process_name_metadata(self):
+        from repro.obs.tracer import merge_chrome_traces
+
+        merged = merge_chrome_traces(
+            [self.make_trace("a"), self.make_trace("b")], names=["p0", "p1"]
+        )
+        proc_meta = [
+            e for e in merged["traceEvents"] if e.get("name") == "process_name"
+        ]
+        assert [(e["pid"], e["args"]["name"]) for e in proc_meta] == [
+            (1, "p0"), (2, "p1")
+        ]
+
+    def test_names_length_mismatch_raises(self):
+        from repro.obs.tracer import merge_chrome_traces
+
+        with pytest.raises(ValueError, match="one entry per trace"):
+            merge_chrome_traces([self.make_trace("a")], names=["x", "y"])
+
+    def test_wall_clock_alignment_shifts_later_processes(self):
+        from repro.obs.tracer import merge_chrome_traces
+
+        early = self.make_trace("early", epoch_base=100.0)
+        late = self.make_trace("late", epoch_base=100.5)  # started 500 ms later
+        merged = merge_chrome_traces([early, late])
+        by_pid = {}
+        for e in merged["traceEvents"]:
+            if e["ph"] != "M":
+                by_pid[e["pid"]] = e["ts"]
+        assert by_pid[1] == 0.0
+        assert by_pid[2] == pytest.approx(500_000.0)  # +500 ms in us
+
+    def test_missing_epoch_base_disables_alignment(self):
+        from repro.obs.tracer import merge_chrome_traces
+
+        merged = merge_chrome_traces(
+            [self.make_trace("a", epoch_base=100.0), self.make_trace("b")]
+        )
+        ts = [e["ts"] for e in merged["traceEvents"] if e["ph"] != "M"]
+        assert ts == [0.0, 0.0]  # both keep their private zero
+
+    def test_injected_clock_exports_no_epoch_base(self):
+        trace = self.make_trace("a")
+        assert "epoch_base" not in trace["otherData"]
+
+    def test_real_clock_exports_epoch_base(self):
+        tracer = EventTracer(capacity=4)
+        tracer.record("buffer", "x")
+        meta = tracer.to_chrome_trace()["otherData"]
+        assert isinstance(meta["epoch_base"], float)
